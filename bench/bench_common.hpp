@@ -1,0 +1,63 @@
+// Shared plumbing for the figure-reproduction harnesses.
+//
+// Every fig* binary accepts:
+//   --runs=N    per-cell repetitions (defaults are scaled-down but shape-
+//               preserving; use the paper's counts for full fidelity)
+//   --seed=S    RNG seed (default 2006, the paper's publication year)
+//   --csv=PATH  also dump the series as CSV
+// and prints an aligned table with the same rows/series the paper plots.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table_writer.hpp"
+#include "util/timer.hpp"
+
+namespace psc::bench {
+
+struct HarnessArgs {
+  std::int64_t runs = 0;       ///< 0 = use the harness default
+  std::uint64_t seed = 2006;
+  std::string csv_path;        ///< empty = no CSV dump
+
+  static HarnessArgs parse(int argc, char** argv) {
+    const util::Flags flags(argc, argv);
+    HarnessArgs args;
+    args.runs = flags.get_int("runs", 0);
+    args.seed = static_cast<std::uint64_t>(flags.get_int("seed", 2006));
+    args.csv_path = flags.get_string("csv", "");
+    return args;
+  }
+
+  [[nodiscard]] std::int64_t runs_or(std::int64_t fallback) const {
+    return runs > 0 ? runs : fallback;
+  }
+};
+
+inline void finish(const util::TableWriter& table, const HarnessArgs& args,
+                   const util::Timer& timer) {
+  table.print(std::cout);
+  if (!args.csv_path.empty()) {
+    table.write_csv(args.csv_path);
+    std::cout << "\ncsv written to " << args.csv_path << "\n";
+  }
+  std::cout << "\nelapsed: " << timer.elapsed_seconds() << " s\n";
+}
+
+/// The paper's sweep for Figures 6-10: k = 10..310 step 30.
+inline std::vector<std::size_t> paper_k_sweep() {
+  std::vector<std::size_t> ks;
+  for (std::size_t k = 10; k <= 310; k += 30) ks.push_back(k);
+  return ks;
+}
+
+/// The paper's attribute counts for Figures 6-10 and 13-14.
+inline std::vector<std::size_t> paper_m_values() { return {10, 15, 20}; }
+
+}  // namespace psc::bench

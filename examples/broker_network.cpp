@@ -1,0 +1,110 @@
+// Broker network — the paper's Figure 1 walk-through, end to end on the
+// discrete-event simulator, then a policy shoot-out on the same topology.
+//
+// Nine brokers; subscriber S1 at B1, S2 at B6; publishers P1 at B9,
+// P2 at B5. s2 is covered by s1, so reverse-path forwarding with covering
+// suppresses most of s2's flood; notifications still reach both
+// subscribers along the delivery trees the paper draws.
+#include <iostream>
+
+#include "core/publication.hpp"
+#include "routing/broker_network.hpp"
+#include "util/rng.hpp"
+#include "workload/publications.hpp"
+
+namespace {
+
+using namespace psc;
+using core::Interval;
+using core::Publication;
+using core::Subscription;
+using routing::BrokerId;
+using routing::BrokerNetwork;
+using routing::NetworkConfig;
+
+BrokerId B(int n) { return static_cast<BrokerId>(n - 1); }
+
+NetworkConfig with_policy(store::CoveragePolicy policy) {
+  NetworkConfig config;
+  config.store.policy = policy;
+  return config;
+}
+
+const char* policy_name(store::CoveragePolicy policy) {
+  switch (policy) {
+    case store::CoveragePolicy::kNone: return "flooding ";
+    case store::CoveragePolicy::kPairwise: return "pairwise ";
+    case store::CoveragePolicy::kGroup: return "group    ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  // --- Part 1: the paper's example, step by step -------------------------
+  auto net = BrokerNetwork::figure1_topology(
+      with_policy(store::CoveragePolicy::kPairwise));
+
+  const Subscription s1({Interval{0, 10}, Interval{0, 10}}, 1);   // S1 at B1
+  const Subscription s2({Interval{2, 8}, Interval{2, 8}}, 2);     // S2 at B6
+
+  net.subscribe(B(1), s1);
+  std::cout << "s1 flooded: " << net.metrics().subscription_messages
+            << " messages (8 links, each crossed once)\n";
+
+  const auto before = net.metrics().subscription_messages;
+  net.subscribe(B(6), s2);
+  std::cout << "s2 (covered by s1): only "
+            << net.metrics().subscription_messages - before
+            << " further messages, " << net.metrics().subscriptions_suppressed
+            << " link(s) suppressed by covering\n";
+
+  // P1 at B9 publishes n1 matching s2 (hence also s1): the delivery tree
+  // B9-B7-B4-B3-B1 + B4-B6 from the paper.
+  auto delivered = net.publish(B(9), Publication({5.0, 5.0}, 1));
+  std::cout << "n1 from B9 delivered to " << delivered.size()
+            << " subscribers (s1 and s2)\n";
+
+  // P2 at B5 publishes n2 matching only s1: tree B5-B4-B3-B1.
+  delivered = net.publish(B(5), Publication({9.5, 9.5}, 2));
+  std::cout << "n2 from B5 delivered to " << delivered.size()
+            << " subscriber (s1)\n";
+  std::cout << "lost notifications: " << net.metrics().notifications_lost
+            << "\n\n";
+
+  // --- Part 2: policy shoot-out on the same topology ---------------------
+  // 60 clustered subscriptions spread over the leaf brokers, then 200
+  // publications from the two publisher brokers. Compare subscription
+  // traffic, publication traffic and delivery for the three policies.
+  std::cout << "policy     sub_msgs  suppressed  pub_msgs  delivered  lost\n";
+  for (const auto policy :
+       {store::CoveragePolicy::kNone, store::CoveragePolicy::kPairwise,
+        store::CoveragePolicy::kGroup}) {
+    auto arena = BrokerNetwork::figure1_topology(with_policy(policy));
+    util::Rng rng(99);
+    core::SubscriptionId id = 1;
+    const BrokerId leaves[] = {B(1), B(2), B(5), B(6), B(8), B(9)};
+    for (int i = 0; i < 60; ++i) {
+      const double lo1 = rng.uniform(0, 40), lo2 = rng.uniform(0, 40);
+      arena.subscribe(leaves[rng.next_below(6)],
+                      Subscription({Interval{lo1, lo1 + rng.uniform(20, 60)},
+                                    Interval{lo2, lo2 + rng.uniform(20, 60)}},
+                                   id++));
+    }
+    const auto subs_msgs = arena.metrics().subscription_messages;
+    for (int i = 0; i < 200; ++i) {
+      const BrokerId from = (i % 2 == 0) ? B(9) : B(5);
+      (void)arena.publish(from, Publication({rng.uniform(0, 100),
+                                             rng.uniform(0, 100)}));
+    }
+    std::cout << policy_name(policy) << "  " << subs_msgs << "       "
+              << arena.metrics().subscriptions_suppressed << "          "
+              << arena.metrics().publication_messages << "      "
+              << arena.metrics().notifications_delivered << "        "
+              << arena.metrics().notifications_lost << "\n";
+  }
+  std::cout << "\n(flooding pays in subscription traffic; covering pays a\n"
+               " tiny probabilistic-loss risk for large savings — Section 5)\n";
+  return 0;
+}

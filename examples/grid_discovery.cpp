@@ -1,0 +1,113 @@
+// Grid resource discovery — the paper's second Section 3 scenario (Table 2).
+//
+// Services announce capabilities as subscriptions over
+// {CPU cycles, disk, memory, service-id, time window}; jobs publish their
+// requirements. As services get (de)allocated their subscriptions churn,
+// which is exactly the environment where cheap subsumption checking pays:
+// a service whose advertised capability is covered by others need not be
+// propagated through the (distributed) discovery overlay.
+//
+// The demo runs a churn loop: allocate (unsubscribe), release
+// (re-subscribe), and measures active-set size plus matching behaviour
+// under the group policy, cross-checked against ground truth.
+//
+// Attribute encoding:
+//   0 CPU Mcycles  [0, 10000]
+//   1 disk MB      [0, 10000]
+//   2 memory MB    [0, 65536]
+//   3 service id   [0, 4096]   (hierarchical ids hashed to ranges)
+//   4 time         minutes since epoch day
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "core/publication.hpp"
+#include "store/subscription_store.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace psc;
+using core::Interval;
+using core::Publication;
+using core::Subscription;
+
+/// A service capability: handles jobs up to its resource ceilings within
+/// its availability window. "Up to" = ranges [0, ceiling] — bigger boxes
+/// are strictly more capable, which produces natural nesting.
+Subscription make_service(core::SubscriptionId id, util::Rng& rng) {
+  const double cpu = 1000 + rng.next_below(9) * 1000;      // 1-9 Gcycles
+  const double disk = 500 + rng.next_below(16) * 500;      // 0.5-8 GB
+  const double mem = 1024 * (1 + rng.next_below(32));      // 1-32 GB
+  const double org = rng.next_below(8) * 512;              // service subtree
+  const double open = rng.next_below(12) * 120;            // shift start
+  return Subscription({Interval{0, cpu}, Interval{0, disk}, Interval{0, mem},
+                       Interval{org, org + 511},
+                       Interval{open, open + 480}},
+                      id);
+}
+
+/// A job's requirements as a point: needs exactly these resources at this
+/// time from this service subtree.
+Publication make_job(util::Rng& rng) {
+  return Publication({static_cast<double>(500 + rng.next_below(6000)),
+                      static_cast<double>(100 + rng.next_below(6000)),
+                      static_cast<double>(512 + rng.next_below(24576)),
+                      static_cast<double>(rng.next_below(4096)),
+                      static_cast<double>(rng.next_below(1440))});
+}
+
+}  // namespace
+
+int main() {
+  store::StoreConfig config;
+  config.policy = store::CoveragePolicy::kGroup;
+  config.engine.delta = 1e-6;
+  store::SubscriptionStore registry(config, /*seed=*/11);
+
+  util::Rng rng(424242);
+  std::vector<Subscription> services;
+  for (core::SubscriptionId id = 1; id <= 400; ++id) {
+    Subscription svc = make_service(id, rng);
+    registry.insert(svc);
+    services.push_back(std::move(svc));
+  }
+  std::cout << "registered 400 service capabilities\n"
+            << "  active: " << registry.active_count()
+            << ", covered: " << registry.covered_count() << "\n";
+
+  // Churn: allocation removes a service's announcement; completion
+  // re-announces it. Covered announcements promote automatically when
+  // their coverers disappear (paper, Section 5).
+  std::size_t scheduled = 0, unmatched = 0, mismatches = 0;
+  for (int round = 0; round < 500; ++round) {
+    // Allocate: a random present service goes busy.
+    const std::size_t victim = rng.next_below(services.size());
+    const auto victim_id = services[victim].id();
+    if (registry.contains(victim_id)) registry.erase(victim_id);
+
+    // A job arrives; match it against the registry.
+    const Publication job = make_job(rng);
+    const auto offers = registry.match(job);
+    scheduled += offers.empty() ? 0 : 1;
+    unmatched += offers.empty() ? 1 : 0;
+
+    // Ground truth: direct scan over the services currently registered.
+    std::size_t truth = 0;
+    for (const auto& svc : services) {
+      if (registry.contains(svc.id()) && job.matches(svc)) ++truth;
+    }
+    if (offers.size() != truth) ++mismatches;
+
+    // Release: the busy service comes back.
+    if (!registry.contains(victim_id)) registry.insert(services[victim]);
+  }
+
+  std::cout << "\nafter 500 allocate/match/release rounds:\n"
+            << "  jobs with at least one offer: " << scheduled << "\n"
+            << "  jobs with no capable service: " << unmatched << "\n"
+            << "  matcher vs ground-truth mismatches: " << mismatches << "\n"
+            << "  final active: " << registry.active_count()
+            << ", covered: " << registry.covered_count() << "\n";
+  return mismatches == 0 ? 0 : 1;
+}

@@ -1,0 +1,86 @@
+#include "baseline/counting_matcher.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace psc::baseline {
+
+CountingMatcher::CountingMatcher(std::size_t attribute_count)
+    : m_(attribute_count), lows_(attribute_count), highs_(attribute_count) {}
+
+std::size_t CountingMatcher::insert(const core::Subscription& sub) {
+  if (sub.attribute_count() != m_) {
+    throw std::invalid_argument("CountingMatcher::insert: schema mismatch");
+  }
+  subs_.push_back(sub);
+  dirty_ = true;
+  return subs_.size() - 1;
+}
+
+std::size_t CountingMatcher::erase(std::size_t slot) {
+  if (slot >= subs_.size()) {
+    throw std::out_of_range("CountingMatcher::erase: bad slot");
+  }
+  const std::size_t last = subs_.size() - 1;
+  if (slot != last) subs_[slot] = std::move(subs_[last]);
+  subs_.pop_back();
+  dirty_ = true;
+  return slot == last ? slot : last;
+}
+
+void CountingMatcher::clear() {
+  subs_.clear();
+  dirty_ = true;
+}
+
+void CountingMatcher::rebuild() const {
+  for (std::size_t j = 0; j < m_; ++j) {
+    lows_[j].clear();
+    highs_[j].clear();
+    lows_[j].reserve(subs_.size());
+    highs_[j].reserve(subs_.size());
+    for (std::size_t slot = 0; slot < subs_.size(); ++slot) {
+      lows_[j].push_back({subs_[slot].range(j).lo, slot});
+      highs_[j].push_back({subs_[slot].range(j).hi, slot});
+    }
+    auto by_value = [](const Endpoint& a, const Endpoint& b) {
+      return a.value < b.value;
+    };
+    std::sort(lows_[j].begin(), lows_[j].end(), by_value);
+    std::sort(highs_[j].begin(), highs_[j].end(), by_value);
+  }
+  dirty_ = false;
+}
+
+std::vector<std::size_t> CountingMatcher::match(const core::Publication& pub) const {
+  if (pub.attribute_count() != m_) {
+    throw std::invalid_argument("CountingMatcher::match: schema mismatch");
+  }
+  if (dirty_) rebuild();
+
+  // counts[slot] = number of attributes whose predicate the point satisfies.
+  std::vector<std::size_t> counts(subs_.size(), 0);
+  for (std::size_t j = 0; j < m_; ++j) {
+    const core::Value v = pub.value(j);
+    // Slot satisfies attribute j iff low <= v <= high. Count lows <= v,
+    // then subtract slots whose high < v by walking the sorted highs.
+    const auto& lows = lows_[j];
+    const auto& highs = highs_[j];
+    const auto low_end = std::upper_bound(
+        lows.begin(), lows.end(), v,
+        [](core::Value value, const Endpoint& e) { return value < e.value; });
+    for (auto it = lows.begin(); it != low_end; ++it) ++counts[it->slot];
+    const auto high_end = std::lower_bound(
+        highs.begin(), highs.end(), v,
+        [](const Endpoint& e, core::Value value) { return e.value < value; });
+    for (auto it = highs.begin(); it != high_end; ++it) --counts[it->slot];
+  }
+
+  std::vector<std::size_t> matches;
+  for (std::size_t slot = 0; slot < subs_.size(); ++slot) {
+    if (counts[slot] == m_) matches.push_back(slot);
+  }
+  return matches;
+}
+
+}  // namespace psc::baseline

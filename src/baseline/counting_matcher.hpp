@@ -1,0 +1,65 @@
+// Counting-algorithm publication matcher (Yan & García-Molina style), the
+// traditional matching index the paper cites as the basis of deterministic
+// pub/sub matchers. Per attribute it keeps the subscriptions' intervals in
+// two sorted endpoint arrays; matching a publication counts, for every
+// subscription, on how many attributes the point satisfies the predicate.
+// Subscriptions whose count reaches their predicate count match.
+//
+// Used as (a) the deterministic matcher baseline in benchmarks and (b) a
+// cross-check for the store/match layer in tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/publication.hpp"
+#include "core/subscription.hpp"
+
+namespace psc::baseline {
+
+class CountingMatcher {
+ public:
+  /// Builds the index for a fixed schema of `m` attributes.
+  explicit CountingMatcher(std::size_t attribute_count);
+
+  /// Inserts a subscription; returns its dense slot (stable until clear()).
+  /// The subscription must match the schema width.
+  std::size_t insert(const core::Subscription& sub);
+
+  /// Removes the subscription in `slot` (swap-with-last; invalidates the
+  /// last slot's index, which is returned so callers can fix references).
+  /// Returns the slot that was moved into `slot`, or `slot` if it was last.
+  std::size_t erase(std::size_t slot);
+
+  /// All slots whose subscription matches the publication. O(m log k + R)
+  /// per attribute scan with R = endpoints passed, plus the counting pass.
+  [[nodiscard]] std::vector<std::size_t> match(const core::Publication& pub) const;
+
+  /// Subscription stored in a slot.
+  [[nodiscard]] const core::Subscription& at(std::size_t slot) const {
+    return subs_.at(slot);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return subs_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return subs_.empty(); }
+  void clear();
+
+ private:
+  struct Endpoint {
+    core::Value value;
+    std::size_t slot;
+  };
+
+  std::size_t m_;
+  std::vector<core::Subscription> subs_;
+  /// Per attribute: interval lows and highs sorted by value. Rebuilt lazily
+  /// after mutations (publication bursts dominate in pub/sub workloads, so
+  /// sort-once-match-many is the right trade).
+  mutable std::vector<std::vector<Endpoint>> lows_;
+  mutable std::vector<std::vector<Endpoint>> highs_;
+  mutable bool dirty_ = true;
+
+  void rebuild() const;
+};
+
+}  // namespace psc::baseline

@@ -1,0 +1,128 @@
+#include "baseline/exact_subsumption.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace psc::baseline {
+
+namespace {
+
+using core::Interval;
+using core::Subscription;
+using core::Value;
+
+/// Lightweight box (no id, no invariant checks) for the residue worklist.
+struct Box {
+  std::vector<Interval> ranges;
+
+  [[nodiscard]] bool positive_measure() const noexcept {
+    for (const auto& r : ranges) {
+      if (!(r.width() > 0.0)) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] Value volume() const noexcept {
+    Value v = 1.0;
+    for (const auto& r : ranges) v *= r.width();
+    return v;
+  }
+};
+
+/// True iff `cut` (a subscription) fully contains `box`.
+bool contains(const Subscription& cut, const Box& box) {
+  for (std::size_t j = 0; j < box.ranges.size(); ++j) {
+    if (!cut.range(j).contains(box.ranges[j])) return false;
+  }
+  return true;
+}
+
+/// True iff `cut` and `box` share positive measure.
+bool overlaps(const Subscription& cut, const Box& box) {
+  for (std::size_t j = 0; j < box.ranges.size(); ++j) {
+    if (!cut.range(j).overlaps_interior(box.ranges[j])) return false;
+  }
+  return true;
+}
+
+/// Splits `box` minus `cut` into disjoint fragments appended to `out`.
+/// Classic axis sweep: peel the slab below cut.lo and above cut.hi on each
+/// axis, then shrink the box to the overlap and continue with the next axis.
+void subtract(const Subscription& cut, Box box, std::vector<Box>& out) {
+  for (std::size_t j = 0; j < box.ranges.size(); ++j) {
+    const Interval cut_range = cut.range(j);
+    const Interval box_range = box.ranges[j];
+    if (cut_range.lo > box_range.lo) {
+      Box below = box;
+      below.ranges[j] = {box_range.lo, std::min(cut_range.lo, box_range.hi)};
+      if (below.positive_measure()) out.push_back(std::move(below));
+    }
+    if (cut_range.hi < box_range.hi) {
+      Box above = box;
+      above.ranges[j] = {std::max(cut_range.hi, box_range.lo), box_range.hi};
+      if (above.positive_measure()) out.push_back(std::move(above));
+    }
+    // Continue with the part of the box inside cut's span on axis j.
+    box.ranges[j] = box_range.intersect(cut_range);
+    if (!(box.ranges[j].width() > 0.0)) return;  // nothing left to carve
+  }
+}
+
+}  // namespace
+
+ExactResult exact_subsumption(const Subscription& s,
+                              std::span<const Subscription> set,
+                              std::size_t fragment_limit) {
+  ExactResult result;
+  std::vector<Box> residue;
+  residue.push_back(Box{{s.ranges().begin(), s.ranges().end()}});
+
+  // A zero-measure s is covered by anything under the continuous model.
+  if (!residue.front().positive_measure()) {
+    result.covered = true;
+    return result;
+  }
+
+  for (const Subscription& cut : set) {
+    if (residue.empty()) break;
+    std::vector<Box> next;
+    next.reserve(residue.size());
+    for (Box& box : residue) {
+      ++result.fragments_processed;
+      if (result.fragments_processed > fragment_limit) {
+        throw std::runtime_error("exact_subsumption: fragment limit exceeded");
+      }
+      if (contains(cut, box)) continue;      // fragment fully eliminated
+      if (!overlaps(cut, box)) {
+        next.push_back(std::move(box));      // untouched
+        continue;
+      }
+      subtract(cut, std::move(box), next);
+    }
+    residue = std::move(next);
+  }
+
+  if (residue.empty()) {
+    result.covered = true;
+    return result;
+  }
+
+  result.covered = false;
+  for (const Box& box : residue) result.uncovered_volume += box.volume();
+  // Center of the first residue fragment is strictly inside it: a witness.
+  std::vector<Value> witness;
+  witness.reserve(residue.front().ranges.size());
+  for (const Interval& r : residue.front().ranges) {
+    witness.push_back(0.5 * (r.lo + r.hi));
+  }
+  result.witness = std::move(witness);
+  return result;
+}
+
+bool exactly_covered(const Subscription& s,
+                     std::span<const Subscription> set) {
+  return exact_subsumption(s, set).covered;
+}
+
+}  // namespace psc::baseline

@@ -1,0 +1,109 @@
+#include "core/conflict_table.hpp"
+
+#include <iomanip>
+#include <stdexcept>
+
+namespace psc::core {
+
+ConflictTable::ConflictTable(const Subscription& s,
+                             std::span<const Subscription> set)
+    : s_(s), m_(s.attribute_count()) {
+  rows_.reserve(set.size());
+  defined_.assign(set.size() * 2 * m_, 0);
+  defined_counts_.assign(set.size(), 0);
+
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    const Subscription& si = set[i];
+    if (si.attribute_count() != m_) {
+      throw std::invalid_argument("ConflictTable: schema mismatch at row " +
+                                  std::to_string(i));
+    }
+    Row row;
+    row.id = si.id();
+    row.bounds.resize(2 * m_, 0.0);
+    for (std::size_t j = 0; j < m_; ++j) {
+      const Interval& sr = s.range(j);
+      const Interval& ir = si.range(j);
+      // Lower side: (s AND x_j < si.lo_j) has positive measure iff
+      // s.lo_j < si.lo_j.
+      if (sr.lo < ir.lo) {
+        defined_[i * 2 * m_ + 2 * j] = 1;
+        ++defined_counts_[i];
+      }
+      row.bounds[2 * j] = ir.lo;
+      // Upper side: (s AND x_j > si.hi_j) positive-measure iff
+      // s.hi_j > si.hi_j.
+      if (sr.hi > ir.hi) {
+        defined_[i * 2 * m_ + 2 * j + 1] = 1;
+        ++defined_counts_[i];
+      }
+      row.bounds[2 * j + 1] = ir.hi;
+    }
+    rows_.push_back(std::move(row));
+  }
+}
+
+std::optional<TableEntry> ConflictTable::entry(std::size_t row,
+                                               std::size_t column) const {
+  if (!is_defined(row, column)) return std::nullopt;
+  TableEntry e;
+  e.attribute = column / 2;
+  e.side = (column % 2 == 0) ? BoundSide::kLower : BoundSide::kUpper;
+  e.bound = rows_.at(row).bounds.at(column);
+  return e;
+}
+
+std::vector<TableEntry> ConflictTable::defined_entries(std::size_t row) const {
+  std::vector<TableEntry> entries;
+  entries.reserve(defined_counts_.at(row));
+  for (std::size_t c = 0; c < column_count(); ++c) {
+    if (auto e = entry(row, c)) entries.push_back(*e);
+  }
+  return entries;
+}
+
+bool ConflictTable::entries_conflict(const Subscription& s, const TableEntry& a,
+                                     const TableEntry& b) {
+  // Entries on different attributes constrain independent axes; the
+  // intersection of their slabs is a (hyper-)corner of s with positive
+  // measure, so they never conflict.
+  if (a.attribute != b.attribute) return false;
+  const Interval& sr = s.range(a.attribute);
+  // Same side never conflicts: the weaker constraint subsumes the stronger,
+  // and each is satisfiable within s by definedness.
+  if (a.side == b.side) return false;
+  const TableEntry& lower = a.side == BoundSide::kLower ? a : b;  // x < lower.bound
+  const TableEntry& upper = a.side == BoundSide::kLower ? b : a;  // x > upper.bound
+  // Joint region is (upper.bound, lower.bound) intersected with s.
+  const Value lo = upper.bound > sr.lo ? upper.bound : sr.lo;
+  const Value hi = lower.bound < sr.hi ? lower.bound : sr.hi;
+  return !(lo < hi);  // conflict iff no positive-measure gap remains
+}
+
+Interval ConflictTable::slab(const TableEntry& entry) const {
+  const Interval& sr = s_.range(entry.attribute);
+  if (entry.side == BoundSide::kLower) {
+    return {sr.lo, entry.bound < sr.hi ? entry.bound : sr.hi};
+  }
+  return {entry.bound > sr.lo ? entry.bound : sr.lo, sr.hi};
+}
+
+void ConflictTable::print(std::ostream& out) const {
+  out << "conflict table for " << s_ << "\n";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    out << "  s" << rows_[i].id << ": ";
+    bool first = true;
+    for (std::size_t c = 0; c < column_count(); ++c) {
+      const auto e = entry(i, c);
+      if (!e) continue;
+      if (!first) out << ", ";
+      first = false;
+      out << "x" << e->attribute << (e->side == BoundSide::kLower ? " < " : " > ")
+          << e->bound;
+    }
+    if (first) out << "(all undefined)";
+    out << "\n";
+  }
+}
+
+}  // namespace psc::core

@@ -1,0 +1,121 @@
+// Conflict table T (paper, Definition 2): a k x 2m table relating a tested
+// subscription s to every simple predicate of the existing set S.
+//
+// Column layout per attribute j: column 2j holds the negated LOWER bound of
+// s_i on attribute j ("x_j < s_i.lo_j"), column 2j+1 the negated UPPER bound
+// ("x_j > s_i.hi_j"). An entry is *defined* iff (s AND not s_i^j) is
+// satisfiable with positive measure, i.e. s sticks out of s_i on that side:
+//   lower side defined  <=>  s.lo_j < s_i.lo_j
+//   upper side defined  <=>  s.hi_j > s_i.hi_j
+//
+// Intersected with s, a defined lower entry describes the slab
+// { x in s : x_j < min(s_i.lo_j, s.hi_j) } and symmetrically for upper
+// entries. These slabs are the building blocks of polyhedron witnesses
+// (Definition 3) and of the conflict-free analysis behind MCS.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <span>
+#include <vector>
+
+#include "core/subscription.hpp"
+
+namespace psc::core {
+
+/// Which side of an attribute's range a table column negates.
+enum class BoundSide : std::uint8_t { kLower, kUpper };
+
+/// One defined conflict-table entry, i.e. a half-range constraint on a
+/// single attribute (intersected with s, a non-empty slab of s).
+struct TableEntry {
+  std::size_t attribute = 0;
+  BoundSide side = BoundSide::kLower;
+  /// The negated bound: lower side means "x < bound", upper "x > bound".
+  Value bound = 0.0;
+
+  friend bool operator==(const TableEntry&, const TableEntry&) = default;
+};
+
+/// Row summary used by the corollaries and MCS.
+struct RowStats {
+  std::size_t defined_count = 0;       ///< t_i in the paper
+  std::size_t conflict_free_count = 0; ///< fc_i (filled by Mcs analysis)
+};
+
+/// The conflict table for subscription `s` versus subscription set `S`.
+/// Rows correspond 1:1 to the subscriptions passed at construction; columns
+/// to the 2m negated simple predicates. Construction is O(m * k).
+class ConflictTable {
+ public:
+  /// Builds the table. All subscriptions must share s's attribute schema;
+  /// throws std::invalid_argument otherwise.
+  ConflictTable(const Subscription& s, std::span<const Subscription> set);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t attribute_count() const noexcept { return m_; }
+  [[nodiscard]] std::size_t column_count() const noexcept { return 2 * m_; }
+
+  /// The tested subscription (by value; the table owns a copy so callers
+  /// may destroy their inputs after construction).
+  [[nodiscard]] const Subscription& tested() const noexcept { return s_; }
+
+  /// Entry at (row, column); std::nullopt when undefined.
+  /// Column 2j = lower side of attribute j, 2j+1 = upper side.
+  [[nodiscard]] std::optional<TableEntry> entry(std::size_t row,
+                                                std::size_t column) const;
+
+  [[nodiscard]] bool is_defined(std::size_t row, std::size_t column) const {
+    return defined_.at(row * 2 * m_ + column);
+  }
+
+  /// t_i: number of defined entries in the row.
+  [[nodiscard]] std::size_t defined_count(std::size_t row) const {
+    return defined_counts_.at(row);
+  }
+
+  /// All defined entries of a row, in column order.
+  [[nodiscard]] std::vector<TableEntry> defined_entries(std::size_t row) const;
+
+  /// True iff the row has no defined entries — s is covered by that single
+  /// subscription (Corollary 1).
+  [[nodiscard]] bool row_all_undefined(std::size_t row) const {
+    return defined_counts_.at(row) == 0;
+  }
+
+  /// True iff every column of the row is defined — s strictly sticks out of
+  /// s_i on every side, hence s covers s_i's span on all attributes
+  /// (Corollary 2).
+  [[nodiscard]] bool row_all_defined(std::size_t row) const {
+    return defined_counts_.at(row) == column_count();
+  }
+
+  /// Two defined entries *conflict* iff they come from different rows and
+  /// (s AND entry1 AND entry2) has no positive-measure solution
+  /// (Definition 5). Entries on different attributes never conflict.
+  [[nodiscard]] static bool entries_conflict(const Subscription& s,
+                                             const TableEntry& a,
+                                             const TableEntry& b);
+
+  /// The slab of s described by a defined entry (s intersected with the
+  /// entry's half-range). Non-empty with positive measure by construction.
+  [[nodiscard]] Interval slab(const TableEntry& entry) const;
+
+  /// Pretty-printer mirroring the paper's Table 5 / Table 8 layout.
+  void print(std::ostream& out) const;
+
+ private:
+  struct Row {
+    SubscriptionId id = kInvalidSubscriptionId;
+    std::vector<Value> bounds;  ///< 2m bound values (valid where defined)
+  };
+
+  Subscription s_;
+  std::size_t m_ = 0;
+  std::vector<Row> rows_;
+  std::vector<char> defined_;  ///< k * 2m bitmap (char for speed)
+  std::vector<std::size_t> defined_counts_;
+};
+
+}  // namespace psc::core

@@ -1,0 +1,146 @@
+#include "core/engine.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/fast_decisions.hpp"
+
+namespace psc::core {
+
+std::string_view to_string(DecisionPath path) noexcept {
+  switch (path) {
+    case DecisionPath::kEmptySet: return "empty-set";
+    case DecisionPath::kPairwiseCover: return "pairwise-cover";
+    case DecisionPath::kPolyhedronWitness: return "polyhedron-witness";
+    case DecisionPath::kMcsEmpty: return "mcs-empty";
+    case DecisionPath::kRspcWitness: return "rspc-witness";
+    case DecisionPath::kRspcProbabilistic: return "rspc-probabilistic";
+  }
+  return "unknown";
+}
+
+void validate(const EngineConfig& config) {
+  if (!(config.delta > 0.0 && config.delta < 1.0)) {
+    throw std::invalid_argument("EngineConfig: delta must be in (0, 1)");
+  }
+  if (config.max_iterations == 0) {
+    throw std::invalid_argument("EngineConfig: max_iterations must be > 0");
+  }
+  if (config.grid_spacing < 0.0) {
+    throw std::invalid_argument("EngineConfig: grid_spacing must be >= 0");
+  }
+}
+
+SubsumptionEngine::SubsumptionEngine(EngineConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  validate(config_);
+}
+
+void SubsumptionEngine::set_config(const EngineConfig& config) {
+  validate(config);
+  config_ = config;
+}
+
+SubsumptionResult SubsumptionEngine::check(const Subscription& s,
+                                           std::span<const Subscription> set) {
+  SubsumptionResult result;
+  result.original_set_size = set.size();
+  result.reduced_set_size = set.size();
+
+  // Prefilter: a candidate sharing no positive-measure region with s
+  // cannot contribute to covering s; dropping it up front skips its
+  // conflict-table row and all MCS work on it. Indices are remembered so
+  // diagnostics still refer to the caller's set.
+  std::vector<Subscription> filtered;
+  std::vector<std::size_t> original_index;
+  if (config_.prefilter_intersecting) {
+    filtered.reserve(set.size());
+    original_index.reserve(set.size());
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      if (s.overlaps_interior(set[i]) || set[i].covers(s)) {
+        filtered.push_back(set[i]);
+        original_index.push_back(i);
+      }
+    }
+    set = filtered;
+    result.reduced_set_size = set.size();
+  }
+
+  if (set.empty()) {
+    result.covered = false;
+    result.path = config_.prefilter_intersecting && result.original_set_size > 0
+                      ? DecisionPath::kMcsEmpty
+                      : DecisionPath::kEmptySet;
+    return result;
+  }
+
+  const ConflictTable table(s, set);
+
+  if (config_.use_fast_decisions) {
+    const FastDecisionResult fast = run_fast_decisions(table);
+    if (fast.decision == FastDecision::kCoveredPairwise) {
+      result.covered = true;
+      result.path = DecisionPath::kPairwiseCover;
+      result.covering_index = config_.prefilter_intersecting
+                                  ? original_index[*fast.covering_row]
+                                  : *fast.covering_row;
+      return result;
+    }
+    if (fast.decision == FastDecision::kNotCoveredWitness) {
+      result.covered = false;
+      result.path = DecisionPath::kPolyhedronWitness;
+      return result;
+    }
+  }
+
+  // Work on the (possibly) reduced candidate set. The reduced view is
+  // materialized so RSPC scans a dense array.
+  std::vector<Subscription> reduced;
+  const Subscription* candidates = set.data();
+  std::size_t candidate_count = set.size();
+  if (config_.use_mcs) {
+    const McsResult mcs = run_mcs(table);
+    result.mcs_ran = true;
+    result.reduced_set_size = mcs.kept.size();
+    if (mcs.empty()) {
+      result.covered = false;
+      result.path = DecisionPath::kMcsEmpty;
+      return result;
+    }
+    reduced.reserve(mcs.kept.size());
+    for (std::size_t index : mcs.kept) reduced.push_back(set[index]);
+    candidates = reduced.data();
+    candidate_count = reduced.size();
+  }
+
+  // rho_w / d are estimated on the *reduced* set: fewer rows can only widen
+  // the per-attribute minimum gaps, which is exactly the effect the paper's
+  // Figures 7 and 9 measure.
+  const std::span<const Subscription> rspc_set(candidates, candidate_count);
+  const ConflictTable reduced_table =
+      config_.use_mcs ? ConflictTable(s, rspc_set) : table;
+  const WitnessEstimate estimate =
+      estimate_witness_probability(reduced_table, config_.grid_spacing);
+  result.rho_w = estimate.rho_w;
+  result.theoretical_d =
+      estimate.rho_w > 0.0
+          ? theoretical_trials(estimate.rho_w, config_.delta)
+          : std::numeric_limits<double>::infinity();
+  result.trial_budget =
+      capped_trials(estimate.rho_w, config_.delta, config_.max_iterations);
+
+  const RspcResult rspc = run_rspc(s, rspc_set, result.trial_budget, rng_);
+  result.iterations = rspc.iterations;
+  if (!rspc.covered) {
+    result.covered = false;
+    result.path = DecisionPath::kRspcWitness;
+    result.witness = rspc.witness;
+    return result;
+  }
+  result.covered = true;
+  result.is_definite = false;
+  result.path = DecisionPath::kRspcProbabilistic;
+  return result;
+}
+
+}  // namespace psc::core

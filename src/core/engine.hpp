@@ -1,0 +1,113 @@
+// SubsumptionEngine — the full decision pipeline of the paper's Algorithm 4:
+//
+//   build conflict table
+//     -> Corollary 1 fast YES   (pairwise cover)
+//     -> Corollary 3 fast NO    (sorted-row polyhedron witness)
+//     -> MCS reduction          (empty reduced set => definite NO)
+//     -> rho_w / d estimation   (Algorithm 2 + Equation 1)
+//     -> RSPC                   (definite NO or probabilistic YES)
+//
+// A definite NO is always correct. A probabilistic YES errs with
+// probability at most delta = (1 - rho_w)^d, the paper's only error mode
+// (a falsely-withheld subscription).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/conflict_table.hpp"
+#include "core/mcs.hpp"
+#include "core/rspc.hpp"
+#include "core/witness_estimate.hpp"
+#include "util/rng.hpp"
+
+namespace psc::core {
+
+/// How the pipeline reached its verdict.
+enum class DecisionPath : std::uint8_t {
+  kEmptySet,            ///< no candidate subscriptions: definite NO
+  kPairwiseCover,       ///< Corollary 1: definite YES
+  kPolyhedronWitness,   ///< Corollary 3: definite NO
+  kMcsEmpty,            ///< MCS removed every candidate: definite NO
+  kRspcWitness,         ///< RSPC found a point witness: definite NO
+  kRspcProbabilistic,   ///< RSPC exhausted d trials: probabilistic YES
+};
+
+[[nodiscard]] std::string_view to_string(DecisionPath path) noexcept;
+
+/// Full diagnostics for one subsumption query.
+struct SubsumptionResult {
+  bool covered = false;              ///< the verdict
+  bool is_definite = true;           ///< false only for kRspcProbabilistic
+  DecisionPath path = DecisionPath::kEmptySet;
+
+  std::size_t original_set_size = 0; ///< k before reduction
+  std::size_t reduced_set_size = 0;  ///< |S'| after MCS (when MCS ran)
+  bool mcs_ran = false;
+
+  double rho_w = 0.0;                ///< witness-probability estimate
+  double theoretical_d = 0.0;        ///< Eq. 1 bound (may be +inf)
+  std::uint64_t trial_budget = 0;    ///< capped trials handed to RSPC
+  std::uint64_t iterations = 0;      ///< RSPC trials actually executed
+
+  /// Point witness when the verdict came from RSPC sampling.
+  std::optional<std::vector<Value>> witness;
+  /// Row index (into the caller's set) of the covering subscription when
+  /// the pairwise fast path fired.
+  std::optional<std::size_t> covering_index;
+};
+
+/// Tuning knobs for the pipeline.
+struct EngineConfig {
+  double delta = 1e-6;               ///< target error bound (0 < delta < 1)
+  std::uint64_t max_iterations = 1'000'000;  ///< hard RSPC budget cap
+  bool use_fast_decisions = true;    ///< Corollary 1 / Corollary 3 paths
+  bool use_mcs = true;               ///< run the reduction before RSPC
+  /// Volume measure for the rho_w estimate: 0 = continuous widths; > 0 =
+  /// the paper's integer-point counting on a grid of this spacing (see
+  /// estimate_witness_probability).
+  double grid_spacing = 0.0;
+  /// Drop candidates whose intersection with s has zero measure before
+  /// building the conflict table. Sound (they contribute nothing to the
+  /// union over s) and an order-of-magnitude win on large clustered sets;
+  /// off only for tests that exercise the unfiltered paths.
+  bool prefilter_intersecting = true;
+};
+
+/// Stateless-except-RNG checker. One instance may serve many queries; the
+/// RNG stream advances per query, keeping runs reproducible from the seed.
+class SubsumptionEngine {
+ public:
+  explicit SubsumptionEngine(EngineConfig config = {},
+                             std::uint64_t seed = 0x5eedf00dULL);
+
+  /// Decides s ⊑ (set[0] ∨ ... ∨ set[k-1]) per Algorithm 4.
+  /// Requires s to have finite ranges (uniform sampling); candidate
+  /// subscriptions may be unbounded.
+  [[nodiscard]] SubsumptionResult check(const Subscription& s,
+                                        std::span<const Subscription> set);
+
+  /// Convenience overload.
+  [[nodiscard]] SubsumptionResult check(const Subscription& s,
+                                        const std::vector<Subscription>& set) {
+    return check(s, std::span<const Subscription>(set));
+  }
+
+  [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
+  void set_config(const EngineConfig& config);
+
+  /// Direct access to the RNG (tests inject known streams).
+  [[nodiscard]] util::Rng& rng() noexcept { return rng_; }
+
+ private:
+  EngineConfig config_;
+  util::Rng rng_;
+};
+
+/// Validates config invariants; throws std::invalid_argument on violation.
+void validate(const EngineConfig& config);
+
+}  // namespace psc::core

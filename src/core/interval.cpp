@@ -1,0 +1,10 @@
+#include "core/interval.hpp"
+
+namespace psc::core {
+
+std::ostream& operator<<(std::ostream& out, const Interval& iv) {
+  if (iv.is_empty()) return out << "[empty]";
+  return out << "[" << iv.lo << ", " << iv.hi << "]";
+}
+
+}  // namespace psc::core

@@ -1,0 +1,79 @@
+// Closed real interval [lo, hi] — one attribute constraint of a
+// subscription. The paper models every simple predicate as a lower/upper
+// bound on an attribute; an "insignificant" attribute is the unbounded
+// interval (-inf, +inf) (paper, Section 3).
+#pragma once
+
+#include <limits>
+#include <ostream>
+
+namespace psc::core {
+
+using Value = double;
+
+/// Closed interval [lo, hi]. Empty iff lo > hi. The full line is
+/// Interval::everything(); degenerate points (lo == hi) are allowed and have
+/// zero measure.
+struct Interval {
+  Value lo = 0.0;
+  Value hi = 0.0;
+
+  constexpr Interval() = default;
+  constexpr Interval(Value low, Value high) noexcept : lo(low), hi(high) {}
+
+  [[nodiscard]] static constexpr Interval everything() noexcept {
+    return {-std::numeric_limits<Value>::infinity(),
+            std::numeric_limits<Value>::infinity()};
+  }
+
+  [[nodiscard]] static constexpr Interval empty() noexcept { return {1.0, 0.0}; }
+
+  [[nodiscard]] static constexpr Interval point(Value v) noexcept { return {v, v}; }
+
+  [[nodiscard]] constexpr bool is_empty() const noexcept { return lo > hi; }
+
+  /// Lebesgue measure; 0 for points and empty intervals.
+  [[nodiscard]] constexpr Value width() const noexcept {
+    return is_empty() ? Value{0} : hi - lo;
+  }
+
+  [[nodiscard]] constexpr bool contains(Value v) const noexcept {
+    return lo <= v && v <= hi;
+  }
+
+  /// True iff `other` is a subset of this interval (empty is subset of all).
+  [[nodiscard]] constexpr bool contains(const Interval& other) const noexcept {
+    return other.is_empty() || (lo <= other.lo && other.hi <= hi);
+  }
+
+  [[nodiscard]] constexpr bool intersects(const Interval& other) const noexcept {
+    return !is_empty() && !other.is_empty() && lo <= other.hi && other.lo <= hi;
+  }
+
+  /// Intersection has positive measure (not just touching endpoints).
+  /// This is the satisfiability notion used by the conflict table under the
+  /// continuous data model: a zero-width sliver contains no witness mass.
+  [[nodiscard]] constexpr bool overlaps_interior(const Interval& other) const noexcept {
+    const Value joint_lo = lo > other.lo ? lo : other.lo;
+    const Value joint_hi = hi < other.hi ? hi : other.hi;
+    return joint_lo < joint_hi;
+  }
+
+  [[nodiscard]] constexpr Interval intersect(const Interval& other) const noexcept {
+    if (is_empty() || other.is_empty()) return empty();
+    return {lo > other.lo ? lo : other.lo, hi < other.hi ? hi : other.hi};
+  }
+
+  /// Smallest interval containing both (convex hull of the union).
+  [[nodiscard]] constexpr Interval hull(const Interval& other) const noexcept {
+    if (is_empty()) return other;
+    if (other.is_empty()) return *this;
+    return {lo < other.lo ? lo : other.lo, hi > other.hi ? hi : other.hi};
+  }
+
+  friend constexpr bool operator==(const Interval&, const Interval&) = default;
+};
+
+std::ostream& operator<<(std::ostream& out, const Interval& iv);
+
+}  // namespace psc::core

@@ -1,0 +1,82 @@
+#include "core/mcs.hpp"
+
+#include <stdexcept>
+
+namespace psc::core {
+
+namespace {
+
+/// True iff `entry` of row `row` conflicts with some defined entry of
+/// another alive row. Only opposite-side entries on the same attribute can
+/// conflict, so we probe exactly those two columns per other row.
+bool entry_has_conflict(const ConflictTable& table, std::size_t row,
+                        const TableEntry& entry, const std::vector<char>& alive) {
+  const std::size_t opposite_col = entry.side == BoundSide::kLower
+                                       ? 2 * entry.attribute + 1
+                                       : 2 * entry.attribute;
+  for (std::size_t other = 0; other < table.row_count(); ++other) {
+    if (other == row || !alive[other]) continue;
+    const auto other_entry = table.entry(other, opposite_col);
+    if (!other_entry) continue;
+    if (ConflictTable::entries_conflict(table.tested(), entry, *other_entry)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::size_t count_conflict_free(const ConflictTable& table, std::size_t row,
+                                const std::vector<char>& alive) {
+  if (alive.size() != table.row_count()) {
+    throw std::invalid_argument("count_conflict_free: mask size mismatch");
+  }
+  std::size_t conflict_free = 0;
+  for (std::size_t col = 0; col < table.column_count(); ++col) {
+    const auto entry = table.entry(row, col);
+    if (!entry) continue;
+    if (!entry_has_conflict(table, row, *entry, alive)) ++conflict_free;
+  }
+  return conflict_free;
+}
+
+McsResult run_mcs(const ConflictTable& table) {
+  McsResult result;
+  const std::size_t n = table.row_count();
+  std::vector<char> alive(n, 1);
+  std::size_t alive_count = n;
+
+  bool changed = n > 0;
+  while (changed) {
+    changed = false;
+    ++result.sweeps;
+    for (std::size_t row = 0; row < n; ++row) {
+      if (!alive[row]) continue;
+      const std::size_t t = table.defined_count(row);
+      // t_i >= k check first: O(1), and it also catches rows made redundant
+      // purely by prior removals shrinking k.
+      if (t >= alive_count) {
+        alive[row] = 0;
+        --alive_count;
+        ++result.removed_defined_count;
+        changed = true;
+        continue;
+      }
+      if (count_conflict_free(table, row, alive) >= 1) {
+        alive[row] = 0;
+        --alive_count;
+        ++result.removed_conflict_free;
+        changed = true;
+      }
+    }
+  }
+
+  result.kept.reserve(alive_count);
+  for (std::size_t row = 0; row < n; ++row) {
+    if (alive[row]) result.kept.push_back(row);
+  }
+  return result;
+}
+
+}  // namespace psc::core

@@ -1,0 +1,52 @@
+// Minimized Cover Set (paper, Algorithm 3 with Propositions 3-4).
+//
+// Iteratively removes subscriptions that are provably irrelevant to the
+// group-coverage question for s:
+//   * rows with a conflict-free defined entry (fc_i >= 1): any polyhedron
+//     witness avoiding the other rows can be extended through the
+//     conflict-free slab, so row i never "saves" the cover;
+//   * rows with t_i >= k defined entries (k = current set size): a witness
+//     of the other k-1 rows can always dodge at most k-1 conflicts, leaving
+//     a free slab in row i.
+// Rows removed for either reason also shrink k, so the sweep repeats until
+// a fixed point. The surviving set S' is checked by RSPC; an empty S' is a
+// definite NO (no candidate subset can jointly cover s).
+//
+// Conflict-free detection exploits the geometry: entries on different
+// attributes never conflict, so each entry is compared only against
+// opposite-side entries of other rows on the same attribute — O(m k) per
+// row, O(m k^2) per sweep, O(m k^3) worst case across sweeps (the paper's
+// bound, stated as O(m^2 k^3), is looser).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/conflict_table.hpp"
+
+namespace psc::core {
+
+struct McsResult {
+  /// Indices (into the original set) of the surviving subscriptions.
+  std::vector<std::size_t> kept;
+  /// Sweep count until fixed point (>= 1 for non-empty inputs).
+  std::size_t sweeps = 0;
+  /// Rows removed because of a conflict-free entry.
+  std::size_t removed_conflict_free = 0;
+  /// Rows removed because t_i >= current k.
+  std::size_t removed_defined_count = 0;
+
+  [[nodiscard]] bool empty() const noexcept { return kept.empty(); }
+};
+
+/// Runs MCS on a built conflict table. The table itself is not mutated;
+/// removal is tracked with an alive mask.
+[[nodiscard]] McsResult run_mcs(const ConflictTable& table);
+
+/// fc_i for one row given an alive mask over rows (true = row participates).
+/// Exposed for tests and diagnostics.
+[[nodiscard]] std::size_t count_conflict_free(const ConflictTable& table,
+                                              std::size_t row,
+                                              const std::vector<char>& alive);
+
+}  // namespace psc::core

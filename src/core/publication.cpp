@@ -1,0 +1,21 @@
+#include "core/publication.hpp"
+
+namespace psc::core {
+
+Subscription Publication::as_box() const {
+  std::vector<Interval> ranges;
+  ranges.reserve(values_.size());
+  for (Value v : values_) ranges.push_back(Interval::point(v));
+  return Subscription(std::move(ranges));
+}
+
+std::ostream& operator<<(std::ostream& out, const Publication& pub) {
+  out << "p" << pub.id() << ": (";
+  for (std::size_t attr = 0; attr < pub.attribute_count(); ++attr) {
+    if (attr > 0) out << ", ";
+    out << pub.value(attr);
+  }
+  return out << ")";
+}
+
+}  // namespace psc::core

@@ -1,0 +1,49 @@
+// Publication = a point in the attribute space (paper, Definition 6), with
+// optional conversion to a degenerate box to support the approximate-
+// matching model where publications are themselves polyhedra (Section 1).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <ostream>
+#include <span>
+#include <vector>
+
+#include "core/subscription.hpp"
+
+namespace psc::core {
+
+using PublicationId = std::uint64_t;
+
+/// Point publication with one value per attribute.
+class Publication {
+ public:
+  Publication() = default;
+  explicit Publication(std::vector<Value> values, PublicationId id = 0)
+      : values_(std::move(values)), id_(id) {}
+  Publication(std::initializer_list<Value> values, PublicationId id = 0)
+      : values_(values), id_(id) {}
+
+  [[nodiscard]] std::size_t attribute_count() const noexcept { return values_.size(); }
+  [[nodiscard]] Value value(std::size_t attr) const { return values_.at(attr); }
+  [[nodiscard]] std::span<const Value> values() const noexcept { return values_; }
+
+  [[nodiscard]] PublicationId id() const noexcept { return id_; }
+  void set_id(PublicationId id) noexcept { id_ = id; }
+
+  /// True iff this publication satisfies every predicate of `sub`.
+  [[nodiscard]] bool matches(const Subscription& sub) const noexcept {
+    return sub.contains_point(values_);
+  }
+
+  /// Degenerate box [v, v] per attribute — publications-as-polyhedra view.
+  [[nodiscard]] Subscription as_box() const;
+
+ private:
+  std::vector<Value> values_;
+  PublicationId id_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& out, const Publication& pub);
+
+}  // namespace psc::core

@@ -1,0 +1,61 @@
+#include "core/rspc.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace psc::core {
+
+std::vector<Value> sample_point(const Subscription& s, util::Rng& rng) {
+  std::vector<Value> point(s.attribute_count());
+  for (std::size_t j = 0; j < s.attribute_count(); ++j) {
+    const Interval& range = s.range(j);
+    if (!std::isfinite(range.lo) || !std::isfinite(range.hi)) {
+      throw std::invalid_argument(
+          "sample_point: unbounded attribute range cannot be sampled uniformly");
+    }
+    point[j] = rng.uniform(range.lo, range.hi);
+  }
+  return point;
+}
+
+bool point_in_union(std::span<const Value> point,
+                    std::span<const Subscription> set) noexcept {
+  for (const Subscription& si : set) {
+    if (si.contains_point(point)) return true;
+  }
+  return false;
+}
+
+RspcResult run_rspc(const Subscription& s, std::span<const Subscription> set,
+                    std::uint64_t budget, util::Rng& rng) {
+  RspcResult result;
+  // An empty union covers nothing with positive measure: definite NO
+  // without sampling (unless s itself is a point, which we still report as
+  // uncovered — there is no subscription to cover it).
+  if (set.empty()) {
+    result.covered = false;
+    result.witness = sample_point(s, rng);
+    return result;
+  }
+  std::vector<Value> point(s.attribute_count());
+  for (std::uint64_t trial = 0; trial < budget; ++trial) {
+    ++result.iterations;
+    for (std::size_t j = 0; j < s.attribute_count(); ++j) {
+      const Interval& range = s.range(j);
+      if (!std::isfinite(range.lo) || !std::isfinite(range.hi)) {
+        throw std::invalid_argument(
+            "run_rspc: unbounded attribute range cannot be sampled uniformly");
+      }
+      point[j] = rng.uniform(range.lo, range.hi);
+    }
+    if (!point_in_union(point, set)) {
+      result.covered = false;
+      result.witness = point;
+      return result;
+    }
+  }
+  result.covered = true;
+  return result;
+}
+
+}  // namespace psc::core

@@ -1,0 +1,45 @@
+// Random Simple Predicates Cover (paper, Algorithm 1): the Monte-Carlo core.
+// Draw up to d uniform points inside s; if any point lies outside every
+// subscription in S it is a *point witness* (Definition 4) and the answer is
+// a definite NO. If all d draws land inside the union, answer a
+// probabilistic YES with error at most (1 - rho_w)^d.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/publication.hpp"
+#include "core/subscription.hpp"
+#include "util/rng.hpp"
+
+namespace psc::core {
+
+struct RspcResult {
+  /// True = probabilistic YES (covered); false = definite NO.
+  bool covered = true;
+  /// Trials actually executed (<= budget; early exit on first witness).
+  std::uint64_t iterations = 0;
+  /// The point witness when covered == false.
+  std::optional<std::vector<Value>> witness;
+};
+
+/// Runs RSPC with a fixed trial budget. O(budget * m * k) worst case with
+/// early exit on the first witness. Sampling an unbounded attribute of s is
+/// impossible with a uniform law; such instances must be range-clamped by
+/// the caller (the engine rejects them) — this function requires s to have
+/// finite, positive-width ranges on all attributes and throws otherwise.
+[[nodiscard]] RspcResult run_rspc(const Subscription& s,
+                                  std::span<const Subscription> set,
+                                  std::uint64_t budget, util::Rng& rng);
+
+/// Draws one uniform point inside s (requires finite ranges; degenerate
+/// [v, v] ranges yield the point value v).
+[[nodiscard]] std::vector<Value> sample_point(const Subscription& s, util::Rng& rng);
+
+/// True iff `point` lies inside at least one subscription of `set`.
+[[nodiscard]] bool point_in_union(std::span<const Value> point,
+                                  std::span<const Subscription> set) noexcept;
+
+}  // namespace psc::core

@@ -1,0 +1,97 @@
+#include "core/subscription.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace psc::core {
+
+Subscription::Subscription(std::vector<Interval> ranges, SubscriptionId id)
+    : ranges_(std::move(ranges)), id_(id) {
+  for (std::size_t attr = 0; attr < ranges_.size(); ++attr) {
+    if (ranges_[attr].is_empty()) {
+      throw std::invalid_argument("Subscription: empty range on attribute " +
+                                  std::to_string(attr));
+    }
+  }
+}
+
+Subscription::Subscription(std::initializer_list<Interval> ranges, SubscriptionId id)
+    : Subscription(std::vector<Interval>(ranges), id) {}
+
+Subscription Subscription::everything(std::size_t m, SubscriptionId id) {
+  return Subscription(std::vector<Interval>(m, Interval::everything()), id);
+}
+
+Value Subscription::volume() const noexcept {
+  Value vol = 1.0;
+  for (const auto& range : ranges_) vol *= range.width();
+  return vol;
+}
+
+bool Subscription::contains_point(std::span<const Value> point) const noexcept {
+  if (point.size() != ranges_.size()) return false;
+  for (std::size_t attr = 0; attr < ranges_.size(); ++attr) {
+    if (!ranges_[attr].contains(point[attr])) return false;
+  }
+  return true;
+}
+
+bool Subscription::covers(const Subscription& other) const noexcept {
+  if (other.ranges_.size() != ranges_.size()) return false;
+  for (std::size_t attr = 0; attr < ranges_.size(); ++attr) {
+    if (!ranges_[attr].contains(other.ranges_[attr])) return false;
+  }
+  return true;
+}
+
+bool Subscription::intersects(const Subscription& other) const noexcept {
+  if (other.ranges_.size() != ranges_.size()) return false;
+  for (std::size_t attr = 0; attr < ranges_.size(); ++attr) {
+    if (!ranges_[attr].intersects(other.ranges_[attr])) return false;
+  }
+  return true;
+}
+
+bool Subscription::overlaps_interior(const Subscription& other) const noexcept {
+  if (other.ranges_.size() != ranges_.size()) return false;
+  for (std::size_t attr = 0; attr < ranges_.size(); ++attr) {
+    if (!ranges_[attr].overlaps_interior(other.ranges_[attr])) return false;
+  }
+  return true;
+}
+
+Subscription Subscription::intersect(const Subscription& other) const {
+  if (other.ranges_.size() != ranges_.size()) {
+    throw std::invalid_argument("Subscription::intersect: schema mismatch");
+  }
+  std::vector<Interval> out(ranges_.size());
+  for (std::size_t attr = 0; attr < ranges_.size(); ++attr) {
+    out[attr] = ranges_[attr].intersect(other.ranges_[attr]);
+  }
+  return Subscription(unchecked_tag{}, std::move(out), kInvalidSubscriptionId);
+}
+
+bool Subscription::is_satisfiable() const noexcept {
+  for (const auto& range : ranges_) {
+    if (range.is_empty()) return false;
+  }
+  return true;
+}
+
+std::ostream& operator<<(std::ostream& out, const Subscription& sub) {
+  out << "s" << sub.id() << ": ";
+  for (std::size_t attr = 0; attr < sub.attribute_count(); ++attr) {
+    if (attr > 0) out << "x";
+    out << sub.range(attr);
+  }
+  return out;
+}
+
+std::string to_string(const Subscription& sub) {
+  std::ostringstream os;
+  os << sub;
+  return os.str();
+}
+
+}  // namespace psc::core

@@ -1,0 +1,88 @@
+// Subscription = conjunction of range predicates over m attributes,
+// i.e. an axis-aligned box in R^m (paper, Definition 1). Every subscription
+// in a checker instance must constrain the same attribute schema; an
+// unconstrained attribute is represented by Interval::everything().
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/interval.hpp"
+
+namespace psc::core {
+
+using SubscriptionId = std::uint64_t;
+inline constexpr SubscriptionId kInvalidSubscriptionId = 0;
+
+/// Axis-aligned box subscription. Immutable after construction except for
+/// identity metadata (id / origin tag used by the routing layer).
+class Subscription {
+ public:
+  Subscription() = default;
+
+  /// Box with the given per-attribute ranges. Throws std::invalid_argument
+  /// if any interval is empty (unsatisfiable subscriptions are rejected at
+  /// the boundary rather than propagated through the algorithms).
+  explicit Subscription(std::vector<Interval> ranges,
+                        SubscriptionId id = kInvalidSubscriptionId);
+
+  Subscription(std::initializer_list<Interval> ranges,
+               SubscriptionId id = kInvalidSubscriptionId);
+
+  /// Unconstrained subscription over `m` attributes (matches everything).
+  [[nodiscard]] static Subscription everything(std::size_t m,
+                                               SubscriptionId id = kInvalidSubscriptionId);
+
+  [[nodiscard]] std::size_t attribute_count() const noexcept { return ranges_.size(); }
+  [[nodiscard]] const Interval& range(std::size_t attr) const { return ranges_.at(attr); }
+  [[nodiscard]] std::span<const Interval> ranges() const noexcept { return ranges_; }
+
+  [[nodiscard]] SubscriptionId id() const noexcept { return id_; }
+  void set_id(SubscriptionId id) noexcept { id_ = id; }
+
+  /// Volume (Lebesgue measure) of the box; +inf if any side is unbounded,
+  /// 0 if any side is degenerate. This is I(s) in the paper's Algorithm 2
+  /// under the continuous data model.
+  [[nodiscard]] Value volume() const noexcept;
+
+  /// True iff `point` (one value per attribute) satisfies every predicate.
+  [[nodiscard]] bool contains_point(std::span<const Value> point) const noexcept;
+
+  /// Pairwise box containment: every range of `other` inside ours.
+  [[nodiscard]] bool covers(const Subscription& other) const noexcept;
+
+  /// True iff the two boxes share at least one point.
+  [[nodiscard]] bool intersects(const Subscription& other) const noexcept;
+
+  /// True iff the intersection has positive volume on every attribute.
+  [[nodiscard]] bool overlaps_interior(const Subscription& other) const noexcept;
+
+  /// Box intersection; empty-range marker if disjoint on some attribute.
+  [[nodiscard]] Subscription intersect(const Subscription& other) const;
+
+  /// True iff the box is well-formed and non-empty on all attributes.
+  [[nodiscard]] bool is_satisfiable() const noexcept;
+
+  friend bool operator==(const Subscription& a, const Subscription& b) {
+    return a.ranges_ == b.ranges_;  // identity metadata excluded on purpose
+  }
+
+ private:
+  struct unchecked_tag {};
+  Subscription(unchecked_tag, std::vector<Interval> ranges, SubscriptionId id)
+      : ranges_(std::move(ranges)), id_(id) {}
+
+  std::vector<Interval> ranges_;
+  SubscriptionId id_ = kInvalidSubscriptionId;
+};
+
+std::ostream& operator<<(std::ostream& out, const Subscription& sub);
+
+/// Human-readable one-line rendering ("s42: [0,10]x[5,7]").
+[[nodiscard]] std::string to_string(const Subscription& sub);
+
+}  // namespace psc::core

@@ -1,0 +1,87 @@
+#include "match/matcher.hpp"
+
+#include <algorithm>
+
+namespace psc::match {
+
+using core::Publication;
+using core::Subscription;
+using core::SubscriptionId;
+
+store::InsertResult Matcher::subscribe(const Subscription& sub, NeighborId neighbor) {
+  store::InsertResult result = store_.insert(sub);
+  owners_[sub.id()] = neighbor;
+  return result;
+}
+
+bool Matcher::unsubscribe(SubscriptionId id) {
+  if (!store_.erase(id)) return false;
+  owners_.erase(id);
+  return true;
+}
+
+std::optional<NeighborId> Matcher::neighbor_of(SubscriptionId id) const {
+  const auto it = owners_.find(id);
+  if (it == owners_.end()) return std::nullopt;
+  return it->second;
+}
+
+MatchOutcome Matcher::match(const Publication& pub) {
+  ++stats_.publications;
+  MatchOutcome outcome;
+
+  // Pass 1: actives (the uncovered set S). Track which neighbours are
+  // already scheduled; subscriptions from an already-matched neighbour are
+  // skipped — the publication travels to that broker regardless, and the
+  // remote broker re-matches locally (paper, Section 4.4 optimization).
+  std::vector<NeighborId> scheduled;
+  auto neighbor_scheduled = [&](NeighborId n) {
+    return std::find(scheduled.begin(), scheduled.end(), n) != scheduled.end();
+  };
+
+  const auto actives = store_.active_snapshot();
+  bool any_active_match = false;
+  for (const auto& sub : actives) {
+    const auto owner_it = owners_.find(sub.id());
+    const NeighborId owner =
+        owner_it == owners_.end() ? kLocalSubscriber : owner_it->second;
+    if (owner != kLocalSubscriber && neighbor_scheduled(owner)) {
+      ++stats_.neighbor_short_circuits;
+      continue;
+    }
+    ++stats_.active_examined;
+    if (!pub.matches(sub)) continue;
+    any_active_match = true;
+    outcome.matched.push_back(sub.id());
+    if (owner != kLocalSubscriber && !neighbor_scheduled(owner)) {
+      scheduled.push_back(owner);
+    }
+  }
+
+  // Pass 2 (Algorithm 5): covered subscriptions only when an active matched.
+  if (any_active_match) {
+    // Full covered scan through the store's combined matcher; subtract the
+    // active ids we already recorded.
+    const auto all = store_.match(pub);
+    for (const SubscriptionId id : all) {
+      if (std::find(outcome.matched.begin(), outcome.matched.end(), id) !=
+          outcome.matched.end()) {
+        continue;
+      }
+      ++stats_.covered_examined;
+      outcome.matched.push_back(id);
+      const auto owner_it = owners_.find(id);
+      const NeighborId owner =
+          owner_it == owners_.end() ? kLocalSubscriber : owner_it->second;
+      if (owner != kLocalSubscriber && !neighbor_scheduled(owner)) {
+        scheduled.push_back(owner);
+      }
+    }
+  }
+
+  stats_.matches += outcome.matched.size();
+  outcome.destinations = std::move(scheduled);
+  return outcome;
+}
+
+}  // namespace psc::match

@@ -1,0 +1,71 @@
+// Matcher — Algorithm 5 with the paper's Section 4.4 optimizations, plus
+// per-query cost accounting so benchmarks can compare "active-first"
+// matching against flat scans and the counting-index baseline.
+//
+// The store already implements the active/covered split; the matcher wraps
+// it with:
+//   * notification fan-out (subscriber callbacks keyed by subscription id),
+//   * per-neighbour short-circuiting: when a subscription belonging to a
+//     neighbour broker matched, other subscriptions from the same neighbour
+//     need no examination — the publication is forwarded there anyway,
+//   * cost counters (subscriptions examined / matched, covered levels
+//     entered) consumed by bench/micro_core and the routing layer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/publication.hpp"
+#include "store/subscription_store.hpp"
+
+namespace psc::match {
+
+/// Opaque neighbour tag (broker link id, or local-subscriber sentinel).
+using NeighborId = std::uint32_t;
+inline constexpr NeighborId kLocalSubscriber = 0xffffffffU;
+
+struct MatchStats {
+  std::uint64_t publications = 0;
+  std::uint64_t active_examined = 0;
+  std::uint64_t covered_examined = 0;
+  std::uint64_t matches = 0;
+  std::uint64_t neighbor_short_circuits = 0;
+};
+
+struct MatchOutcome {
+  /// Matching subscription ids (active and covered).
+  std::vector<core::SubscriptionId> matched;
+  /// Distinct neighbours that must receive the publication.
+  std::vector<NeighborId> destinations;
+};
+
+class Matcher {
+ public:
+  explicit Matcher(store::StoreConfig config = {}, std::uint64_t seed = 0x9e3779b9ULL)
+      : store_(config, seed) {}
+
+  /// Registers a subscription owned by `neighbor` (or a local subscriber).
+  store::InsertResult subscribe(const core::Subscription& sub, NeighborId neighbor);
+
+  /// Unsubscribes by id; promotion semantics per SubscriptionStore.
+  bool unsubscribe(core::SubscriptionId id);
+
+  /// Algorithm 5 + neighbour short-circuit. Destinations are deduplicated.
+  [[nodiscard]] MatchOutcome match(const core::Publication& pub);
+
+  [[nodiscard]] const store::SubscriptionStore& store() const noexcept { return store_; }
+  [[nodiscard]] const MatchStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = MatchStats{}; }
+
+  [[nodiscard]] std::optional<NeighborId> neighbor_of(core::SubscriptionId id) const;
+
+ private:
+  store::SubscriptionStore store_;
+  std::unordered_map<core::SubscriptionId, NeighborId> owners_;
+  MatchStats stats_;
+};
+
+}  // namespace psc::match

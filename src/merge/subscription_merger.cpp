@@ -1,0 +1,93 @@
+#include "merge/subscription_merger.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace psc::merge {
+
+using core::Interval;
+using core::Subscription;
+using core::Value;
+
+Subscription merge_pair(const Subscription& a, const Subscription& b) {
+  if (a.attribute_count() != b.attribute_count()) {
+    throw std::invalid_argument("merge_pair: schema mismatch");
+  }
+  std::vector<Interval> hull(a.attribute_count());
+  for (std::size_t j = 0; j < a.attribute_count(); ++j) {
+    hull[j] = a.range(j).hull(b.range(j));
+  }
+  return Subscription(std::move(hull), a.id());
+}
+
+double waste_ratio(const Subscription& a, const Subscription& b) {
+  if (a.attribute_count() != b.attribute_count()) {
+    throw std::invalid_argument("waste_ratio: schema mismatch");
+  }
+  Value hull_volume = 1.0;
+  for (std::size_t j = 0; j < a.attribute_count(); ++j) {
+    hull_volume *= a.range(j).hull(b.range(j)).width();
+  }
+  if (!(hull_volume > 0.0)) return 0.0;  // degenerate hull: nothing wasted
+  if (!std::isfinite(hull_volume)) return 1.0;
+
+  const Value va = a.volume();
+  const Value vb = b.volume();
+  Value vi = 1.0;
+  for (std::size_t j = 0; j < a.attribute_count(); ++j) {
+    const Interval overlap = a.range(j).intersect(b.range(j));
+    vi *= overlap.is_empty() ? Value{0} : overlap.width();
+    if (vi == 0.0) break;
+  }
+  const Value union_volume = va + vb - vi;
+  const double ratio = 1.0 - static_cast<double>(union_volume / hull_volume);
+  return ratio < 0.0 ? 0.0 : ratio;
+}
+
+std::vector<Subscription> merge_set(std::vector<Subscription> subs,
+                                    const MergeConfig& config,
+                                    MergeStats* stats) {
+  if (!(config.max_waste_ratio >= 0.0 && config.max_waste_ratio <= 1.0)) {
+    throw std::invalid_argument("MergeConfig: max_waste_ratio must be in [0,1]");
+  }
+  MergeStats local;
+  for (std::size_t round = 0; round < config.max_rounds; ++round) {
+    bool merged_any = false;
+    ++local.rounds;
+    // One pass: find the best qualifying pair, merge, repeat within the
+    // round until no pair qualifies in a full scan.
+    while (subs.size() >= 2) {
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t best_a = 0, best_b = 0;
+      for (std::size_t i = 0; i < subs.size(); ++i) {
+        for (std::size_t l = i + 1; l < subs.size(); ++l) {
+          const double ratio = waste_ratio(subs[i], subs[l]);
+          if (ratio < best) {
+            best = ratio;
+            best_a = i;
+            best_b = l;
+          }
+        }
+      }
+      if (!(best <= config.max_waste_ratio)) break;
+
+      Subscription merged = merge_pair(subs[best_a], subs[best_b]);
+      // Waste accounting (absolute volume added beyond the exact union).
+      const Value hull_volume = merged.volume();
+      if (std::isfinite(hull_volume)) {
+        local.waste_volume += static_cast<Value>(best) * hull_volume;
+      }
+      // Remove b (higher index first), replace a.
+      subs.erase(subs.begin() + static_cast<std::ptrdiff_t>(best_b));
+      subs[best_a] = std::move(merged);
+      ++local.merges_performed;
+      merged_any = true;
+    }
+    if (!merged_any) break;
+  }
+  if (stats) *stats = local;
+  return subs;
+}
+
+}  // namespace psc::merge

@@ -1,0 +1,53 @@
+// Subscription merging — the complementary reduction mechanism the paper
+// discusses in Related Work (Crespo et al., Li et al.): replace several
+// subscriptions by one box that covers them all. Unlike covering, merging
+// is LOSSY in the other direction: the merged box can exceed the union, so
+// publications inside the box but outside the union become false positives
+// (unrequested traffic). This module implements greedy pairwise merging
+// with a bounded waste ratio so the trade-off is explicit and measurable —
+// bench/ablation_merge quantifies set-size savings versus false-positive
+// volume when merging is stacked on top of group coverage.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/subscription.hpp"
+
+namespace psc::merge {
+
+struct MergeConfig {
+  /// Maximum acceptable waste ratio for one merge:
+  ///   waste = 1 - (vol(a) + vol(b) - vol(a ∩ b)) / vol(hull(a, b))
+  /// 0 accepts only exact merges (hull == union, e.g. aligned slabs);
+  /// 1 accepts any merge. Typical useful values: 0.05 - 0.3.
+  double max_waste_ratio = 0.2;
+  /// Upper bound on merge rounds (each round scans all pairs once).
+  std::size_t max_rounds = 16;
+};
+
+struct MergeStats {
+  std::size_t merges_performed = 0;
+  std::size_t rounds = 0;
+  /// Total hull volume introduced beyond the exact unions (absolute).
+  core::Value waste_volume = 0.0;
+};
+
+/// The hull box of two subscriptions (smallest box covering both).
+/// Requires matching schemas; throws std::invalid_argument otherwise.
+[[nodiscard]] core::Subscription merge_pair(const core::Subscription& a,
+                                            const core::Subscription& b);
+
+/// Waste ratio of merging a and b (see MergeConfig). Returns 0 when one
+/// covers the other. Requires finite volumes; unbounded boxes yield 1.
+[[nodiscard]] double waste_ratio(const core::Subscription& a,
+                                 const core::Subscription& b);
+
+/// Greedily merges a set: repeatedly merges the pair with the smallest
+/// waste ratio below the threshold until none qualifies. Ids of merged
+/// results are taken from the first operand. O(rounds * k^2 * m).
+[[nodiscard]] std::vector<core::Subscription> merge_set(
+    std::vector<core::Subscription> subs, const MergeConfig& config,
+    MergeStats* stats = nullptr);
+
+}  // namespace psc::merge

@@ -1,0 +1,133 @@
+#include "routing/broker.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace psc::routing {
+
+using core::Publication;
+using core::Subscription;
+using core::SubscriptionId;
+
+Broker::Broker(BrokerId id, store::StoreConfig store_config, std::uint64_t seed)
+    : id_(id), store_config_(store_config), seed_(seed) {}
+
+void Broker::add_neighbor(BrokerId neighbor) {
+  if (std::find(neighbors_.begin(), neighbors_.end(), neighbor) !=
+      neighbors_.end()) {
+    return;
+  }
+  neighbors_.push_back(neighbor);
+}
+
+store::SubscriptionStore& Broker::forwarded_mutable(BrokerId neighbor) {
+  auto it = forwarded_.find(neighbor);
+  if (it == forwarded_.end()) {
+    // Derive a per-link seed so link stores have independent RNG streams
+    // while the whole network stays reproducible.
+    std::uint64_t mix = seed_ ^ (static_cast<std::uint64_t>(id_) << 32) ^ neighbor;
+    it = forwarded_
+             .emplace(neighbor, std::make_unique<store::SubscriptionStore>(
+                                    store_config_, util::splitmix64(mix)))
+             .first;
+  }
+  return *it->second;
+}
+
+const store::SubscriptionStore* Broker::forwarded_store(BrokerId neighbor) const {
+  const auto it = forwarded_.find(neighbor);
+  return it == forwarded_.end() ? nullptr : it->second.get();
+}
+
+std::vector<BrokerId> Broker::handle_subscription(const Subscription& sub,
+                                                  const Origin& origin,
+                                                  std::uint64_t* suppressed_out) {
+  // Duplicate flood suppression: if we already route this subscription,
+  // do not re-forward (cycles in the overlay graph are cut here).
+  if (routing_table_.count(sub.id()) > 0) return {};
+  routing_table_.emplace(sub.id(), RouteEntry{sub, origin});
+
+  std::vector<BrokerId> forward_to;
+  for (const BrokerId neighbor : neighbors_) {
+    if (!origin.local && origin.neighbor == neighbor) continue;
+    store::SubscriptionStore& link_store = forwarded_mutable(neighbor);
+    const store::InsertResult inserted = link_store.insert(sub);
+    if (inserted.covered) {
+      if (suppressed_out) ++*suppressed_out;
+      continue;  // neighbour already holds a covering set; stay silent
+    }
+    forward_to.push_back(neighbor);
+  }
+  return forward_to;
+}
+
+Broker::UnsubscriptionOutcome Broker::handle_unsubscription(
+    SubscriptionId id, const Origin& origin) {
+  UnsubscriptionOutcome outcome;
+  const auto it = routing_table_.find(id);
+  if (it == routing_table_.end()) return outcome;
+  routing_table_.erase(it);
+
+  for (const BrokerId neighbor : neighbors_) {
+    if (!origin.local && origin.neighbor == neighbor) continue;
+    const auto store_it = forwarded_.find(neighbor);
+    if (store_it == forwarded_.end()) continue;
+    // Only links that actually carried the subscription see the
+    // unsubscription. If the departing subscription was covering others on
+    // this link, those get promoted back to active and must be announced
+    // to the neighbour now — it never saw them while they were suppressed.
+    if (!store_it->second->contains(id)) continue;
+    const bool was_active = store_it->second->is_active(id);
+    const auto erased = store_it->second->erase_reporting(id);
+    if (was_active) outcome.forward_to.push_back(neighbor);
+    for (const SubscriptionId promoted_id : erased.promoted) {
+      const auto route = routing_table_.find(promoted_id);
+      if (route == routing_table_.end()) continue;  // also being removed
+      outcome.reannounce.emplace_back(neighbor, route->second.sub);
+    }
+  }
+  return outcome;
+}
+
+std::vector<BrokerId> Broker::handle_publication(
+    const Publication& pub, const Origin& origin,
+    std::vector<SubscriptionId>& local_matches) {
+  std::vector<BrokerId> destinations;
+  for (const auto& [sid, entry] : routing_table_) {
+    if (!pub.matches(entry.sub)) continue;
+    if (entry.origin.local) {
+      local_matches.push_back(sid);
+      continue;
+    }
+    if (!origin.local && entry.origin.neighbor == origin.neighbor) {
+      continue;  // never send a publication back where it came from
+    }
+    if (std::find(destinations.begin(), destinations.end(),
+                  entry.origin.neighbor) == destinations.end()) {
+      destinations.push_back(entry.origin.neighbor);
+    }
+  }
+  return destinations;
+}
+
+std::vector<std::pair<BrokerId, Subscription>> Broker::handle_expiry(
+    SubscriptionId id) {
+  // Expiry is an unsubscription with no origin and no forwarding: peers
+  // run their own timers. Reuse the unsubscription path with a synthetic
+  // local origin and drop the forward list.
+  UnsubscriptionOutcome outcome =
+      handle_unsubscription(id, Origin{true, kInvalidBroker});
+  return std::move(outcome.reannounce);
+}
+
+std::vector<SubscriptionId> Broker::subscriptions_from(const Origin& origin) const {
+  std::vector<SubscriptionId> ids;
+  for (const auto& [sid, entry] : routing_table_) {
+    if (entry.origin == origin) ids.push_back(sid);
+  }
+  return ids;
+}
+
+}  // namespace psc::routing

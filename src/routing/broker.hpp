@@ -1,0 +1,131 @@
+// Broker — one node of the distributed pub/sub overlay (paper, Section 2).
+//
+// State, per reverse-path forwarding:
+//   * routing_table_: subscription -> the neighbour (or local client) it
+//     arrived from. Publications matching the subscription are sent toward
+//     that neighbour (reverse path of the subscription flood).
+//   * forwarded_[n]: store of subscriptions this broker has propagated to
+//     neighbour n. A new subscription is forwarded to n only if it is not
+//     covered (per the configured policy) by what n already received —
+//     the paper's traffic-suppression step, and where the probabilistic
+//     group check plugs in.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/publication.hpp"
+#include "core/subscription.hpp"
+#include "sim/metrics.hpp"
+#include "store/subscription_store.hpp"
+
+namespace psc::routing {
+
+using BrokerId = std::uint32_t;
+inline constexpr BrokerId kInvalidBroker = 0xffffffffU;
+
+/// Where a subscription/publication entered this broker from.
+struct Origin {
+  bool local = false;        ///< from a directly-attached client
+  BrokerId neighbor = kInvalidBroker;  ///< valid when !local
+
+  friend bool operator==(const Origin&, const Origin&) = default;
+};
+
+/// Per-broker state. The BrokerNetwork owns Brokers and moves messages.
+class Broker {
+ public:
+  Broker(BrokerId id, store::StoreConfig store_config, std::uint64_t seed);
+
+  [[nodiscard]] BrokerId id() const noexcept { return id_; }
+
+  void add_neighbor(BrokerId neighbor);
+  [[nodiscard]] const std::vector<BrokerId>& neighbors() const noexcept {
+    return neighbors_;
+  }
+
+  /// Handles a subscription arriving from `origin`. Records the reverse
+  /// path and returns the neighbours the subscription must be forwarded to:
+  /// all neighbours except the origin, minus those whose forwarded-set
+  /// already covers it. `suppressed_out`, when non-null, receives the
+  /// number of links on which coverage suppressed forwarding.
+  [[nodiscard]] std::vector<BrokerId> handle_subscription(
+      const core::Subscription& sub, const Origin& origin,
+      std::uint64_t* suppressed_out = nullptr);
+
+  /// Expires a subscription locally (paper, Section 5: expiration times as
+  /// the message-free alternative to unsubscription flooding). Every
+  /// broker that received the subscription fires its own expiry timer, so
+  /// no unsubscription traffic is generated; only covered subscriptions
+  /// promoted on this broker's links still need announcing.
+  [[nodiscard]] std::vector<std::pair<BrokerId, core::Subscription>>
+  handle_expiry(core::SubscriptionId id);
+
+  /// Outcome of an unsubscription at this broker.
+  struct UnsubscriptionOutcome {
+    /// Neighbours that previously received the subscription and must see
+    /// the unsubscription.
+    std::vector<BrokerId> forward_to;
+    /// Per-link re-announcements: subscriptions that were suppressed as
+    /// covered on a link and became active again when the coverer left
+    /// (paper, Section 5 — covered subscriptions are "promoted").
+    std::vector<std::pair<BrokerId, core::Subscription>> reannounce;
+  };
+
+  /// Handles an unsubscription arriving from `origin`.
+  [[nodiscard]] UnsubscriptionOutcome handle_unsubscription(
+      core::SubscriptionId id, const Origin& origin);
+
+  /// Handles a publication arriving from `origin`. Returns the neighbours
+  /// the publication must travel to (reverse paths of matching
+  /// subscriptions) and reports local matches via `local_matches`.
+  [[nodiscard]] std::vector<BrokerId> handle_publication(
+      const core::Publication& pub, const Origin& origin,
+      std::vector<core::SubscriptionId>& local_matches);
+
+  /// Duplicate suppression for publications on cyclic overlays: marks the
+  /// (network-assigned) token as seen and reports whether it was new.
+  /// Without this, a publication whose reverse paths point both ways
+  /// around a cycle bounces until the simulation horizon.
+  [[nodiscard]] bool mark_publication_seen(std::uint64_t token) {
+    return seen_publications_.insert(token).second;
+  }
+
+  /// All subscription ids whose reverse path points at `origin`.
+  [[nodiscard]] std::vector<core::SubscriptionId> subscriptions_from(
+      const Origin& origin) const;
+
+  [[nodiscard]] std::size_t routing_table_size() const noexcept {
+    return routing_table_.size();
+  }
+
+  /// Forwarded-store of a neighbour link (tests introspect coverage state).
+  [[nodiscard]] const store::SubscriptionStore* forwarded_store(
+      BrokerId neighbor) const;
+
+ private:
+  BrokerId id_;
+  store::StoreConfig store_config_;
+  std::uint64_t seed_;
+  std::vector<BrokerId> neighbors_;
+
+  struct RouteEntry {
+    core::Subscription sub;
+    Origin origin;
+  };
+  std::unordered_map<core::SubscriptionId, RouteEntry> routing_table_;
+
+  /// Per outgoing link: what we already forwarded there (coverage state).
+  std::unordered_map<BrokerId, std::unique_ptr<store::SubscriptionStore>> forwarded_;
+
+  /// Publication tokens already processed (cycle suppression).
+  std::unordered_set<std::uint64_t> seen_publications_;
+
+  store::SubscriptionStore& forwarded_mutable(BrokerId neighbor);
+};
+
+}  // namespace psc::routing

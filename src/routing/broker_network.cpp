@@ -1,0 +1,211 @@
+#include "routing/broker_network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace psc::routing {
+
+using core::Publication;
+using core::Subscription;
+using core::SubscriptionId;
+
+BrokerNetwork::BrokerNetwork(NetworkConfig config) : config_(config) {}
+
+BrokerId BrokerNetwork::add_broker() {
+  const auto id = static_cast<BrokerId>(brokers_.size());
+  std::uint64_t seed = config_.seed ^ (0x9e3779b97f4a7c15ULL * (id + 1));
+  brokers_.push_back(
+      std::make_unique<Broker>(id, config_.store, util::splitmix64(seed)));
+  return id;
+}
+
+void BrokerNetwork::connect(BrokerId a, BrokerId b) {
+  if (a == b) throw std::invalid_argument("BrokerNetwork::connect: self-link");
+  brokers_.at(a)->add_neighbor(b);
+  brokers_.at(b)->add_neighbor(a);
+}
+
+BrokerNetwork BrokerNetwork::figure1_topology(NetworkConfig config) {
+  // Paper Figure 1: nine brokers; B3 and B4 form the backbone.
+  // Links: B1-B3, B2-B3, B3-B4, B4-B5, B4-B6, B4-B7, B7-B8, B7-B9.
+  BrokerNetwork net(config);
+  for (int i = 0; i < 9; ++i) net.add_broker();
+  auto id = [](int broker_number) { return static_cast<BrokerId>(broker_number - 1); };
+  net.connect(id(1), id(3));
+  net.connect(id(2), id(3));
+  net.connect(id(3), id(4));
+  net.connect(id(4), id(5));
+  net.connect(id(4), id(6));
+  net.connect(id(4), id(7));
+  net.connect(id(7), id(8));
+  net.connect(id(7), id(9));
+  return net;
+}
+
+BrokerNetwork BrokerNetwork::chain_topology(std::size_t n, NetworkConfig config) {
+  if (n == 0) throw std::invalid_argument("chain_topology: n must be > 0");
+  BrokerNetwork net(config);
+  for (std::size_t i = 0; i < n; ++i) net.add_broker();
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    net.connect(static_cast<BrokerId>(i), static_cast<BrokerId>(i + 1));
+  }
+  return net;
+}
+
+void BrokerNetwork::deliver_subscription(BrokerId at, Subscription sub,
+                                         Origin origin,
+                                         std::optional<sim::SimTime> expiry) {
+  std::uint64_t suppressed = 0;
+  const std::vector<BrokerId> forward_to =
+      brokers_.at(at)->handle_subscription(sub, origin, &suppressed);
+  metrics_.subscriptions_suppressed += suppressed;
+  // Each broker arms its own timer — expiry removes the subscription
+  // everywhere with zero unsubscription traffic (Section 5).
+  if (expiry) {
+    const auto id = sub.id();
+    queue_.schedule_at(*expiry, [this, at, id]() {
+      const auto reannounce = brokers_.at(at)->handle_expiry(id);
+      for (const auto& [next, promoted] : reannounce) {
+        ++metrics_.subscription_messages;
+        queue_.schedule_in(config_.link_latency, [this, next, at, promoted]() {
+          deliver_subscription(next, promoted, Origin{false, at});
+        });
+      }
+    });
+  }
+  for (const BrokerId next : forward_to) {
+    ++metrics_.subscription_messages;
+    queue_.schedule_in(config_.link_latency, [this, next, at, sub, expiry]() {
+      deliver_subscription(next, sub, Origin{false, at}, expiry);
+    });
+  }
+}
+
+void BrokerNetwork::deliver_unsubscription(BrokerId at, SubscriptionId id,
+                                           Origin origin) {
+  const Broker::UnsubscriptionOutcome outcome =
+      brokers_.at(at)->handle_unsubscription(id, origin);
+  for (const BrokerId next : outcome.forward_to) {
+    ++metrics_.unsubscription_messages;
+    queue_.schedule_in(config_.link_latency, [this, next, at, id]() {
+      deliver_unsubscription(next, id, Origin{false, at});
+    });
+  }
+  // Promoted subscriptions flow as fresh subscription messages: the
+  // neighbour never saw them while they were covered. The receiving broker
+  // treats it like any subscription arrival (duplicate-suppressed if it
+  // somehow already routes the id).
+  for (const auto& [next, sub] : outcome.reannounce) {
+    ++metrics_.subscription_messages;
+    queue_.schedule_in(config_.link_latency, [this, next, at, sub]() {
+      deliver_subscription(next, sub, Origin{false, at});
+    });
+  }
+}
+
+void BrokerNetwork::deliver_publication(BrokerId at, Publication pub,
+                                        Origin origin, std::uint64_t token,
+                                        std::vector<SubscriptionId>* sink) {
+  // Cycle suppression: each broker processes one publication token once.
+  if (!brokers_.at(at)->mark_publication_seen(token)) return;
+  std::vector<SubscriptionId> local;
+  const std::vector<BrokerId> forward_to =
+      brokers_.at(at)->handle_publication(pub, origin, local);
+  if (sink) {
+    sink->insert(sink->end(), local.begin(), local.end());
+  }
+  for (const BrokerId next : forward_to) {
+    ++metrics_.publication_messages;
+    queue_.schedule_in(config_.link_latency, [this, next, at, pub, token, sink]() {
+      deliver_publication(next, pub, Origin{false, at}, token, sink);
+    });
+  }
+}
+
+void BrokerNetwork::subscribe(BrokerId broker, const Subscription& sub) {
+  if (sub.id() == core::kInvalidSubscriptionId) {
+    throw std::invalid_argument("BrokerNetwork::subscribe: id must be non-zero");
+  }
+  if (local_subs_.count(sub.id()) > 0) {
+    throw std::invalid_argument("BrokerNetwork::subscribe: duplicate id");
+  }
+  local_subs_.emplace(sub.id(), LocalSub{broker, sub});
+  deliver_subscription(broker, sub, Origin{true, kInvalidBroker});
+  run_cascade();
+}
+
+void BrokerNetwork::subscribe_with_ttl(BrokerId broker, const Subscription& sub,
+                                       sim::SimTime ttl) {
+  if (sub.id() == core::kInvalidSubscriptionId) {
+    throw std::invalid_argument("BrokerNetwork::subscribe_with_ttl: bad id");
+  }
+  if (local_subs_.count(sub.id()) > 0) {
+    throw std::invalid_argument("BrokerNetwork::subscribe_with_ttl: duplicate id");
+  }
+  if (!(ttl > 0)) {
+    throw std::invalid_argument("BrokerNetwork::subscribe_with_ttl: ttl <= 0");
+  }
+  const sim::SimTime expiry = queue_.now() + ttl;
+  local_subs_.emplace(sub.id(), LocalSub{broker, sub});
+  deliver_subscription(broker, sub, Origin{true, kInvalidBroker}, expiry);
+  // The subscriber side forgets the subscription at expiry too.
+  queue_.schedule_at(expiry, [this, id = sub.id()]() { local_subs_.erase(id); });
+  run_cascade();
+}
+
+void BrokerNetwork::run_cascade() {
+  const sim::SimTime horizon =
+      queue_.now() +
+      static_cast<sim::SimTime>(brokers_.size() + 1) * config_.link_latency;
+  queue_.run_until(horizon);
+}
+
+void BrokerNetwork::advance_time(sim::SimTime horizon) {
+  queue_.run_until(horizon);
+}
+
+void BrokerNetwork::unsubscribe(BrokerId broker, SubscriptionId id) {
+  const auto it = local_subs_.find(id);
+  if (it == local_subs_.end() || it->second.home != broker) {
+    throw std::invalid_argument("BrokerNetwork::unsubscribe: unknown id");
+  }
+  local_subs_.erase(it);
+  deliver_unsubscription(broker, id, Origin{true, kInvalidBroker});
+  run_cascade();
+}
+
+std::vector<SubscriptionId> BrokerNetwork::publish(BrokerId broker,
+                                                   const Publication& pub) {
+  std::vector<SubscriptionId> delivered;
+  deliver_publication(broker, pub, Origin{true, kInvalidBroker}, ++publication_token_,
+                      &delivered);
+  run_cascade();
+  std::sort(delivered.begin(), delivered.end());
+  delivered.erase(std::unique(delivered.begin(), delivered.end()),
+                  delivered.end());
+
+  // Loss accounting against ground truth.
+  const std::vector<SubscriptionId> expected = expected_recipients(pub);
+  for (const SubscriptionId id : expected) {
+    if (std::binary_search(delivered.begin(), delivered.end(), id)) {
+      ++metrics_.notifications_delivered;
+    } else {
+      ++metrics_.notifications_lost;
+    }
+  }
+  return delivered;
+}
+
+std::vector<SubscriptionId> BrokerNetwork::expected_recipients(
+    const Publication& pub) const {
+  std::vector<SubscriptionId> ids;
+  for (const auto& [sid, local] : local_subs_) {
+    if (pub.matches(local.sub)) ids.push_back(sid);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace psc::routing

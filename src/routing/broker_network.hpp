@@ -1,0 +1,111 @@
+// BrokerNetwork — the distributed overlay: brokers + logical links driven by
+// the discrete-event simulator. Implements subscription flooding with
+// coverage-based pruning and reverse-path publication forwarding
+// (paper, Section 2 and Figure 1), with full traffic accounting.
+//
+// Loss accounting: when a publication is injected, the network computes the
+// ground-truth recipient set (every local subscription anywhere whose box
+// contains the point, via direct evaluation) and compares it with the set
+// that actually received a notification. A shortfall is a lost notification
+// — the paper's probabilistic-error cost (Section 5).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "routing/broker.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/metrics.hpp"
+
+namespace psc::routing {
+
+struct NetworkConfig {
+  store::StoreConfig store;      ///< coverage policy + engine tuning
+  sim::SimTime link_latency = 0.001;  ///< seconds per hop
+  std::uint64_t seed = 0xfeedbeefULL;
+};
+
+class BrokerNetwork {
+ public:
+  explicit BrokerNetwork(NetworkConfig config = {});
+
+  /// Adds a broker; ids are dense [0, broker_count).
+  BrokerId add_broker();
+
+  /// Adds an undirected link between two existing brokers.
+  void connect(BrokerId a, BrokerId b);
+
+  /// Builds the paper's Figure 1 topology: nine brokers B1..B9 (ids 0..8)
+  /// wired as in the example. Returns the network for chaining.
+  static BrokerNetwork figure1_topology(NetworkConfig config = {});
+
+  /// Builds a chain B1-B2-...-Bn (Section 5 analysis topology).
+  static BrokerNetwork chain_topology(std::size_t n, NetworkConfig config = {});
+
+  /// Client subscribes at `broker`. The subscription floods immediately
+  /// (events are processed to quiescence before returning).
+  void subscribe(BrokerId broker, const core::Subscription& sub);
+
+  /// Subscribes with an expiration time `ttl` seconds from now (paper,
+  /// Section 5): every broker that receives the subscription arms its own
+  /// expiry timer, so removal needs NO unsubscription messages. Expiry
+  /// fires when simulated time advances past it (publish/run_until drive
+  /// the clock).
+  void subscribe_with_ttl(BrokerId broker, const core::Subscription& sub,
+                          sim::SimTime ttl);
+
+  /// Advances simulated time to `horizon`, firing due expiries.
+  void advance_time(sim::SimTime horizon);
+
+  [[nodiscard]] sim::SimTime now() const noexcept { return queue_.now(); }
+
+  /// Client unsubscribes (id must have been subscribed).
+  void unsubscribe(BrokerId broker, core::SubscriptionId id);
+
+  /// Client publishes at `broker`; runs to quiescence. Returns ids of local
+  /// subscriptions that received a notification.
+  std::vector<core::SubscriptionId> publish(BrokerId broker,
+                                            const core::Publication& pub);
+
+  [[nodiscard]] std::size_t broker_count() const noexcept { return brokers_.size(); }
+  [[nodiscard]] const Broker& broker(BrokerId id) const { return *brokers_.at(id); }
+  [[nodiscard]] const sim::Metrics& metrics() const noexcept { return metrics_; }
+  void reset_metrics() noexcept { metrics_.reset(); }
+
+  /// Ground truth: ids of local subscriptions (anywhere) matching `pub`.
+  [[nodiscard]] std::vector<core::SubscriptionId> expected_recipients(
+      const core::Publication& pub) const;
+
+ private:
+  NetworkConfig config_;
+  sim::EventQueue queue_;
+  std::vector<std::unique_ptr<Broker>> brokers_;
+
+  struct LocalSub {
+    BrokerId home;
+    core::Subscription sub;
+  };
+  std::unordered_map<core::SubscriptionId, LocalSub> local_subs_;
+  sim::Metrics metrics_;
+  std::uint64_t publication_token_ = 0;
+
+  void deliver_subscription(BrokerId at, core::Subscription sub, Origin origin,
+                            std::optional<sim::SimTime> expiry = std::nullopt);
+
+  /// Runs the message cascade triggered "now" to completion: every hop adds
+  /// one link latency and the cascade depth is bounded by the broker count,
+  /// so events beyond now + (brokers+1) * latency belong to armed timers,
+  /// not to this cascade. Keeps publish/subscribe from fast-forwarding the
+  /// clock into future expiries.
+  void run_cascade();
+  void deliver_unsubscription(BrokerId at, core::SubscriptionId id, Origin origin);
+  void deliver_publication(BrokerId at, core::Publication pub, Origin origin,
+                           std::uint64_t token,
+                           std::vector<core::SubscriptionId>* sink);
+};
+
+}  // namespace psc::routing

@@ -1,0 +1,64 @@
+#include "routing/chain_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace psc::routing {
+
+namespace {
+
+void validate(const ChainParams& params) {
+  if (params.broker_count == 0) {
+    throw std::invalid_argument("ChainParams: broker_count must be > 0");
+  }
+  if (!(params.rho >= 0.0 && params.rho <= 1.0)) {
+    throw std::invalid_argument("ChainParams: rho must be in [0, 1]");
+  }
+  if (!(params.rho_w >= 0.0 && params.rho_w <= 1.0)) {
+    throw std::invalid_argument("ChainParams: rho_w must be in [0, 1]");
+  }
+}
+
+/// 1 - (1 - rho_w)^d: probability one full RSPC round finds a witness.
+double detect_probability(const ChainParams& params) {
+  return 1.0 - std::pow(1.0 - params.rho_w, static_cast<double>(params.d));
+}
+
+}  // namespace
+
+double chain_delivery_probability(const ChainParams& params) {
+  validate(params);
+  const double detect = detect_probability(params);
+  const double ratio = (1.0 - params.rho) * detect;
+  double sum = 0.0;
+  double term = 1.0;  // ratio^(i-1), i = 1
+  for (std::size_t i = 0; i < params.broker_count; ++i) {
+    sum += params.rho * term;
+    term *= ratio;
+  }
+  return sum;
+}
+
+double simulate_chain_delivery(const ChainParams& params, std::uint64_t runs,
+                               util::Rng& rng) {
+  validate(params);
+  if (runs == 0) throw std::invalid_argument("simulate_chain_delivery: runs == 0");
+  const double detect = detect_probability(params);
+  std::uint64_t found = 0;
+  for (std::uint64_t run = 0; run < runs; ++run) {
+    // Walk brokers B1..Bn. At each broker the publication is present with
+    // probability rho — if so, it is found there and we stop. Otherwise
+    // the subscription continues down the chain only if this hop's checker
+    // detects non-coverage (probability `detect`).
+    for (std::size_t hop = 0; hop < params.broker_count; ++hop) {
+      if (rng.bernoulli(params.rho)) {
+        ++found;
+        break;
+      }
+      if (!rng.bernoulli(detect)) break;  // withheld: chain stops here
+    }
+  }
+  return static_cast<double>(found) / static_cast<double>(runs);
+}
+
+}  // namespace psc::routing

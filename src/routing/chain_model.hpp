@@ -1,0 +1,41 @@
+// Chain-propagation model (paper, Section 5, Figure 5 and Equation 2).
+//
+// Setting: a new subscription s is issued at broker B1 of a chain
+// B1-B2-...-Bn on which the covering set s1..sk has already propagated.
+// The engine at B1 erroneously declares s covered with probability at most
+// delta = (1 - rho_w)^d, so s is withheld. A publication p matching s (but
+// no s_i) appears at each broker with probability rho. Equation 2 gives the
+// probability that p is still found (i.e. reaches s's subscriber) despite
+// the withheld forwarding:
+//
+//   P = sum_{i=1..n} rho * [ (1 - rho) * (1 - (1 - rho_w)^d) ]^(i-1)
+//
+// We provide the analytic evaluation plus a Monte-Carlo simulation of the
+// same process so benchmarks can confirm the closed form on the simulator.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace psc::routing {
+
+struct ChainParams {
+  std::size_t broker_count = 10;  ///< n
+  double rho = 0.1;               ///< P(matching publication at a broker)
+  double rho_w = 0.01;            ///< witness probability of the instance
+  std::uint64_t d = 100;          ///< RSPC trials the checker would run
+};
+
+/// Equation 2, evaluated in closed form.
+[[nodiscard]] double chain_delivery_probability(const ChainParams& params);
+
+/// Monte-Carlo estimate of the same quantity over `runs` simulated chains.
+/// Each run walks the chain hop by hop: a broker holds a matching
+/// publication with probability rho; the subscription is re-detected as
+/// uncovered (and thus forwarded onward) when any of the d point guesses
+/// hits a witness, which happens with probability 1 - (1 - rho_w)^d.
+[[nodiscard]] double simulate_chain_delivery(const ChainParams& params,
+                                             std::uint64_t runs, util::Rng& rng);
+
+}  // namespace psc::routing

@@ -1,0 +1,37 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+namespace psc::sim {
+
+void EventQueue::schedule_at(SimTime at, Handler handler) {
+  heap_.push(Event{at < now_ ? now_ : at, next_seq_++, std::move(handler)});
+}
+
+std::size_t EventQueue::run(std::size_t max_events) {
+  std::size_t fired = 0;
+  while (!heap_.empty() && fired < max_events) {
+    // Copy out before pop: the handler may schedule new events.
+    Event event = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = event.time;
+    ++fired;
+    event.handler();
+  }
+  return fired;
+}
+
+std::size_t EventQueue::run_until(SimTime horizon) {
+  std::size_t fired = 0;
+  while (!heap_.empty() && heap_.top().time <= horizon) {
+    Event event = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = event.time;
+    ++fired;
+    event.handler();
+  }
+  if (now_ < horizon) now_ = horizon;
+  return fired;
+}
+
+}  // namespace psc::sim

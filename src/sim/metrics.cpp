@@ -1,0 +1,32 @@
+#include "sim/metrics.hpp"
+
+namespace psc::sim {
+
+double Metrics::delivery_ratio() const noexcept {
+  const std::uint64_t expected = notifications_delivered + notifications_lost;
+  if (expected == 0) return 1.0;
+  return static_cast<double>(notifications_delivered) /
+         static_cast<double>(expected);
+}
+
+Metrics operator+(const Metrics& a, const Metrics& b) noexcept {
+  Metrics sum = a;
+  sum.subscription_messages += b.subscription_messages;
+  sum.unsubscription_messages += b.unsubscription_messages;
+  sum.publication_messages += b.publication_messages;
+  sum.notifications_delivered += b.notifications_delivered;
+  sum.notifications_lost += b.notifications_lost;
+  sum.subscriptions_suppressed += b.subscriptions_suppressed;
+  return sum;
+}
+
+std::ostream& operator<<(std::ostream& out, const Metrics& m) {
+  return out << "sub_msgs=" << m.subscription_messages
+             << " unsub_msgs=" << m.unsubscription_messages
+             << " pub_msgs=" << m.publication_messages
+             << " delivered=" << m.notifications_delivered
+             << " lost=" << m.notifications_lost
+             << " suppressed=" << m.subscriptions_suppressed;
+}
+
+}  // namespace psc::sim

@@ -1,0 +1,32 @@
+// Network-wide traffic and delivery accounting for the broker simulator.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+namespace psc::sim {
+
+/// Counters accumulated across all brokers/links of one simulation run.
+struct Metrics {
+  std::uint64_t subscription_messages = 0;   ///< per-hop subscription sends
+  std::uint64_t unsubscription_messages = 0;
+  std::uint64_t publication_messages = 0;    ///< per-hop publication sends
+  std::uint64_t notifications_delivered = 0; ///< matched at the subscriber
+  std::uint64_t notifications_lost = 0;      ///< should have matched, didn't
+  std::uint64_t subscriptions_suppressed = 0;///< withheld by coverage
+
+  void reset() noexcept { *this = Metrics{}; }
+
+  [[nodiscard]] std::uint64_t total_messages() const noexcept {
+    return subscription_messages + unsubscription_messages + publication_messages;
+  }
+
+  /// Delivered / (delivered + lost); 1.0 when nothing was expected.
+  [[nodiscard]] double delivery_ratio() const noexcept;
+};
+
+Metrics operator+(const Metrics& a, const Metrics& b) noexcept;
+
+std::ostream& operator<<(std::ostream& out, const Metrics& m);
+
+}  // namespace psc::sim

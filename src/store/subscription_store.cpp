@@ -1,0 +1,241 @@
+#include "store/subscription_store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "baseline/pairwise_cover.hpp"
+
+namespace psc::store {
+
+using core::Publication;
+using core::Subscription;
+using core::SubscriptionId;
+
+SubscriptionStore::SubscriptionStore(StoreConfig config, std::uint64_t seed)
+    : config_(config), engine_(config.engine, seed) {}
+
+std::optional<std::vector<SubscriptionId>> SubscriptionStore::check_covered(
+    const Subscription& sub, std::optional<core::SubsumptionResult>* diag) {
+  switch (config_.policy) {
+    case CoveragePolicy::kNone:
+      return std::nullopt;
+    case CoveragePolicy::kPairwise: {
+      if (const auto slot = baseline::find_covering(sub, active_)) {
+        return std::vector<SubscriptionId>{active_[*slot].id()};
+      }
+      return std::nullopt;
+    }
+    case CoveragePolicy::kGroup: {
+      ++group_checks_;
+      core::SubsumptionResult result = engine_.check(sub, active_);
+      if (diag) *diag = result;
+      if (!result.covered) return std::nullopt;
+      if (result.covering_index) {
+        return std::vector<SubscriptionId>{active_[*result.covering_index].id()};
+      }
+      // Group cover: conservatively record every active that overlaps sub
+      // as a coverer — any of them disappearing may expose sub again.
+      std::vector<SubscriptionId> coverers;
+      for (const auto& active : active_) {
+        if (active.intersects(sub)) coverers.push_back(active.id());
+      }
+      return coverers;
+    }
+  }
+  return std::nullopt;
+}
+
+void SubscriptionStore::link_coverers(
+    SubscriptionId covered_id, const std::vector<SubscriptionId>& coverers) {
+  for (const SubscriptionId coverer : coverers) {
+    children_[coverer].push_back(covered_id);
+  }
+}
+
+void SubscriptionStore::unlink_coverers(
+    SubscriptionId covered_id, const std::vector<SubscriptionId>& coverers) {
+  for (const SubscriptionId coverer : coverers) {
+    const auto it = children_.find(coverer);
+    if (it == children_.end()) continue;
+    auto& kids = it->second;
+    kids.erase(std::remove(kids.begin(), kids.end(), covered_id), kids.end());
+    if (kids.empty()) children_.erase(it);
+  }
+}
+
+std::vector<SubscriptionId> SubscriptionStore::coverers_of(
+    SubscriptionId id) const {
+  const auto it = covered_.find(id);
+  if (it == covered_.end()) return {};
+  return it->second.coverers;
+}
+
+void SubscriptionStore::demote_actives_covered_by(const Subscription& sub,
+                                                  InsertResult& result) {
+  // Collect first (indices shift under erase), then demote by id.
+  std::vector<SubscriptionId> to_demote;
+  for (const auto& active : active_) {
+    if (sub.covers(active)) to_demote.push_back(active.id());
+  }
+  for (const SubscriptionId id : to_demote) {
+    const auto it = active_index_.find(id);
+    if (it == active_index_.end()) continue;
+    CoveredEntry entry{active_[it->second], {sub.id()}};
+    erase_active_slot(it->second);
+    link_coverers(id, entry.coverers);
+    covered_.emplace(id, std::move(entry));
+    result.demoted.push_back(id);
+  }
+}
+
+void SubscriptionStore::erase_active_slot(std::size_t slot) {
+  const std::size_t last = active_.size() - 1;
+  active_index_.erase(active_[slot].id());
+  if (slot != last) {
+    active_[slot] = std::move(active_[last]);
+    active_index_[active_[slot].id()] = slot;
+  }
+  active_.pop_back();
+}
+
+InsertResult SubscriptionStore::insert(const Subscription& sub) {
+  if (sub.id() == core::kInvalidSubscriptionId) {
+    throw std::invalid_argument("SubscriptionStore::insert: id must be non-zero");
+  }
+  if (contains(sub.id())) {
+    throw std::invalid_argument("SubscriptionStore::insert: duplicate id " +
+                                std::to_string(sub.id()));
+  }
+  InsertResult result;
+  std::optional<core::SubsumptionResult> diag;
+  if (auto coverers = check_covered(sub, &diag)) {
+    result.covered = true;
+    result.engine_result = std::move(diag);
+    link_coverers(sub.id(), *coverers);
+    covered_.emplace(sub.id(), CoveredEntry{sub, std::move(*coverers)});
+    return result;
+  }
+  result.engine_result = std::move(diag);
+  result.accepted_active = true;
+  if (config_.demote_covered_actives) demote_actives_covered_by(sub, result);
+  active_index_[sub.id()] = active_.size();
+  active_.push_back(sub);
+  return result;
+}
+
+SubscriptionStore::EraseResult SubscriptionStore::erase_reporting(
+    SubscriptionId id) {
+  EraseResult result;
+  if (const auto covered_it = covered_.find(id); covered_it != covered_.end()) {
+    unlink_coverers(id, covered_it->second.coverers);
+    covered_.erase(covered_it);
+    result.erased = true;
+    return result;
+  }
+  const auto it = active_index_.find(id);
+  if (it == active_index_.end()) return result;
+  erase_active_slot(it->second);
+  result.erased = true;
+
+  // Promotion pass (paper, Section 5): covered subscriptions that listed
+  // the vanished active among their coverers get re-evaluated. Re-running
+  // the policy handles both outcomes — still covered by the remaining
+  // actives (stays covered, coverers refreshed) or newly exposed
+  // (promoted to active, possibly demoting others in turn).
+  // The cover DAG gives the dependents directly.
+  std::vector<SubscriptionId> candidates;
+  if (const auto kids = children_.find(id); kids != children_.end()) {
+    candidates = kids->second;
+  }
+  for (const SubscriptionId cid : candidates) {
+    auto node = covered_.extract(cid);
+    unlink_coverers(cid, node.mapped().coverers);
+    Subscription sub = std::move(node.mapped().sub);
+    // Re-insert through the normal path; the id is free again.
+    if (insert(sub).accepted_active) result.promoted.push_back(cid);
+  }
+  return result;
+}
+
+const Subscription* SubscriptionStore::find(SubscriptionId id) const {
+  if (const auto it = active_index_.find(id); it != active_index_.end()) {
+    return &active_[it->second];
+  }
+  if (const auto it = covered_.find(id); it != covered_.end()) {
+    return &it->second.sub;
+  }
+  return nullptr;
+}
+
+std::vector<SubscriptionId> SubscriptionStore::match_active(
+    const Publication& pub) const {
+  std::vector<SubscriptionId> ids;
+  for (const auto& sub : active_) {
+    if (pub.matches(sub)) ids.push_back(sub.id());
+  }
+  return ids;
+}
+
+std::vector<SubscriptionId> SubscriptionStore::match(const Publication& pub) const {
+  // Algorithm 5: actives first; covered subscriptions are only examined
+  // when at least one active matched (no active match => no covered match
+  // is possible, because every covered subscription lies inside the union
+  // of actives that covered it).
+  std::vector<SubscriptionId> ids = match_active(pub);
+  if (ids.empty()) return ids;
+
+  if (!config_.hierarchical_match) {
+    for (const auto& [cid, entry] : covered_) {
+      ++covered_examined_;
+      if (pub.matches(entry.sub)) ids.push_back(cid);
+    }
+    return ids;
+  }
+
+  // Section 4.4 multi-level descent: a covered subscription lies inside
+  // the union of its coverers, so it can match only below a matching
+  // parent. BFS from the matched actives through the cover DAG; children
+  // of non-matching covered nodes are still explored when reached through
+  // another matching parent. Visited tracking is an epoch stamp on the
+  // covered entries (actives are never children), and the frontier buffer
+  // is reused — no allocations or extra hashing on the hot path.
+  const std::uint64_t epoch = ++match_epoch_;
+  auto& frontier = frontier_scratch_;
+  frontier.assign(ids.begin(), ids.end());
+  while (!frontier.empty()) {
+    const SubscriptionId parent = frontier.back();
+    frontier.pop_back();
+    const auto kids = children_.find(parent);
+    if (kids == children_.end()) continue;
+    for (const SubscriptionId child : kids->second) {
+      const auto entry = covered_.find(child);
+      if (entry == covered_.end()) continue;
+      if (entry->second.seen_epoch == epoch) continue;
+      entry->second.seen_epoch = epoch;
+      ++covered_examined_;
+      if (pub.matches(entry->second.sub)) {
+        ids.push_back(child);
+        frontier.push_back(child);
+      }
+      // A non-matching child is not descended below: publications inside
+      // a grandchild are inside the child's coverers' union too, and the
+      // grandchild lists its own coverers, so it stays reachable through
+      // whichever of them matched.
+    }
+  }
+  return ids;
+}
+
+std::vector<Subscription> SubscriptionStore::active_snapshot() const {
+  return active_;
+}
+
+bool SubscriptionStore::contains(SubscriptionId id) const {
+  return active_index_.count(id) > 0 || covered_.count(id) > 0;
+}
+
+bool SubscriptionStore::is_active(SubscriptionId id) const {
+  return active_index_.count(id) > 0;
+}
+
+}  // namespace psc::store

@@ -1,0 +1,171 @@
+// SubscriptionStore — a broker's subscription state machine.
+//
+// Maintains the partition the paper works with:
+//   * ACTIVE set S: uncovered subscriptions, the ones forwarded to
+//     neighbours and checked first when matching publications;
+//   * COVERED set SS: subscriptions subsumed (pairwise or by group) by
+//     active ones. The paper's Section 4.4 optimization is implemented:
+//     each covered subscription remembers its coverers, forming a
+//     multi-level DAG so matching descends only below levels that matched.
+//
+// Insertion runs the configured coverage policy (none / pairwise / group
+// via the probabilistic engine). A new active subscription additionally
+// demotes existing actives it pairwise-covers (the classical maintenance
+// step; group-demotion on insert is available as an opt-in because it can
+// cascade and is what Figure 13's "group" curves measure).
+//
+// Unsubscription of an active subscription *promotes* the covered
+// subscriptions that lost their last coverer (paper, Section 5), re-running
+// coverage for each promoted candidate.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/publication.hpp"
+#include "core/subscription.hpp"
+
+namespace psc::store {
+
+/// Coverage detection policy for insertions.
+enum class CoveragePolicy : std::uint8_t {
+  kNone,      ///< flooding-style: every subscription stays active
+  kPairwise,  ///< classical baseline: single-subscription cover only
+  kGroup,     ///< paper: probabilistic group cover via SubsumptionEngine
+};
+
+/// Result of inserting a subscription.
+struct InsertResult {
+  bool accepted_active = false;  ///< entered the active set
+  bool covered = false;          ///< entered the covered set instead
+  /// Actives demoted to covered because the new subscription covers them.
+  std::vector<core::SubscriptionId> demoted;
+  /// Diagnostics from the engine when the group policy ran it.
+  std::optional<core::SubsumptionResult> engine_result;
+};
+
+struct StoreConfig {
+  CoveragePolicy policy = CoveragePolicy::kGroup;
+  core::EngineConfig engine;
+  /// Also demote existing actives that the incoming subscription covers
+  /// pairwise (standard routing-table maintenance; on by default).
+  bool demote_covered_actives = true;
+  /// Match covered subscriptions through the cover DAG (paper, Section 4.4
+  /// optimization): a covered subscription is examined only when one of
+  /// its coverers matched. Off = flat scan of the covered set (used by the
+  /// ablation bench).
+  bool hierarchical_match = true;
+};
+
+class SubscriptionStore {
+ public:
+  explicit SubscriptionStore(StoreConfig config = {},
+                             std::uint64_t seed = 0xc0ffee11ULL);
+
+  /// Inserts a subscription (id must be unique and non-zero).
+  InsertResult insert(const core::Subscription& sub);
+
+  /// Outcome of erasing a subscription.
+  struct EraseResult {
+    bool erased = false;
+    /// Ids of previously-covered subscriptions that became ACTIVE because
+    /// the erased subscription was among their coverers. The routing layer
+    /// must re-announce these to neighbours (paper, Section 5).
+    std::vector<core::SubscriptionId> promoted;
+  };
+
+  /// Removes a subscription wherever it lives. Active removal promotes
+  /// covered subscriptions whose last coverer vanished; promotion re-runs
+  /// the coverage policy, so a promoted subscription may land in covered
+  /// again if other actives subsume it.
+  EraseResult erase_reporting(core::SubscriptionId id);
+
+  /// Convenience wrapper; returns false if the id is unknown.
+  bool erase(core::SubscriptionId id) { return erase_reporting(id).erased; }
+
+  /// Subscription stored under `id` (active or covered); nullptr if absent.
+  [[nodiscard]] const core::Subscription* find(core::SubscriptionId id) const;
+
+  /// Algorithm 5: ids of ALL matching subscriptions (active + covered),
+  /// checking actives first and descending into covered levels only below
+  /// subscriptions that matched.
+  [[nodiscard]] std::vector<core::SubscriptionId> match(
+      const core::Publication& pub) const;
+
+  /// Matching ids among actives only (what a broker forwards on).
+  [[nodiscard]] std::vector<core::SubscriptionId> match_active(
+      const core::Publication& pub) const;
+
+  [[nodiscard]] std::size_t active_count() const noexcept { return active_.size(); }
+  [[nodiscard]] std::size_t covered_count() const noexcept { return covered_.size(); }
+  [[nodiscard]] std::size_t total_count() const noexcept {
+    return active_.size() + covered_.size();
+  }
+
+  [[nodiscard]] std::vector<core::Subscription> active_snapshot() const;
+  [[nodiscard]] bool contains(core::SubscriptionId id) const;
+  [[nodiscard]] bool is_active(core::SubscriptionId id) const;
+
+  [[nodiscard]] const StoreConfig& config() const noexcept { return config_; }
+
+  /// Number of engine (group) checks executed so far — cost metric.
+  [[nodiscard]] std::uint64_t group_checks() const noexcept { return group_checks_; }
+
+  /// Covered subscriptions examined during match() calls so far — the cost
+  /// the Section 4.4 hierarchy saves (compare against covered_count() per
+  /// publication for the flat scan).
+  [[nodiscard]] std::uint64_t covered_examined() const noexcept {
+    return covered_examined_;
+  }
+
+  /// Direct coverer ids of a covered subscription (empty for actives or
+  /// unknown ids). Exposes the cover DAG for tests and diagnostics.
+  [[nodiscard]] std::vector<core::SubscriptionId> coverers_of(
+      core::SubscriptionId id) const;
+
+ private:
+  struct CoveredEntry {
+    core::Subscription sub;
+    /// Active ids whose union covered this subscription at demotion time.
+    std::vector<core::SubscriptionId> coverers;
+    /// Epoch stamp for the match() descent (visited-set without a map).
+    mutable std::uint64_t seen_epoch = 0;
+  };
+
+  StoreConfig config_;
+  core::SubsumptionEngine engine_;
+  std::vector<core::Subscription> active_;
+  std::unordered_map<core::SubscriptionId, std::size_t> active_index_;
+  std::unordered_map<core::SubscriptionId, CoveredEntry> covered_;
+  /// Cover DAG edges: coverer id -> covered ids listing it (Section 4.4).
+  std::unordered_map<core::SubscriptionId, std::vector<core::SubscriptionId>>
+      children_;
+  std::uint64_t group_checks_ = 0;
+  mutable std::uint64_t covered_examined_ = 0;
+  /// Scratch buffer + visited epoch for the match() descent, reused across
+  /// calls so the hot path performs no allocations and no hashing beyond
+  /// the children lookup.
+  mutable std::vector<core::SubscriptionId> frontier_scratch_;
+  mutable std::uint64_t match_epoch_ = 0;
+
+  void link_coverers(core::SubscriptionId covered_id,
+                     const std::vector<core::SubscriptionId>& coverers);
+  void unlink_coverers(core::SubscriptionId covered_id,
+                       const std::vector<core::SubscriptionId>& coverers);
+
+  /// Runs the configured policy against the current active set.
+  /// Returns the coverer ids when covered.
+  [[nodiscard]] std::optional<std::vector<core::SubscriptionId>> check_covered(
+      const core::Subscription& sub, std::optional<core::SubsumptionResult>* diag);
+
+  void demote_actives_covered_by(const core::Subscription& sub,
+                                 InsertResult& result);
+  void erase_active_slot(std::size_t slot);
+};
+
+}  // namespace psc::store

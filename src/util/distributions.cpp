@@ -1,0 +1,68 @@
+#include "util/distributions.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace psc::util {
+
+ZipfSampler::ZipfSampler(std::size_t n, double skew) : skew_(skew) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be > 0");
+  if (skew < 0.0) throw std::invalid_argument("ZipfSampler: skew must be >= 0");
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    acc += 1.0 / std::pow(static_cast<double>(rank + 1), skew);
+    cdf_[rank] = acc;
+  }
+  for (auto& c : cdf_) c /= acc;
+  cdf_.back() = 1.0;  // guard against floating-point shortfall
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::pmf(std::size_t rank) const {
+  if (rank >= cdf_.size()) return 0.0;
+  const double hi = cdf_[rank];
+  const double lo = rank == 0 ? 0.0 : cdf_[rank - 1];
+  return hi - lo;
+}
+
+ParetoSampler::ParetoSampler(double scale, double shape)
+    : scale_(scale), shape_(shape) {
+  if (scale <= 0.0) throw std::invalid_argument("ParetoSampler: scale must be > 0");
+  if (shape <= 0.0) throw std::invalid_argument("ParetoSampler: shape must be > 0");
+}
+
+double ParetoSampler::sample(Rng& rng) const {
+  // Inverse-CDF: X = x_m / U^(1/alpha), U ~ Uniform(0,1]. Guard U == 0.
+  double u = 1.0 - rng.next_double();  // in (0, 1]
+  return scale_ / std::pow(u, 1.0 / shape_);
+}
+
+NormalSampler::NormalSampler(double mean, double stddev)
+    : mean_(mean), stddev_(stddev) {
+  if (stddev < 0.0) throw std::invalid_argument("NormalSampler: stddev must be >= 0");
+}
+
+double NormalSampler::sample(Rng& rng) const {
+  // Box–Muller; one variate per call keeps the stream position deterministic
+  // regardless of caller interleaving.
+  const double u1 = 1.0 - rng.next_double();  // (0, 1], avoids log(0)
+  const double u2 = rng.next_double();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  return mean_ + stddev_ * radius * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double NormalSampler::sample_clamped(Rng& rng, double lo, double hi) const {
+  assert(lo <= hi);
+  return std::clamp(sample(rng), lo, hi);
+}
+
+}  // namespace psc::util

@@ -1,0 +1,68 @@
+// Samplers for the popularity-based workload model of the paper's
+// comparison scenario (Section 6.4): Zipf-distributed attribute popularity,
+// Pareto-distributed range centers ("similar interests"), and
+// normally-distributed range widths.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace psc::util {
+
+/// Zipf distribution over ranks {0, 1, ..., n-1} with exponent `skew`.
+/// Rank 0 is the most popular. Sampling is O(log n) via binary search on a
+/// precomputed CDF; construction is O(n).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double skew);
+
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+  [[nodiscard]] double skew() const noexcept { return skew_; }
+
+  /// Probability mass of a given rank (for tests / analytics).
+  [[nodiscard]] double pmf(std::size_t rank) const;
+
+ private:
+  std::vector<double> cdf_;
+  double skew_ = 0.0;
+};
+
+/// Pareto (type I) sampler with scale x_m > 0 and shape alpha > 0.
+/// Values are >= x_m with P(X > x) = (x_m / x)^alpha.
+class ParetoSampler {
+ public:
+  ParetoSampler(double scale, double shape);
+
+  [[nodiscard]] double sample(Rng& rng) const;
+
+  [[nodiscard]] double scale() const noexcept { return scale_; }
+  [[nodiscard]] double shape() const noexcept { return shape_; }
+
+ private:
+  double scale_;
+  double shape_;
+};
+
+/// Normal sampler (Box–Muller, deterministic given the Rng stream) with an
+/// optional truncation to [lo, hi] by clamping — the workload model needs
+/// strictly positive range widths.
+class NormalSampler {
+ public:
+  NormalSampler(double mean, double stddev);
+
+  [[nodiscard]] double sample(Rng& rng) const;
+  [[nodiscard]] double sample_clamped(Rng& rng, double lo, double hi) const;
+
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double stddev() const noexcept { return stddev_; }
+
+ private:
+  double mean_;
+  double stddev_;
+};
+
+}  // namespace psc::util

@@ -1,0 +1,35 @@
+#include "util/rng.hpp"
+
+#ifdef __SIZEOF_INT128__
+using uint128_t = unsigned __int128;
+#endif
+
+namespace psc::util {
+
+std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
+#ifdef __SIZEOF_INT128__
+  // Lemire's nearly-divisionless bounded generation.
+  std::uint64_t x = (*this)();
+  uint128_t m = static_cast<uint128_t>(x) * static_cast<uint128_t>(bound);
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = (*this)();
+      m = static_cast<uint128_t>(x) * static_cast<uint128_t>(bound);
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+#else
+  // Portable fallback: rejection sampling over the largest multiple of bound.
+  const std::uint64_t limit = max() - max() % bound;
+  std::uint64_t x;
+  do {
+    x = (*this)();
+  } while (x >= limit);
+  return x % bound;
+#endif
+}
+
+}  // namespace psc::util

@@ -1,0 +1,47 @@
+// Aligned-console and CSV table output for the benchmark harnesses.
+// Each figure bench prints the same series the paper plots, as a
+// human-readable aligned table plus an optional machine-readable CSV file.
+#pragma once
+
+#include <fstream>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace psc::util {
+
+/// One table cell: string, integer, or double (formatted with precision).
+using Cell = std::variant<std::string, long long, double>;
+
+/// Collects rows and renders them column-aligned to a stream and/or as CSV.
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> headers, int precision = 6);
+
+  TableWriter& add_row(std::vector<Cell> cells);
+
+  /// Renders an aligned table (with a header rule) to `out`.
+  void print(std::ostream& out) const;
+
+  /// Writes RFC-4180-ish CSV (values with commas/quotes are quoted).
+  void write_csv(const std::string& path) const;
+  void write_csv(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  int precision_;
+
+  [[nodiscard]] std::string format(const Cell& cell) const;
+};
+
+/// Prints a section banner (figure id + description) used by every bench.
+void print_banner(std::ostream& out, std::string_view title,
+                  std::string_view subtitle = {});
+
+}  // namespace psc::util

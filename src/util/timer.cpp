@@ -1,0 +1,3 @@
+// Timer is header-only; this translation unit exists so the target has a
+// stable archive even if all other sources become header-only later.
+#include "util/timer.hpp"

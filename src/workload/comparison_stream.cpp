@@ -1,0 +1,95 @@
+#include "workload/comparison_stream.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace psc::workload {
+
+using core::Interval;
+using core::Subscription;
+using core::Value;
+
+ComparisonStream::ComparisonStream(const ComparisonConfig& config,
+                                   std::uint64_t seed)
+    : config_(config),
+      rng_(seed),
+      attribute_popularity_(std::max<std::size_t>(config.attribute_count, 1),
+                            config.zipf_skew),
+      center_sampler_(1.0, config.pareto_shape),
+      width_sampler_(config.width_mean_fraction, config.width_stddev_fraction) {
+  if (config.attribute_count == 0) {
+    throw std::invalid_argument("ComparisonConfig: attribute_count must be > 0");
+  }
+  if (config.min_constrained == 0 ||
+      config.min_constrained > config.max_constrained ||
+      config.max_constrained > config.attribute_count) {
+    throw std::invalid_argument("ComparisonConfig: bad constrained-count bounds");
+  }
+  if (!(config.domain_lo < config.domain_hi)) {
+    throw std::invalid_argument("ComparisonConfig: domain must be non-empty");
+  }
+}
+
+Interval ComparisonStream::sample_range() {
+  const Value domain_width = config_.domain_hi - config_.domain_lo;
+  // Pareto sample >= 1; (X - 1) has median 1, so scaling by 0.2 puts the
+  // median center at 20 % of the domain — interests cluster near the low
+  // end ("similar but not equal interests"), with a heavy tail folded back
+  // into the domain so the whole space stays reachable.
+  const double pareto = center_sampler_.sample(rng_);
+  double unit = (pareto - 1.0) * config_.center_cluster_scale;
+  if (unit > 1.0) unit = std::fmod(unit, 1.0);
+  const Value center = config_.domain_lo + unit * domain_width;
+  const Value width = std::clamp(width_sampler_.sample(rng_), 0.01, 1.0) *
+                      domain_width;
+  Value lo = center - width / 2;
+  Value hi = center + width / 2;
+  lo = std::max(lo, config_.domain_lo);
+  hi = std::min(hi, config_.domain_hi);
+  if (!(lo < hi)) {  // degenerate clamp at the domain edge: widen minimally
+    lo = std::max(config_.domain_lo, hi - 0.01 * domain_width);
+    hi = std::min(config_.domain_hi, lo + 0.01 * domain_width);
+  }
+  return {lo, hi};
+}
+
+Subscription ComparisonStream::next() {
+  const std::size_t constrained_count = static_cast<std::size_t>(
+      rng_.uniform_int(static_cast<std::int64_t>(config_.min_constrained),
+                       static_cast<std::int64_t>(config_.max_constrained)));
+
+  // Pick distinct attributes by Zipf popularity (rejection on duplicates;
+  // bounded because constrained_count <= attribute_count).
+  std::vector<char> chosen(config_.attribute_count, 0);
+  std::size_t picked = 0;
+  while (picked < constrained_count) {
+    const std::size_t attr = attribute_popularity_.sample(rng_);
+    if (!chosen[attr]) {
+      chosen[attr] = 1;
+      ++picked;
+    }
+  }
+
+  std::vector<Interval> ranges(config_.attribute_count);
+  for (std::size_t j = 0; j < config_.attribute_count; ++j) {
+    // Unconstrained attributes span the whole (finite) domain rather than
+    // (-inf, inf): the engine samples points uniformly inside the tested
+    // subscription, which requires finite ranges, and the domain *is* the
+    // attribute's value universe in this workload.
+    ranges[j] = chosen[j] ? sample_range()
+                          : Interval{config_.domain_lo, config_.domain_hi};
+  }
+  Subscription sub(std::move(ranges));
+  sub.set_id(next_id_++);
+  return sub;
+}
+
+std::vector<Subscription> ComparisonStream::take(std::size_t n) {
+  std::vector<Subscription> subs;
+  subs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) subs.push_back(next());
+  return subs;
+}
+
+}  // namespace psc::workload

@@ -1,0 +1,64 @@
+// Comparison-scenario subscription stream (paper, Section 6.4).
+//
+// With no public real-world subscription trace, the paper simulates a
+// realistic population with power-law popularity:
+//   * attribute popularity: Zipf, skew 2.0 — each subscription constrains a
+//     subset of popular attributes, the rest stay unconstrained;
+//   * range centers: Pareto, skew 1.0 — interests cluster;
+//   * range widths: normal.
+// This module generates that stream; the Fig. 13/14 harness feeds it into
+// pairwise- vs group-coverage set maintenance.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/subscription.hpp"
+#include "util/distributions.hpp"
+#include "util/rng.hpp"
+
+namespace psc::workload {
+
+struct ComparisonConfig {
+  std::size_t attribute_count = 10;    ///< m (schema width)
+  /// Number of attributes each subscription actually constrains, drawn
+  /// uniformly in [min_constrained, max_constrained] then picked by Zipf
+  /// popularity. Unconstrained attributes get the full domain.
+  std::size_t min_constrained = 1;
+  std::size_t max_constrained = 5;
+  double zipf_skew = 2.0;              ///< attribute popularity
+  double pareto_shape = 1.0;           ///< range-center clustering
+  double width_mean_fraction = 0.35;   ///< mean range width / domain width
+  double width_stddev_fraction = 0.20;
+  /// Scale mapping the Pareto tail onto the domain: the median center sits
+  /// at (this value) x domain width above domain_lo. Smaller = tighter
+  /// interest clustering = more subsumption.
+  double center_cluster_scale = 0.08;
+  core::Value domain_lo = 0.0;
+  core::Value domain_hi = 1000.0;
+};
+
+/// Deterministic generator; call next() repeatedly for the stream.
+class ComparisonStream {
+ public:
+  ComparisonStream(const ComparisonConfig& config, std::uint64_t seed);
+
+  [[nodiscard]] core::Subscription next();
+
+  /// Generates `n` subscriptions at once.
+  [[nodiscard]] std::vector<core::Subscription> take(std::size_t n);
+
+  [[nodiscard]] const ComparisonConfig& config() const noexcept { return config_; }
+
+ private:
+  ComparisonConfig config_;
+  util::Rng rng_;
+  util::ZipfSampler attribute_popularity_;
+  util::ParetoSampler center_sampler_;
+  util::NormalSampler width_sampler_;
+  std::uint64_t next_id_ = 1;
+
+  [[nodiscard]] core::Interval sample_range();
+};
+
+}  // namespace psc::workload

@@ -1,0 +1,49 @@
+#include "workload/publications.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace psc::workload {
+
+using core::Publication;
+using core::Subscription;
+using core::Value;
+
+Publication uniform_publication(std::size_t attribute_count, Value lo, Value hi,
+                                util::Rng& rng) {
+  if (!(lo <= hi)) throw std::invalid_argument("uniform_publication: bad domain");
+  std::vector<Value> values(attribute_count);
+  for (auto& v : values) v = rng.uniform(lo, hi);
+  return Publication(std::move(values));
+}
+
+Publication publication_inside(const Subscription& sub, util::Rng& rng) {
+  std::vector<Value> values(sub.attribute_count());
+  for (std::size_t j = 0; j < sub.attribute_count(); ++j) {
+    const auto& range = sub.range(j);
+    if (!std::isfinite(range.lo) || !std::isfinite(range.hi)) {
+      throw std::invalid_argument("publication_inside: unbounded range");
+    }
+    values[j] = rng.uniform(range.lo, range.hi);
+  }
+  return Publication(std::move(values));
+}
+
+Publication publication_near_miss(const Subscription& sub, util::Rng& rng,
+                                  double offset_fraction) {
+  if (sub.attribute_count() == 0) {
+    throw std::invalid_argument("publication_near_miss: no attributes");
+  }
+  Publication pub = publication_inside(sub, rng);
+  std::vector<Value> values(pub.values().begin(), pub.values().end());
+  const std::size_t miss_attr = rng.next_below(sub.attribute_count());
+  const auto& range = sub.range(miss_attr);
+  const Value offset =
+      (range.width() > 0.0 ? range.width() : Value{1}) * offset_fraction;
+  values[miss_attr] =
+      rng.bernoulli(0.5) ? range.lo - offset : range.hi + offset;
+  return Publication(std::move(values), pub.id());
+}
+
+}  // namespace psc::workload

@@ -1,0 +1,30 @@
+// Publication generators: uniform points over the domain, points targeted
+// inside a given subscription (guaranteed match), and near-miss points just
+// outside one attribute range (matcher stress tests).
+#pragma once
+
+#include <cstddef>
+
+#include "core/publication.hpp"
+#include "core/subscription.hpp"
+#include "util/rng.hpp"
+
+namespace psc::workload {
+
+/// Uniform point over the box [lo, hi]^m.
+[[nodiscard]] core::Publication uniform_publication(std::size_t attribute_count,
+                                                    core::Value lo, core::Value hi,
+                                                    util::Rng& rng);
+
+/// Uniform point inside `sub` (requires finite ranges).
+[[nodiscard]] core::Publication publication_inside(const core::Subscription& sub,
+                                                   util::Rng& rng);
+
+/// Point inside `sub` on all attributes except one, where it lands just
+/// outside the range (offset = fraction of the range width, default 1 %).
+/// Requires at least one attribute and finite ranges.
+[[nodiscard]] core::Publication publication_near_miss(const core::Subscription& sub,
+                                                      util::Rng& rng,
+                                                      double offset_fraction = 0.01);
+
+}  // namespace psc::workload

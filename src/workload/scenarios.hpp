@@ -1,0 +1,87 @@
+// Subscription-generation scenarios of the paper's Section 6.
+//
+// Every generator produces one *instance*: a tested subscription s plus a
+// set S of k existing subscriptions over m attributes, with the structural
+// guarantees the paper states for the experiments:
+//   * every s_i is satisfiable,
+//   * every s_i intersects s,
+//   * all s_i are pairwise intersecting on at least one attribute,
+//   * no pairwise subsumption between s and any single s_i (for the
+//     "difficult" scenarios 1.b / 2.b / 2.c).
+//
+// Scenario map (paper numbering):
+//   1.a pairwise covering     — s is covered by at least one single s_i
+//   1.b redundant covering    — first 20 % of S covers s jointly; rest
+//                               overlaps s but is redundant
+//   2.a no intersection       — no s_i intersects s
+//   2.b non-cover             — union misses a forced gap slab of s
+//   2.c extreme non-cover     — like 2.b but the gap is a thin slice
+//                               (parametric width, k = 50, m = 5 defaults)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/subscription.hpp"
+#include "util/rng.hpp"
+
+namespace psc::workload {
+
+/// One generated experiment instance.
+struct Instance {
+  core::Subscription tested;                 ///< the new subscription s
+  std::vector<core::Subscription> existing;  ///< the set S
+  bool expected_covered = false;             ///< ground truth by construction
+};
+
+/// Common generation parameters.
+struct ScenarioConfig {
+  std::size_t attribute_count = 10;   ///< m
+  std::size_t set_size = 100;         ///< k
+  /// Attribute domain; subscriptions are boxes inside [domain_lo, domain_hi].
+  core::Value domain_lo = 0.0;
+  core::Value domain_hi = 1000.0;
+  /// Width of s per attribute, as a fraction of the domain.
+  double tested_width_fraction = 0.4;
+};
+
+/// 1.a — some single s_i covers s entirely; remaining subscriptions overlap
+/// s partially.
+[[nodiscard]] Instance make_pairwise_covering(const ScenarioConfig& config,
+                                              util::Rng& rng);
+
+/// 1.b — s is covered by the union of the first ceil(20 % k) subscriptions
+/// (slab partition of s along a random attribute, each slab extended beyond
+/// s), while the remaining 80 % overlap s partially and are redundant.
+/// No single s_i covers s.
+[[nodiscard]] Instance make_redundant_covering(const ScenarioConfig& config,
+                                               util::Rng& rng);
+
+/// 2.a — no s_i intersects s.
+[[nodiscard]] Instance make_no_intersection(const ScenarioConfig& config,
+                                            util::Rng& rng);
+
+/// 2.b — the union leaves a forced gap slab of s uncovered on attribute 0;
+/// all s_i intersect s and are pairwise intersecting; no pairwise
+/// subsumption with s.
+[[nodiscard]] Instance make_non_cover(const ScenarioConfig& config, util::Rng& rng);
+
+/// 2.c — extreme non-cover: s is covered everywhere except a thin slice of
+/// relative width `gap_fraction` (e.g. 0.005 = 0.5 %) on one attribute.
+[[nodiscard]] Instance make_extreme_non_cover(const ScenarioConfig& config,
+                                              double gap_fraction, util::Rng& rng);
+
+/// Helper: a random box within the domain with per-attribute widths in
+/// [min_fraction, max_fraction] of the domain width.
+[[nodiscard]] core::Subscription random_box(const ScenarioConfig& config,
+                                            double min_fraction,
+                                            double max_fraction, util::Rng& rng);
+
+/// Helper: a random box that overlaps `target` on every attribute without
+/// covering it (used for redundant / distractor subscriptions).
+[[nodiscard]] core::Subscription random_overlapping_box(
+    const ScenarioConfig& config, const core::Subscription& target,
+    util::Rng& rng);
+
+}  // namespace psc::workload

@@ -1,0 +1,91 @@
+// Tests for the integer-grid measure mode of the witness estimate — the
+// paper's point-counting I(s) model and the source of Figure 12's
+// false-decision profile.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "core/witness_estimate.hpp"
+
+namespace psc::core {
+namespace {
+
+Subscription box2(double lo1, double hi1, double lo2, double hi2,
+                  SubscriptionId id = 0) {
+  return Subscription({Interval{lo1, hi1}, Interval{lo2, hi2}}, id);
+}
+
+TEST(GridMeasure, PointCountsMatchIntegerModel) {
+  // s = [0,10] x [0,4] on a unit grid: 11 x 5 = 55 points. One candidate
+  // covering x0 <= 8 leaves a slab of width 2 (3 grid points).
+  const Subscription s = box2(0, 10, 0, 4);
+  const std::vector<Subscription> set{box2(-1, 8, -1, 5, 1)};
+  const ConflictTable table(s, set);
+  const auto est = estimate_witness_probability(table, /*grid_spacing=*/1.0);
+  EXPECT_DOUBLE_EQ(est.tested_volume, 11.0 * 5.0);
+  EXPECT_DOUBLE_EQ(est.witness_volume, 3.0 * 5.0);
+  EXPECT_DOUBLE_EQ(est.rho_w, 15.0 / 55.0);
+}
+
+TEST(GridMeasure, ThinSlabInflationRelativeToContinuous) {
+  // The +1 point-count inflates thin slabs: a 2-wide gap in a 400-wide s
+  // is 0.5 % by measure but 3/401 ~ 0.75 % by points — the optimism that
+  // shortens d and produces Fig. 12's small-gap false decisions.
+  const Subscription s = box2(0, 400, 0, 400);
+  const std::vector<Subscription> set{box2(-1, 398, -1, 401, 1)};
+  const ConflictTable table(s, set);
+  const auto continuous = estimate_witness_probability(table, 0.0);
+  const auto grid = estimate_witness_probability(table, 1.0);
+  EXPECT_NEAR(continuous.rho_w, 2.0 / 400.0, 1e-12);
+  EXPECT_NEAR(grid.rho_w, 3.0 / 401.0, 1e-12);
+  EXPECT_GT(grid.rho_w, continuous.rho_w);
+  // Fewer trials under the (optimistic) grid estimate.
+  EXPECT_LT(theoretical_trials(grid.rho_w, 1e-3),
+            theoretical_trials(continuous.rho_w, 1e-3));
+}
+
+TEST(GridMeasure, CoarseGridSaturates) {
+  // Grid coarser than the gap: the slab still counts 1 point, making
+  // rho_w grossly optimistic — documented behaviour, caller's choice.
+  const Subscription s = box2(0, 100, 0, 100);
+  const std::vector<Subscription> set{box2(-1, 99.5, -1, 101, 1)};
+  const ConflictTable table(s, set);
+  const auto est = estimate_witness_probability(table, 10.0);
+  EXPECT_DOUBLE_EQ(est.witness_volume, 1.0 * 11.0);
+}
+
+TEST(GridMeasure, ZeroSpacingIsContinuous) {
+  const Subscription s = box2(0, 10, 0, 10);
+  const std::vector<Subscription> set{box2(-1, 5, -1, 11, 1)};
+  const ConflictTable table(s, set);
+  const auto a = estimate_witness_probability(table);
+  const auto b = estimate_witness_probability(table, 0.0);
+  EXPECT_DOUBLE_EQ(a.rho_w, b.rho_w);
+  EXPECT_DOUBLE_EQ(a.witness_volume, b.witness_volume);
+}
+
+TEST(GridMeasure, EngineConfigValidatesSpacing) {
+  EngineConfig bad;
+  bad.grid_spacing = -1.0;
+  EXPECT_THROW((void)SubsumptionEngine{bad}, std::invalid_argument);
+}
+
+TEST(GridMeasure, EngineUsesGridForTrialBudget) {
+  // Same instance, grid vs continuous: the grid run must compute a
+  // smaller-or-equal trial budget (thin-slab optimism).
+  const Subscription s = box2(0, 400, 0, 400);
+  const std::vector<Subscription> set{box2(-1, 398, -1, 401, 1),
+                                      box2(-1, 401, -1, 398, 2)};
+  EngineConfig continuous;
+  continuous.use_fast_decisions = false;
+  continuous.use_mcs = false;
+  EngineConfig grid = continuous;
+  grid.grid_spacing = 1.0;
+  SubsumptionEngine engine_c(continuous, 5), engine_g(grid, 5);
+  const auto rc = engine_c.check(s, set);
+  const auto rg = engine_g.check(s, set);
+  EXPECT_LE(rg.trial_budget, rc.trial_budget);
+  EXPECT_GT(rg.rho_w, 0.0);
+}
+
+}  // namespace
+}  // namespace psc::core

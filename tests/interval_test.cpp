@@ -1,0 +1,134 @@
+// Unit tests for core::Interval.
+#include "core/interval.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace psc::core {
+namespace {
+
+TEST(Interval, DefaultIsDegeneratePointAtZero) {
+  const Interval iv;
+  EXPECT_FALSE(iv.is_empty());
+  EXPECT_EQ(iv.width(), 0.0);
+  EXPECT_TRUE(iv.contains(0.0));
+}
+
+TEST(Interval, EmptyIsEmpty) {
+  EXPECT_TRUE(Interval::empty().is_empty());
+  EXPECT_EQ(Interval::empty().width(), 0.0);
+}
+
+TEST(Interval, EverythingContainsLargeValues) {
+  const Interval all = Interval::everything();
+  EXPECT_FALSE(all.is_empty());
+  EXPECT_TRUE(all.contains(1e300));
+  EXPECT_TRUE(all.contains(-1e300));
+  EXPECT_TRUE(std::isinf(all.width()));
+}
+
+TEST(Interval, PointContainsOnlyItself) {
+  const Interval pt = Interval::point(5.0);
+  EXPECT_TRUE(pt.contains(5.0));
+  EXPECT_FALSE(pt.contains(5.0001));
+  EXPECT_EQ(pt.width(), 0.0);
+}
+
+TEST(Interval, ContainsValueAtEndpoints) {
+  const Interval iv{1.0, 3.0};
+  EXPECT_TRUE(iv.contains(1.0));
+  EXPECT_TRUE(iv.contains(3.0));
+  EXPECT_TRUE(iv.contains(2.0));
+  EXPECT_FALSE(iv.contains(0.999));
+  EXPECT_FALSE(iv.contains(3.001));
+}
+
+TEST(Interval, ContainsInterval) {
+  const Interval outer{0.0, 10.0};
+  EXPECT_TRUE(outer.contains(Interval{2.0, 8.0}));
+  EXPECT_TRUE(outer.contains(outer));
+  EXPECT_TRUE(outer.contains(Interval::empty()));
+  EXPECT_FALSE(outer.contains(Interval{-1.0, 5.0}));
+  EXPECT_FALSE(outer.contains(Interval{5.0, 11.0}));
+}
+
+TEST(Interval, EmptyContainsOnlyEmpty) {
+  EXPECT_TRUE(Interval::empty().contains(Interval::empty()));
+  EXPECT_FALSE(Interval::empty().contains(Interval::point(1.0)));
+}
+
+TEST(Interval, IntersectsSymmetric) {
+  const Interval a{0.0, 5.0};
+  const Interval b{5.0, 10.0};
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_TRUE(b.intersects(a));
+  const Interval c{5.1, 10.0};
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_FALSE(c.intersects(a));
+}
+
+TEST(Interval, EmptyNeverIntersects) {
+  const Interval unit{0.0, 1.0};
+  EXPECT_FALSE(Interval::empty().intersects(unit));
+  EXPECT_FALSE(unit.intersects(Interval::empty()));
+  EXPECT_FALSE(Interval::empty().intersects(Interval::empty()));
+}
+
+TEST(Interval, OverlapsInteriorExcludesTouching) {
+  const Interval a{0.0, 5.0};
+  EXPECT_FALSE(a.overlaps_interior(Interval{5.0, 10.0}));  // touch only
+  EXPECT_TRUE(a.overlaps_interior(Interval{4.9, 10.0}));
+  EXPECT_FALSE(a.overlaps_interior(Interval::point(3.0)));  // zero measure
+}
+
+TEST(Interval, IntersectProducesOverlap) {
+  const Interval a{0.0, 5.0};
+  const Interval b{3.0, 8.0};
+  EXPECT_EQ(a.intersect(b), (Interval{3.0, 5.0}));
+  EXPECT_EQ(b.intersect(a), (Interval{3.0, 5.0}));
+}
+
+TEST(Interval, IntersectDisjointIsEmpty) {
+  const Interval a{0.0, 1.0};
+  EXPECT_TRUE(a.intersect(Interval{2.0, 3.0}).is_empty());
+}
+
+TEST(Interval, IntersectWithEmptyIsEmpty) {
+  const Interval a{0.0, 1.0};
+  EXPECT_TRUE(a.intersect(Interval::empty()).is_empty());
+  EXPECT_TRUE(Interval::empty().intersect(a).is_empty());
+}
+
+TEST(Interval, HullSpansBoth) {
+  EXPECT_EQ((Interval{0.0, 1.0}.hull(Interval{5.0, 6.0})), (Interval{0.0, 6.0}));
+  EXPECT_EQ((Interval{0.0, 1.0}.hull(Interval::empty())), (Interval{0.0, 1.0}));
+  EXPECT_EQ((Interval::empty().hull(Interval{0.0, 1.0})), (Interval{0.0, 1.0}));
+}
+
+TEST(Interval, StreamOutput) {
+  std::ostringstream os;
+  os << Interval{1.5, 2.5};
+  EXPECT_EQ(os.str(), "[1.5, 2.5]");
+  std::ostringstream empty;
+  empty << Interval::empty();
+  EXPECT_EQ(empty.str(), "[empty]");
+}
+
+TEST(Interval, NegativeRangesBehave) {
+  const Interval iv{-10.0, -5.0};
+  EXPECT_EQ(iv.width(), 5.0);
+  EXPECT_TRUE(iv.contains(-7.5));
+  EXPECT_FALSE(iv.contains(0.0));
+}
+
+TEST(Interval, HalfUnboundedContains) {
+  const Interval lower{-std::numeric_limits<double>::infinity(), 0.0};
+  EXPECT_TRUE(lower.contains(-1e18));
+  EXPECT_FALSE(lower.contains(0.1));
+}
+
+}  // namespace
+}  // namespace psc::core

@@ -1,0 +1,119 @@
+// Tests for the Matcher (Algorithm 5 + neighbour short-circuiting).
+#include "match/matcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace psc::match {
+namespace {
+
+using core::Interval;
+using core::Publication;
+using core::Subscription;
+using core::SubscriptionId;
+
+Subscription box2(double lo1, double hi1, double lo2, double hi2,
+                  SubscriptionId id) {
+  return Subscription({Interval{lo1, hi1}, Interval{lo2, hi2}}, id);
+}
+
+store::StoreConfig pairwise_config() {
+  store::StoreConfig config;
+  config.policy = store::CoveragePolicy::kPairwise;
+  return config;
+}
+
+TEST(Matcher, DeliversToLocalSubscribers) {
+  Matcher matcher(pairwise_config());
+  matcher.subscribe(box2(0, 10, 0, 10, 1), kLocalSubscriber);
+  const auto outcome = matcher.match(Publication({5.0, 5.0}));
+  ASSERT_EQ(outcome.matched.size(), 1u);
+  EXPECT_EQ(outcome.matched[0], 1u);
+  EXPECT_TRUE(outcome.destinations.empty());  // local only
+}
+
+TEST(Matcher, RoutesToOwningNeighbors) {
+  Matcher matcher(pairwise_config());
+  matcher.subscribe(box2(0, 10, 0, 10, 1), /*neighbor=*/7);
+  matcher.subscribe(box2(20, 30, 0, 10, 2), /*neighbor=*/9);
+  const auto outcome = matcher.match(Publication({5.0, 5.0}));
+  ASSERT_EQ(outcome.destinations.size(), 1u);
+  EXPECT_EQ(outcome.destinations[0], 7u);
+}
+
+TEST(Matcher, NeighborShortCircuitSkipsSameOwner) {
+  Matcher matcher(pairwise_config());
+  // Two disjoint subscriptions from the same neighbour; a publication
+  // matching the first short-circuits evaluation of the second.
+  matcher.subscribe(box2(0, 10, 0, 10, 1), 7);
+  matcher.subscribe(box2(20, 30, 0, 10, 2), 7);
+  const auto outcome = matcher.match(Publication({5.0, 5.0}));
+  ASSERT_EQ(outcome.destinations.size(), 1u);
+  EXPECT_EQ(outcome.destinations[0], 7u);
+  EXPECT_GE(matcher.stats().neighbor_short_circuits, 0u);
+  // Exactly one subscription matched (the second was skipped or missed).
+  EXPECT_EQ(outcome.matched.size(), 1u);
+}
+
+TEST(Matcher, CoveredSubscriptionStillNotified) {
+  Matcher matcher(pairwise_config());
+  matcher.subscribe(box2(0, 10, 0, 10, 1), kLocalSubscriber);
+  matcher.subscribe(box2(2, 8, 2, 8, 2), kLocalSubscriber);  // covered
+  auto outcome = matcher.match(Publication({5.0, 5.0}));
+  std::sort(outcome.matched.begin(), outcome.matched.end());
+  ASSERT_EQ(outcome.matched.size(), 2u);
+  EXPECT_EQ(outcome.matched[0], 1u);
+  EXPECT_EQ(outcome.matched[1], 2u);
+}
+
+TEST(Matcher, CoveredOwnedByOtherNeighborAddsDestination) {
+  Matcher matcher(pairwise_config());
+  matcher.subscribe(box2(0, 10, 0, 10, 1), 7);
+  matcher.subscribe(box2(2, 8, 2, 8, 2), 9);  // covered, different owner
+  const auto outcome = matcher.match(Publication({5.0, 5.0}));
+  ASSERT_EQ(outcome.destinations.size(), 2u);
+  EXPECT_NE(std::find(outcome.destinations.begin(), outcome.destinations.end(), 7u),
+            outcome.destinations.end());
+  EXPECT_NE(std::find(outcome.destinations.begin(), outcome.destinations.end(), 9u),
+            outcome.destinations.end());
+}
+
+TEST(Matcher, NoMatchNoDestinations) {
+  Matcher matcher(pairwise_config());
+  matcher.subscribe(box2(0, 10, 0, 10, 1), 7);
+  const auto outcome = matcher.match(Publication({50.0, 50.0}));
+  EXPECT_TRUE(outcome.matched.empty());
+  EXPECT_TRUE(outcome.destinations.empty());
+}
+
+TEST(Matcher, UnsubscribeStopsMatching) {
+  Matcher matcher(pairwise_config());
+  matcher.subscribe(box2(0, 10, 0, 10, 1), kLocalSubscriber);
+  EXPECT_TRUE(matcher.unsubscribe(1));
+  EXPECT_FALSE(matcher.unsubscribe(1));
+  EXPECT_TRUE(matcher.match(Publication({5.0, 5.0})).matched.empty());
+}
+
+TEST(Matcher, StatsAccumulate) {
+  Matcher matcher(pairwise_config());
+  matcher.subscribe(box2(0, 10, 0, 10, 1), kLocalSubscriber);
+  (void)matcher.match(Publication({5.0, 5.0}));
+  (void)matcher.match(Publication({50.0, 50.0}));
+  EXPECT_EQ(matcher.stats().publications, 2u);
+  EXPECT_EQ(matcher.stats().matches, 1u);
+  EXPECT_GE(matcher.stats().active_examined, 2u);
+  matcher.reset_stats();
+  EXPECT_EQ(matcher.stats().publications, 0u);
+}
+
+TEST(Matcher, NeighborOfReportsOwner) {
+  Matcher matcher(pairwise_config());
+  matcher.subscribe(box2(0, 10, 0, 10, 1), 3);
+  ASSERT_TRUE(matcher.neighbor_of(1).has_value());
+  EXPECT_EQ(*matcher.neighbor_of(1), 3u);
+  EXPECT_FALSE(matcher.neighbor_of(2).has_value());
+}
+
+}  // namespace
+}  // namespace psc::match

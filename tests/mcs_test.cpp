@@ -1,0 +1,176 @@
+// Tests for the Minimized Cover Set algorithm (Algorithm 3), including the
+// paper's Table 7/8 walk-through where s3's conflict-free entries get it
+// removed, leaving S' = {s1, s2}.
+#include "core/mcs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace psc::core {
+namespace {
+
+Subscription box2(double lo1, double hi1, double lo2, double hi2,
+                  SubscriptionId id = 0) {
+  return Subscription({Interval{lo1, hi1}, Interval{lo2, hi2}}, id);
+}
+
+// Paper Table 7: s, s1, s2 as in Table 3 plus s3 = [810,890] x [1004,1005]
+// (reconstructed from Table 8's conflict entries x2 < 1004 and x2 > 1005).
+struct PaperMcsExample {
+  Subscription s = box2(830, 870, 1003, 1006);
+  std::vector<Subscription> set{box2(820, 850, 1001, 1007, 1),
+                                box2(840, 880, 1002, 1009, 2),
+                                box2(810, 890, 1004, 1005, 3)};
+};
+
+TEST(Mcs, PaperTable8ConflictTableShape) {
+  PaperMcsExample ex;
+  const ConflictTable table(ex.s, ex.set);
+  // Row s1: x1 > 850 only. Row s2: x1 < 840 only. Row s3: x2 < 1004 and
+  // x2 > 1005.
+  EXPECT_EQ(table.defined_count(0), 1u);
+  EXPECT_EQ(table.defined_count(1), 1u);
+  EXPECT_EQ(table.defined_count(2), 2u);
+  EXPECT_TRUE(table.is_defined(2, 2));
+  EXPECT_TRUE(table.is_defined(2, 3));
+}
+
+TEST(Mcs, PaperExampleRemovesS3KeepsS1S2) {
+  PaperMcsExample ex;
+  const ConflictTable table(ex.s, ex.set);
+  const McsResult result = run_mcs(table);
+  ASSERT_EQ(result.kept.size(), 2u);
+  EXPECT_EQ(result.kept[0], 0u);
+  EXPECT_EQ(result.kept[1], 1u);
+  EXPECT_EQ(result.removed_conflict_free, 1u);
+}
+
+TEST(Mcs, PaperExampleS3EntriesAreConflictFree) {
+  PaperMcsExample ex;
+  const ConflictTable table(ex.s, ex.set);
+  const std::vector<char> alive(3, 1);
+  // s3's x2-entries conflict with nothing (s1/s2 define only x1 entries).
+  EXPECT_EQ(count_conflict_free(table, 2, alive), 2u);
+  // s1's x1 > 850 conflicts with s2's x1 < 840: no conflict-free entries.
+  EXPECT_EQ(count_conflict_free(table, 0, alive), 0u);
+  EXPECT_EQ(count_conflict_free(table, 1, alive), 0u);
+}
+
+TEST(Mcs, KeepsMutuallyConflictingPair) {
+  // Table 3's covering pair survives MCS — both rows are essential.
+  const Subscription s = box2(830, 870, 1003, 1006);
+  const std::vector<Subscription> set{box2(820, 850, 1001, 1007, 1),
+                                      box2(840, 880, 1002, 1009, 2)};
+  const ConflictTable table(s, set);
+  const McsResult result = run_mcs(table);
+  EXPECT_EQ(result.kept.size(), 2u);
+}
+
+TEST(Mcs, RemovesNonIntersectingSubscription) {
+  // A subscription disjoint from s has a full-slab entry that conflicts
+  // with nothing on a covered axis — removed in the first sweep.
+  const Subscription s = box2(0, 10, 0, 10);
+  const std::vector<Subscription> set{box2(20, 30, 0, 10, 1)};
+  const ConflictTable table(s, set);
+  const McsResult result = run_mcs(table);
+  EXPECT_TRUE(result.empty());
+}
+
+TEST(Mcs, RemovesRowWithDefinedCountAtLeastK) {
+  // Single subscription strictly inside s: t = 4 >= k = 1.
+  const Subscription s = box2(0, 10, 0, 10);
+  const std::vector<Subscription> set{box2(2, 8, 2, 8, 1)};
+  const ConflictTable table(s, set);
+  const McsResult result = run_mcs(table);
+  EXPECT_TRUE(result.empty());
+  EXPECT_GE(result.removed_defined_count + result.removed_conflict_free, 1u);
+}
+
+TEST(Mcs, EmptyInputYieldsEmptyOutput) {
+  const Subscription s = box2(0, 10, 0, 10);
+  const std::vector<Subscription> set;
+  const ConflictTable table(s, set);
+  const McsResult result = run_mcs(table);
+  EXPECT_TRUE(result.empty());
+  EXPECT_EQ(result.sweeps, 0u);
+}
+
+TEST(Mcs, CascadingRemovalAcrossSweeps) {
+  // s split by two slabs (kept) + a third subscription whose only defined
+  // entry conflicts with one of them; after the pair's entries keep each
+  // other conflicting, the third row's entry stays conflicting too — but a
+  // fourth disjoint-axis row is removed in sweep 1, which can expose more
+  // removals in sweep 2. This exercises the repeat-until-fixpoint loop.
+  const Subscription s = box2(0, 100, 0, 100);
+  const std::vector<Subscription> set{
+      box2(-1, 60, -1, 101, 1),    // covers left part; entry x1 > 60
+      box2(40, 101, -1, 101, 2),   // covers right part; entry x1 < 40
+      box2(-1, 101, 50, 101, 3),   // entry x2 < 50 — conflict-free => removed
+      box2(30, 70, -1, 101, 4),    // entries x1 < 30, x1 > 70; both conflict
+  };
+  const ConflictTable table(s, set);
+  const McsResult result = run_mcs(table);
+  // Row 3 (x2-entry) removed as conflict-free. Row 4's entries x1<30 and
+  // x1>70 conflict with rows 1/2 respectively, so it is kept, as are 1, 2.
+  ASSERT_EQ(result.kept.size(), 3u);
+  EXPECT_EQ(result.kept[0], 0u);
+  EXPECT_EQ(result.kept[1], 1u);
+  EXPECT_EQ(result.kept[2], 3u);
+}
+
+TEST(Mcs, TiGreaterEqualKAfterShrinkage) {
+  // Start with k=3; one row removed for conflict-freedom leaves k=2, at
+  // which point a row with t=2 becomes removable by the t >= k rule.
+  const Subscription s = box2(0, 100, 0, 100);
+  const std::vector<Subscription> set{
+      box2(-1, 101, 50, 101, 1),  // x2 < 50 conflict-free => removed sweep 1
+      box2(30, 70, -1, 101, 2),   // x1 < 30, x1 > 70 => t=2
+      box2(-1, 60, -1, 101, 3),   // x1 > 60 => t=1; conflicts with row 2
+  };
+  const ConflictTable table(s, set);
+  const McsResult result = run_mcs(table);
+  // After row 1 goes, k=2 and row 2 has t=2 >= 2 => removed; then row 3's
+  // x1>60 is conflict-free (nothing left) => removed. Empty set.
+  EXPECT_TRUE(result.empty());
+  EXPECT_GE(result.sweeps, 2u);
+}
+
+TEST(Mcs, MaskSizeMismatchThrows) {
+  PaperMcsExample ex;
+  const ConflictTable table(ex.s, ex.set);
+  const std::vector<char> wrong(2, 1);
+  EXPECT_THROW((void)count_conflict_free(table, 0, wrong), std::invalid_argument);
+}
+
+TEST(Mcs, DuplicateSubscriptionsBothRemovable) {
+  // Two identical subscriptions covering the same slab of s: each makes
+  // the other redundant; MCS may keep at most one (here both fall to the
+  // conflict-free rule since their entries never conflict mutually —
+  // identical same-side entries don't conflict).
+  const Subscription s = box2(0, 100, 0, 100);
+  const std::vector<Subscription> set{
+      box2(-1, 60, -1, 101, 1),
+      box2(-1, 60, -1, 101, 2),
+  };
+  const ConflictTable table(s, set);
+  const McsResult result = run_mcs(table);
+  EXPECT_TRUE(result.empty());
+}
+
+TEST(Mcs, LargeRandomFixtureTerminates) {
+  // Termination and bounded sweeps on a mixed 60-row instance.
+  const Subscription s = box2(0, 1000, 0, 1000);
+  std::vector<Subscription> set;
+  for (int i = 0; i < 60; ++i) {
+    const double offset = 15.0 * i;
+    set.push_back(box2(-1 + offset, 400 + offset, -1, 1001, i + 1));
+  }
+  const ConflictTable table(s, set);
+  const McsResult result = run_mcs(table);
+  EXPECT_LE(result.sweeps, 61u);
+  EXPECT_LE(result.kept.size(), set.size());
+}
+
+}  // namespace
+}  // namespace psc::core

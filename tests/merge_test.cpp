@@ -1,0 +1,150 @@
+// Tests for the subscription merging module.
+#include "merge/subscription_merger.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/exact_subsumption.hpp"
+#include "util/rng.hpp"
+#include "workload/publications.hpp"
+#include "workload/scenarios.hpp"
+
+namespace psc::merge {
+namespace {
+
+using core::Interval;
+using core::Subscription;
+
+Subscription box2(double lo1, double hi1, double lo2, double hi2,
+                  core::SubscriptionId id = 0) {
+  return Subscription({Interval{lo1, hi1}, Interval{lo2, hi2}}, id);
+}
+
+TEST(MergePair, HullCoversBothOperands) {
+  const Subscription a = box2(0, 4, 0, 4, 1);
+  const Subscription b = box2(6, 10, 6, 10, 2);
+  const Subscription merged = merge_pair(a, b);
+  EXPECT_TRUE(merged.covers(a));
+  EXPECT_TRUE(merged.covers(b));
+  EXPECT_EQ(merged.range(0), (Interval{0, 10}));
+  EXPECT_EQ(merged.id(), 1u);  // takes the first operand's id
+}
+
+TEST(MergePair, SchemaMismatchThrows) {
+  EXPECT_THROW((void)merge_pair(box2(0, 1, 0, 1), Subscription({Interval{0, 1}})),
+               std::invalid_argument);
+}
+
+TEST(WasteRatio, NestedBoxesAreFree) {
+  const Subscription outer = box2(0, 10, 0, 10);
+  const Subscription inner = box2(2, 8, 2, 8);
+  EXPECT_DOUBLE_EQ(waste_ratio(outer, inner), 0.0);
+  EXPECT_DOUBLE_EQ(waste_ratio(inner, outer), 0.0);
+}
+
+TEST(WasteRatio, AlignedAdjacentSlabsAreFree) {
+  // Two slabs sharing a full face: hull == union exactly.
+  const Subscription left = box2(0, 5, 0, 10);
+  const Subscription right = box2(5, 10, 0, 10);
+  EXPECT_NEAR(waste_ratio(left, right), 0.0, 1e-12);
+}
+
+TEST(WasteRatio, DiagonalBoxesWasteCorners) {
+  // Two 4x4 boxes at opposite corners of a 10x10 hull:
+  // union = 32, hull = 100 -> waste = 0.68.
+  const Subscription a = box2(0, 4, 0, 4);
+  const Subscription b = box2(6, 10, 6, 10);
+  EXPECT_NEAR(waste_ratio(a, b), 1.0 - 32.0 / 100.0, 1e-12);
+}
+
+TEST(WasteRatio, OverlapNotDoubleCounted) {
+  // Diagonally shifted congruent boxes: union = 25 + 25 - 16 = 34,
+  // hull = 36 -> waste = 1/18. Double-counting the overlap would report 0.
+  const Subscription a = box2(0, 5, 0, 5);
+  const Subscription b = box2(1, 6, 1, 6);
+  EXPECT_NEAR(waste_ratio(a, b), 1.0 - 34.0 / 36.0, 1e-12);
+  // Aligned shift along one axis: hull equals union exactly.
+  const Subscription c = box2(1, 6, 0, 5);
+  EXPECT_NEAR(waste_ratio(a, c), 0.0, 1e-12);
+}
+
+TEST(MergeSet, ExactMergesCollapseSlabPartition) {
+  // Four aligned slabs partition [0,20] x [0,10]: all merge for free.
+  std::vector<Subscription> subs{
+      box2(0, 5, 0, 10, 1), box2(5, 10, 0, 10, 2),
+      box2(10, 15, 0, 10, 3), box2(15, 20, 0, 10, 4)};
+  MergeStats stats;
+  const auto merged = merge_set(subs, MergeConfig{.max_waste_ratio = 0.0}, &stats);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].range(0), (Interval{0, 20}));
+  EXPECT_EQ(stats.merges_performed, 3u);
+  EXPECT_NEAR(stats.waste_volume, 0.0, 1e-9);
+}
+
+TEST(MergeSet, ThresholdZeroRefusesLossyMerges) {
+  std::vector<Subscription> subs{box2(0, 4, 0, 4, 1), box2(6, 10, 6, 10, 2)};
+  const auto merged = merge_set(subs, MergeConfig{.max_waste_ratio = 0.0});
+  EXPECT_EQ(merged.size(), 2u);
+}
+
+TEST(MergeSet, ThresholdOneMergesEverything) {
+  std::vector<Subscription> subs{box2(0, 1, 0, 1, 1), box2(9, 10, 9, 10, 2),
+                                 box2(4, 5, 4, 5, 3)};
+  const auto merged = merge_set(subs, MergeConfig{.max_waste_ratio = 1.0});
+  EXPECT_EQ(merged.size(), 1u);
+}
+
+TEST(MergeSet, MergedSetCoversOriginalUnion) {
+  // Soundness: no original subscription escapes the merged set (merging
+  // may over-approximate, never under-approximate).
+  util::Rng rng(77);
+  workload::ScenarioConfig config;
+  config.attribute_count = 3;
+  config.set_size = 20;
+  for (int round = 0; round < 10; ++round) {
+    const auto inst = workload::make_redundant_covering(config, rng);
+    const auto merged =
+        merge_set(inst.existing, MergeConfig{.max_waste_ratio = 0.3});
+    EXPECT_LE(merged.size(), inst.existing.size());
+    for (const auto& original : inst.existing) {
+      EXPECT_TRUE(baseline::exactly_covered(original, merged)) << round;
+    }
+  }
+}
+
+TEST(MergeSet, FalsePositiveVolumeBounded) {
+  // The waste accounting matches the geometric over-approximation: sample
+  // points in the merged boxes and verify the fraction outside the
+  // original union is consistent with the configured bound (loose check).
+  util::Rng rng(99);
+  std::vector<Subscription> subs{box2(0, 5, 0, 10, 1), box2(5.2, 10, 0, 10, 2)};
+  MergeStats stats;
+  const auto merged = merge_set(subs, MergeConfig{.max_waste_ratio = 0.05}, &stats);
+  ASSERT_EQ(merged.size(), 1u);
+  std::size_t outside = 0;
+  const std::size_t samples = 20'000;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const auto pub = workload::publication_inside(merged[0], rng);
+    const bool in_union = pub.matches(subs[0]) || pub.matches(subs[1]);
+    outside += in_union ? 0 : 1;
+  }
+  const double observed = static_cast<double>(outside) / samples;
+  EXPECT_LE(observed, 0.05 + 0.01);
+  EXPECT_GT(observed, 0.0);  // the 0.2-wide strip is real
+}
+
+TEST(MergeSet, EmptyAndSingletonPassThrough) {
+  EXPECT_TRUE(merge_set({}, MergeConfig{}).empty());
+  const auto one = merge_set({box2(0, 1, 0, 1, 7)}, MergeConfig{});
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].id(), 7u);
+}
+
+TEST(MergeSet, BadConfigThrows) {
+  EXPECT_THROW((void)merge_set({}, MergeConfig{.max_waste_ratio = -0.1}),
+               std::invalid_argument);
+  EXPECT_THROW((void)merge_set({}, MergeConfig{.max_waste_ratio = 1.1}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace psc::merge

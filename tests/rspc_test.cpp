@@ -1,0 +1,156 @@
+// Tests for the RSPC Monte-Carlo core (Algorithm 1).
+#include "core/rspc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace psc::core {
+namespace {
+
+Subscription box2(double lo1, double hi1, double lo2, double hi2,
+                  SubscriptionId id = 0) {
+  return Subscription({Interval{lo1, hi1}, Interval{lo2, hi2}}, id);
+}
+
+TEST(SamplePoint, PointsLieInsideSubscription) {
+  util::Rng rng(1);
+  const Subscription s = box2(830, 870, 1003, 1006);
+  for (int i = 0; i < 1000; ++i) {
+    const auto point = sample_point(s, rng);
+    ASSERT_EQ(point.size(), 2u);
+    EXPECT_TRUE(s.contains_point(point));
+  }
+}
+
+TEST(SamplePoint, DegenerateRangeYieldsThePoint) {
+  util::Rng rng(2);
+  const Subscription s({Interval::point(3.0), Interval{0, 1}});
+  const auto point = sample_point(s, rng);
+  EXPECT_EQ(point[0], 3.0);
+}
+
+TEST(SamplePoint, UnboundedRangeThrows) {
+  util::Rng rng(3);
+  const Subscription s = Subscription::everything(2);
+  EXPECT_THROW((void)sample_point(s, rng), std::invalid_argument);
+}
+
+TEST(PointInUnion, RespectsMembership) {
+  const std::vector<Subscription> set{box2(0, 10, 0, 10, 1),
+                                      box2(20, 30, 0, 10, 2)};
+  EXPECT_TRUE(point_in_union(std::vector<Value>{5, 5}, set));
+  EXPECT_TRUE(point_in_union(std::vector<Value>{25, 5}, set));
+  EXPECT_FALSE(point_in_union(std::vector<Value>{15, 5}, set));
+}
+
+TEST(PointInUnion, EmptySetContainsNothing) {
+  const std::vector<Subscription> set;
+  EXPECT_FALSE(point_in_union(std::vector<Value>{0, 0}, set));
+}
+
+TEST(Rspc, CoveredInstanceAlwaysAnswersYes) {
+  // Paper Table 3: genuinely covered, so no witness exists — RSPC must
+  // exhaust its budget and answer YES regardless of seed.
+  const Subscription s = box2(830, 870, 1003, 1006);
+  const std::vector<Subscription> set{box2(820, 850, 1001, 1007, 1),
+                                      box2(840, 880, 1002, 1009, 2)};
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    util::Rng rng(seed);
+    const RspcResult result = run_rspc(s, set, 200, rng);
+    EXPECT_TRUE(result.covered) << "seed " << seed;
+    EXPECT_EQ(result.iterations, 200u);
+    EXPECT_FALSE(result.witness.has_value());
+  }
+}
+
+TEST(Rspc, NonCoverFindsWitnessWithLargeGap) {
+  // Table 6: the gap (870, 890] is 1/3 of s on x1; 200 trials miss it with
+  // probability (2/3)^200 ~ 1e-36 — effectively never.
+  const Subscription s = box2(830, 890, 1003, 1006);
+  const std::vector<Subscription> set{box2(820, 850, 1002, 1009, 1),
+                                      box2(840, 870, 1001, 1007, 2)};
+  util::Rng rng(7);
+  const RspcResult result = run_rspc(s, set, 200, rng);
+  ASSERT_FALSE(result.covered);
+  ASSERT_TRUE(result.witness.has_value());
+  // The witness is a genuine counter-example.
+  EXPECT_TRUE(s.contains_point(*result.witness));
+  EXPECT_FALSE(point_in_union(*result.witness, set));
+  EXPECT_LT(result.iterations, 200u);  // early exit
+}
+
+TEST(Rspc, DefiniteNoIsAlwaysSound) {
+  // Whenever RSPC says NO, the reported witness must check out. Randomized
+  // instances with a forced gap.
+  util::Rng rng(99);
+  for (int round = 0; round < 50; ++round) {
+    const Subscription s = box2(0, 100, 0, 100);
+    const std::vector<Subscription> set{
+        box2(-1, rng.uniform(20, 60), -1, 101, 1),
+        box2(rng.uniform(61, 90), 101, -1, 101, 2)};
+    util::Rng inner = rng.split();
+    const RspcResult result = run_rspc(s, set, 500, inner);
+    if (!result.covered) {
+      ASSERT_TRUE(result.witness.has_value());
+      EXPECT_TRUE(s.contains_point(*result.witness));
+      EXPECT_FALSE(point_in_union(*result.witness, set));
+    }
+  }
+}
+
+TEST(Rspc, EmptySetIsDefiniteNoWithoutSampling) {
+  const Subscription s = box2(0, 10, 0, 10);
+  const std::vector<Subscription> set;
+  util::Rng rng(5);
+  const RspcResult result = run_rspc(s, set, 100, rng);
+  EXPECT_FALSE(result.covered);
+  EXPECT_EQ(result.iterations, 0u);
+  ASSERT_TRUE(result.witness.has_value());
+  EXPECT_TRUE(s.contains_point(*result.witness));
+}
+
+TEST(Rspc, ZeroBudgetAnswersYes) {
+  // With no trials allowed the algorithm must fall back to YES (its only
+  // error mode) — never a spurious NO.
+  const Subscription s = box2(0, 10, 0, 10);
+  const std::vector<Subscription> set{box2(100, 110, 100, 110, 1)};
+  util::Rng rng(6);
+  const RspcResult result = run_rspc(s, set, 0, rng);
+  EXPECT_TRUE(result.covered);
+  EXPECT_EQ(result.iterations, 0u);
+}
+
+TEST(Rspc, IterationCountGeometricallySmallForWideGap) {
+  // Gap = half of s: expected trials to find a witness ~ 2. Average over
+  // 200 runs must be well under 10.
+  const Subscription s = box2(0, 100, 0, 100);
+  const std::vector<Subscription> set{box2(-1, 50, -1, 101, 1)};
+  util::Rng rng(11);
+  double total = 0;
+  for (int i = 0; i < 200; ++i) {
+    util::Rng inner = rng.split();
+    const RspcResult result = run_rspc(s, set, 10'000, inner);
+    ASSERT_FALSE(result.covered);
+    total += static_cast<double>(result.iterations);
+  }
+  EXPECT_LT(total / 200.0, 10.0);
+  EXPECT_GE(total / 200.0, 1.0);
+}
+
+TEST(Rspc, DeterministicGivenSeed) {
+  const Subscription s = box2(0, 100, 0, 100);
+  const std::vector<Subscription> set{box2(-1, 80, -1, 101, 1)};
+  util::Rng rng_a(42), rng_b(42);
+  const RspcResult a = run_rspc(s, set, 1000, rng_a);
+  const RspcResult b = run_rspc(s, set, 1000, rng_b);
+  EXPECT_EQ(a.covered, b.covered);
+  EXPECT_EQ(a.iterations, b.iterations);
+  ASSERT_EQ(a.witness.has_value(), b.witness.has_value());
+  if (a.witness) {
+    EXPECT_EQ(*a.witness, *b.witness);
+  }
+}
+
+}  // namespace
+}  // namespace psc::core

@@ -1,0 +1,119 @@
+// Tests for the discrete-event simulator and metrics.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/metrics.hpp"
+
+namespace psc::sim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule_at(3.0, [&] { order.push_back(3); });
+  queue.schedule_at(1.0, [&] { order.push_back(1); });
+  queue.schedule_at(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(queue.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(queue.now(), 3.0);
+}
+
+TEST(EventQueue, TiesBreakFifo) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    queue.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  queue.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, HandlersMayScheduleMore) {
+  EventQueue queue;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    ++count;
+    if (count < 10) queue.schedule_in(1.0, chain);
+  };
+  queue.schedule_in(1.0, chain);
+  queue.run();
+  EXPECT_EQ(count, 10);
+  EXPECT_DOUBLE_EQ(queue.now(), 10.0);
+}
+
+TEST(EventQueue, ScheduleInPastClampsToNow) {
+  EventQueue queue;
+  double fired_at = -1;
+  queue.schedule_at(5.0, [&] {
+    queue.schedule_at(1.0, [&] { fired_at = queue.now(); });
+  });
+  queue.run();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(EventQueue, RunUntilStopsAtHorizon) {
+  EventQueue queue;
+  int fired = 0;
+  queue.schedule_at(1.0, [&] { ++fired; });
+  queue.schedule_at(2.0, [&] { ++fired; });
+  queue.schedule_at(10.0, [&] { ++fired; });
+  EXPECT_EQ(queue.run_until(5.0), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(queue.now(), 5.0);
+  EXPECT_EQ(queue.pending(), 1u);
+}
+
+TEST(EventQueue, MaxEventsBounds) {
+  EventQueue queue;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) queue.schedule_at(i, [&] { ++fired; });
+  EXPECT_EQ(queue.run(3), 3u);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(queue.pending(), 7u);
+}
+
+TEST(EventQueue, EmptyQueueRunsZero) {
+  EventQueue queue;
+  EXPECT_EQ(queue.run(), 0u);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(Metrics, DeliveryRatio) {
+  Metrics m;
+  EXPECT_DOUBLE_EQ(m.delivery_ratio(), 1.0);  // nothing expected
+  m.notifications_delivered = 9;
+  m.notifications_lost = 1;
+  EXPECT_DOUBLE_EQ(m.delivery_ratio(), 0.9);
+}
+
+TEST(Metrics, AdditionAndTotals) {
+  Metrics a, b;
+  a.subscription_messages = 5;
+  a.publication_messages = 10;
+  b.subscription_messages = 2;
+  b.unsubscription_messages = 1;
+  const Metrics sum = a + b;
+  EXPECT_EQ(sum.subscription_messages, 7u);
+  EXPECT_EQ(sum.total_messages(), 7u + 1u + 10u);
+}
+
+TEST(Metrics, ResetClears) {
+  Metrics m;
+  m.publication_messages = 3;
+  m.reset();
+  EXPECT_EQ(m.total_messages(), 0u);
+}
+
+TEST(Metrics, StreamOutput) {
+  Metrics m;
+  m.subscription_messages = 4;
+  std::ostringstream os;
+  os << m;
+  EXPECT_NE(os.str().find("sub_msgs=4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace psc::sim

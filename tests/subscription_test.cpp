@@ -1,0 +1,138 @@
+// Unit tests for core::Subscription and core::Publication.
+#include "core/subscription.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/publication.hpp"
+
+namespace psc::core {
+namespace {
+
+Subscription box2(double lo1, double hi1, double lo2, double hi2,
+                  SubscriptionId id = 0) {
+  return Subscription({Interval{lo1, hi1}, Interval{lo2, hi2}}, id);
+}
+
+TEST(Subscription, ConstructionStoresRanges) {
+  const Subscription s = box2(0, 10, 5, 7, 42);
+  EXPECT_EQ(s.attribute_count(), 2u);
+  EXPECT_EQ(s.range(0), (Interval{0, 10}));
+  EXPECT_EQ(s.range(1), (Interval{5, 7}));
+  EXPECT_EQ(s.id(), 42u);
+}
+
+TEST(Subscription, EmptyRangeRejected) {
+  EXPECT_THROW(Subscription({Interval{5, 3}}), std::invalid_argument);
+}
+
+TEST(Subscription, EverythingIsUnbounded) {
+  const Subscription s = Subscription::everything(3);
+  EXPECT_EQ(s.attribute_count(), 3u);
+  EXPECT_TRUE(s.contains_point(std::vector<Value>{1e300, -1e300, 0.0}));
+}
+
+TEST(Subscription, VolumeIsProductOfWidths) {
+  EXPECT_EQ(box2(0, 10, 0, 5).volume(), 50.0);
+  EXPECT_EQ(box2(0, 10, 3, 3).volume(), 0.0);  // degenerate side
+}
+
+TEST(Subscription, VolumeUnboundedIsInfinite) {
+  EXPECT_TRUE(std::isinf(Subscription::everything(2).volume()));
+}
+
+TEST(Subscription, ContainsPointChecksAllAttributes) {
+  const Subscription s = box2(0, 10, 5, 7);
+  EXPECT_TRUE(s.contains_point(std::vector<Value>{5, 6}));
+  EXPECT_TRUE(s.contains_point(std::vector<Value>{0, 5}));   // corner
+  EXPECT_TRUE(s.contains_point(std::vector<Value>{10, 7}));  // corner
+  EXPECT_FALSE(s.contains_point(std::vector<Value>{11, 6}));
+  EXPECT_FALSE(s.contains_point(std::vector<Value>{5, 8}));
+}
+
+TEST(Subscription, ContainsPointRejectsWrongWidth) {
+  const Subscription s = box2(0, 10, 5, 7);
+  EXPECT_FALSE(s.contains_point(std::vector<Value>{5}));
+  EXPECT_FALSE(s.contains_point(std::vector<Value>{5, 6, 7}));
+}
+
+TEST(Subscription, CoversRequiresAllAttributes) {
+  const Subscription outer = box2(0, 10, 0, 10);
+  EXPECT_TRUE(outer.covers(box2(1, 9, 1, 9)));
+  EXPECT_TRUE(outer.covers(outer));
+  EXPECT_FALSE(outer.covers(box2(1, 11, 1, 9)));
+  EXPECT_FALSE(outer.covers(box2(-1, 9, 1, 9)));
+}
+
+TEST(Subscription, CoversSchemaMismatchIsFalse) {
+  EXPECT_FALSE(box2(0, 10, 0, 10).covers(Subscription({Interval{0, 1}})));
+}
+
+TEST(Subscription, IntersectsAndInterior) {
+  const Subscription a = box2(0, 10, 0, 10);
+  EXPECT_TRUE(a.intersects(box2(10, 20, 5, 6)));          // touching counts
+  EXPECT_FALSE(a.overlaps_interior(box2(10, 20, 5, 6)));  // no measure
+  EXPECT_TRUE(a.overlaps_interior(box2(9, 20, 5, 6)));
+  EXPECT_FALSE(a.intersects(box2(11, 20, 5, 6)));
+}
+
+TEST(Subscription, IntersectProducesBoxOrEmptyMarker) {
+  const Subscription a = box2(0, 10, 0, 10);
+  const Subscription inter = a.intersect(box2(5, 15, -5, 5));
+  EXPECT_EQ(inter.range(0), (Interval{5, 10}));
+  EXPECT_EQ(inter.range(1), (Interval{0, 5}));
+  EXPECT_TRUE(inter.is_satisfiable());
+
+  const Subscription disjoint = a.intersect(box2(11, 20, 0, 10));
+  EXPECT_FALSE(disjoint.is_satisfiable());
+}
+
+TEST(Subscription, IntersectSchemaMismatchThrows) {
+  EXPECT_THROW(box2(0, 1, 0, 1).intersect(Subscription({Interval{0, 1}})),
+               std::invalid_argument);
+}
+
+TEST(Subscription, EqualityIgnoresId) {
+  EXPECT_EQ(box2(0, 1, 2, 3, 7), box2(0, 1, 2, 3, 9));
+  EXPECT_FALSE(box2(0, 1, 2, 3) == box2(0, 1, 2, 4));
+}
+
+TEST(Subscription, ToStringMentionsIdAndRanges) {
+  const std::string repr = to_string(box2(0, 1, 2, 3, 5));
+  EXPECT_NE(repr.find("s5"), std::string::npos);
+  EXPECT_NE(repr.find("[0, 1]"), std::string::npos);
+  EXPECT_NE(repr.find("[2, 3]"), std::string::npos);
+}
+
+TEST(Publication, MatchesSubscription) {
+  const Subscription s = box2(0, 10, 5, 7);
+  EXPECT_TRUE(Publication({5.0, 6.0}).matches(s));
+  EXPECT_FALSE(Publication({5.0, 7.5}).matches(s));
+}
+
+TEST(Publication, AsBoxIsDegenerate) {
+  const Publication p({3.0, 4.0}, 11);
+  const Subscription box = p.as_box();
+  EXPECT_EQ(box.attribute_count(), 2u);
+  EXPECT_EQ(box.range(0), Interval::point(3.0));
+  EXPECT_EQ(box.range(1), Interval::point(4.0));
+  EXPECT_EQ(box.volume(), 0.0);
+}
+
+TEST(Publication, BoxPublicationCoveredBySubscriptionItMatches) {
+  const Subscription s = box2(0, 10, 5, 7);
+  const Publication p({5.0, 6.0});
+  EXPECT_TRUE(s.covers(p.as_box()));
+}
+
+TEST(Publication, ValuesAccessors) {
+  const Publication p({1.0, 2.0, 3.0}, 99);
+  EXPECT_EQ(p.attribute_count(), 3u);
+  EXPECT_EQ(p.value(1), 2.0);
+  EXPECT_EQ(p.id(), 99u);
+}
+
+}  // namespace
+}  // namespace psc::core

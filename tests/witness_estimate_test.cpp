@@ -1,0 +1,140 @@
+// Tests for Algorithm 2 (rho_w estimation) and Equation 1 (trial bound d).
+#include "core/witness_estimate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace psc::core {
+namespace {
+
+Subscription box2(double lo1, double hi1, double lo2, double hi2,
+                  SubscriptionId id = 0) {
+  return Subscription({Interval{lo1, hi1}, Interval{lo2, hi2}}, id);
+}
+
+TEST(WitnessEstimate, FullyCoveredAttributeYieldsZeroRho) {
+  // One subscription covering s entirely: no defined entries, min gap per
+  // attribute collapses... actually with no defined entries the min gap is
+  // the full width, giving rho_w = 1. That is correct: with no constraints
+  // the "witness" could be all of s — but the pipeline never reaches the
+  // estimate in that case (Corollary 1 fires first). Here we verify the
+  // estimator in isolation on a half-covered instance instead.
+  const Subscription s = box2(0, 100, 0, 100);
+  const std::vector<Subscription> set{box2(-1, 50, -1, 101, 1)};
+  const ConflictTable table(s, set);
+  const WitnessEstimate est = estimate_witness_probability(table);
+  // Attribute 0: the single entry x1 > 50 leaves gap width 50.
+  // Attribute 1: no entries -> gap = full width 100.
+  EXPECT_DOUBLE_EQ(est.witness_volume, 50.0 * 100.0);
+  EXPECT_DOUBLE_EQ(est.tested_volume, 100.0 * 100.0);
+  EXPECT_DOUBLE_EQ(est.rho_w, 0.5);
+}
+
+TEST(WitnessEstimate, PaperCoverExampleGap) {
+  // Table 3: row s1 leaves slab (850, 870] width 20; row s2 leaves
+  // [830, 840) width 10. Min on x1 = 10; x2 unconstrained -> width 3.
+  const Subscription s = box2(830, 870, 1003, 1006);
+  const std::vector<Subscription> set{box2(820, 850, 1001, 1007, 1),
+                                      box2(840, 880, 1002, 1009, 2)};
+  const ConflictTable table(s, set);
+  const WitnessEstimate est = estimate_witness_probability(table);
+  EXPECT_DOUBLE_EQ(est.witness_volume, 10.0 * 3.0);
+  EXPECT_DOUBLE_EQ(est.tested_volume, 40.0 * 3.0);
+  EXPECT_NEAR(est.rho_w, 0.25, 1e-12);
+}
+
+TEST(WitnessEstimate, NonCoverGapDominates) {
+  // Table 6: s=[830,890], s1 ends at 850 (gap 40), s2 ends at 870 (gap 20)
+  // and starts at 840 (gap 10). Min gap on x1 = 10.
+  const Subscription s = box2(830, 890, 1003, 1006);
+  const std::vector<Subscription> set{box2(820, 850, 1002, 1009, 1),
+                                      box2(840, 870, 1001, 1007, 2)};
+  const ConflictTable table(s, set);
+  const WitnessEstimate est = estimate_witness_probability(table);
+  EXPECT_DOUBLE_EQ(est.witness_volume, 10.0 * 3.0);
+}
+
+TEST(WitnessEstimate, DegenerateTestedVolumeGivesZeroRho) {
+  const Subscription s = box2(0, 100, 5, 5);  // zero-measure box
+  const std::vector<Subscription> set{box2(-1, 50, 0, 10, 1)};
+  const ConflictTable table(s, set);
+  const WitnessEstimate est = estimate_witness_probability(table);
+  EXPECT_DOUBLE_EQ(est.rho_w, 0.0);
+}
+
+TEST(WitnessEstimate, RhoClampedToOne) {
+  // No subscriptions at all: witness volume = tested volume -> rho = 1.
+  const Subscription s = box2(0, 10, 0, 10);
+  const std::vector<Subscription> set;
+  const ConflictTable table(s, set);
+  const WitnessEstimate est = estimate_witness_probability(table);
+  EXPECT_DOUBLE_EQ(est.rho_w, 1.0);
+}
+
+TEST(TheoreticalTrials, MatchesClosedForm) {
+  // d = ln(delta) / ln(1 - rho); spot-check rho = 0.5, delta = 1e-6:
+  // ln(1e-6)/ln(0.5) = 19.93 -> ceil 20.
+  EXPECT_DOUBLE_EQ(theoretical_trials(0.5, 1e-6), 20.0);
+}
+
+TEST(TheoreticalTrials, SmallRhoLargeD) {
+  const double d = theoretical_trials(1e-4, 1e-10);
+  // ln(1e-10)/ln(1-1e-4) ~ 23.026/1.00005e-4 ~ 230k.
+  EXPECT_GT(d, 2.0e5);
+  EXPECT_LT(d, 2.5e5);
+}
+
+TEST(TheoreticalTrials, ErrorBoundHolds) {
+  // (1 - rho)^d <= delta for the returned d.
+  for (const double rho : {0.001, 0.01, 0.1, 0.5, 0.9}) {
+    for (const double delta : {1e-3, 1e-6, 1e-10}) {
+      const double d = theoretical_trials(rho, delta);
+      EXPECT_LE(std::pow(1.0 - rho, d), delta * (1 + 1e-9))
+          << "rho=" << rho << " delta=" << delta;
+    }
+  }
+}
+
+TEST(TheoreticalTrials, ZeroRhoIsInfinite) {
+  EXPECT_TRUE(std::isinf(theoretical_trials(0.0, 1e-6)));
+  EXPECT_TRUE(std::isinf(theoretical_trials(-1.0, 1e-6)));
+}
+
+TEST(TheoreticalTrials, FullRhoIsOneTrial) {
+  EXPECT_DOUBLE_EQ(theoretical_trials(1.0, 1e-6), 1.0);
+}
+
+TEST(TheoreticalTrials, BadDeltaThrows) {
+  EXPECT_THROW((void)theoretical_trials(0.5, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)theoretical_trials(0.5, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)theoretical_trials(0.5, -0.1), std::invalid_argument);
+}
+
+TEST(CappedTrials, CapsInfiniteAndHuge) {
+  EXPECT_EQ(capped_trials(0.0, 1e-6, 1000), 1000u);
+  EXPECT_EQ(capped_trials(1e-12, 1e-10, 5000), 5000u);
+}
+
+TEST(CappedTrials, PassesThroughSmallD) {
+  EXPECT_EQ(capped_trials(0.5, 1e-6, 1000), 20u);
+  EXPECT_EQ(capped_trials(1.0, 1e-6, 1000), 1u);
+}
+
+TEST(CappedTrials, MonotoneInDelta) {
+  // Tighter delta (smaller) demands at least as many trials.
+  const auto loose = capped_trials(0.01, 1e-3, 1u << 30);
+  const auto tight = capped_trials(0.01, 1e-10, 1u << 30);
+  EXPECT_LE(loose, tight);
+}
+
+TEST(CappedTrials, MonotoneInRho) {
+  // Larger witness probability needs fewer trials.
+  const auto small_rho = capped_trials(0.001, 1e-6, 1u << 30);
+  const auto large_rho = capped_trials(0.1, 1e-6, 1u << 30);
+  EXPECT_GE(small_rho, large_rho);
+}
+
+}  // namespace
+}  // namespace psc::core
