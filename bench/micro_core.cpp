@@ -149,6 +149,46 @@ void BM_CountingMatcherMatch(benchmark::State& state) {
 }
 BENCHMARK(BM_CountingMatcherMatch)->Arg(100)->Arg(1000)->Arg(5000);
 
+// Publication matching through the store, flat scan vs IntervalIndex.
+// The same wide-schema population is loaded into both configurations; the
+// benchmark argument is the active-set size.
+void store_match_benchmark(benchmark::State& state, bool use_index) {
+  workload::ComparisonConfig config;
+  config.attribute_count = 20;
+  config.min_constrained = 2;
+  config.max_constrained = 6;
+  config.width_mean_fraction = 0.15;
+  config.width_stddev_fraction = 0.10;
+  config.zipf_skew = 0.3;
+  workload::ComparisonStream stream(config, 19);
+  store::StoreConfig store_config;
+  store_config.policy = store::CoveragePolicy::kNone;
+  store_config.demote_covered_actives = false;
+  store_config.use_index = use_index;
+  store::SubscriptionStore store(store_config, 20);
+  for (std::int64_t i = 0; i < state.range(0); ++i) store.insert(stream.next());
+  util::Rng rng(21);
+  std::size_t matched = 0;
+  for (auto _ : state) {
+    const auto pub =
+        workload::uniform_publication(config.attribute_count, 0.0, 1000.0, rng);
+    matched += store.match_active(pub).size();
+    benchmark::DoNotOptimize(matched);
+  }
+}
+
+void BM_StoreMatchActiveFlat(benchmark::State& state) {
+  store_match_benchmark(state, /*use_index=*/false);
+}
+BENCHMARK(BM_StoreMatchActiveFlat)->Arg(1000)->Arg(10000);
+
+void BM_StoreMatchActiveIndex(benchmark::State& state) {
+  store_match_benchmark(state, /*use_index=*/true);
+}
+BENCHMARK(BM_StoreMatchActiveIndex)->Arg(1000)->Arg(10000);
+
+// Insertion benchmarks run both candidate-gathering paths: the second
+// argument toggles StoreConfig::use_index (0 = flat scans, 1 = index).
 void BM_StoreInsertGroup(benchmark::State& state) {
   workload::ComparisonConfig config;
   config.attribute_count = 10;
@@ -158,6 +198,7 @@ void BM_StoreInsertGroup(benchmark::State& state) {
     store::StoreConfig store_config;
     store_config.policy = store::CoveragePolicy::kGroup;
     store_config.engine.max_iterations = 5'000;
+    store_config.use_index = state.range(1) != 0;
     store::SubscriptionStore store(store_config, 16);
     state.ResumeTiming();
     for (std::int64_t i = 0; i < state.range(0); ++i) store.insert(stream.next());
@@ -165,7 +206,10 @@ void BM_StoreInsertGroup(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_StoreInsertGroup)->Arg(100)->Arg(400)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StoreInsertGroup)
+    ->Args({100, 0})->Args({100, 1})
+    ->Args({400, 0})->Args({400, 1})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_StoreInsertPairwise(benchmark::State& state) {
   workload::ComparisonConfig config;
@@ -175,6 +219,7 @@ void BM_StoreInsertPairwise(benchmark::State& state) {
     workload::ComparisonStream stream(config, 17);
     store::StoreConfig store_config;
     store_config.policy = store::CoveragePolicy::kPairwise;
+    store_config.use_index = state.range(1) != 0;
     store::SubscriptionStore store(store_config, 18);
     state.ResumeTiming();
     for (std::int64_t i = 0; i < state.range(0); ++i) store.insert(stream.next());
@@ -182,7 +227,10 @@ void BM_StoreInsertPairwise(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_StoreInsertPairwise)->Arg(100)->Arg(400)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StoreInsertPairwise)
+    ->Args({100, 0})->Args({100, 1})
+    ->Args({400, 0})->Args({400, 1})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

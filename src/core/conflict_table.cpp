@@ -6,41 +6,64 @@
 namespace psc::core {
 
 ConflictTable::ConflictTable(const Subscription& s,
-                             std::span<const Subscription> set)
-    : s_(s), m_(s.attribute_count()) {
-  rows_.reserve(set.size());
-  defined_.assign(set.size() * 2 * m_, 0);
-  defined_counts_.assign(set.size(), 0);
+                             std::span<const Subscription> set) {
+  rebuild(s, set);
+}
 
-  for (std::size_t i = 0; i < set.size(); ++i) {
-    const Subscription& si = set[i];
-    if (si.attribute_count() != m_) {
-      throw std::invalid_argument("ConflictTable: schema mismatch at row " +
-                                  std::to_string(i));
-    }
-    Row row;
-    row.id = si.id();
-    row.bounds.resize(2 * m_, 0.0);
-    for (std::size_t j = 0; j < m_; ++j) {
-      const Interval& sr = s.range(j);
-      const Interval& ir = si.range(j);
-      // Lower side: (s AND x_j < si.lo_j) has positive measure iff
-      // s.lo_j < si.lo_j.
-      if (sr.lo < ir.lo) {
-        defined_[i * 2 * m_ + 2 * j] = 1;
-        ++defined_counts_[i];
-      }
-      row.bounds[2 * j] = ir.lo;
-      // Upper side: (s AND x_j > si.hi_j) positive-measure iff
-      // s.hi_j > si.hi_j.
-      if (sr.hi > ir.hi) {
-        defined_[i * 2 * m_ + 2 * j + 1] = 1;
-        ++defined_counts_[i];
-      }
-      row.bounds[2 * j + 1] = ir.hi;
-    }
-    rows_.push_back(std::move(row));
+ConflictTable::ConflictTable(const Subscription& s,
+                             std::span<const Subscription* const> set) {
+  rebuild(s, set);
+}
+
+void ConflictTable::begin_rebuild(const Subscription& s, std::size_t row_count) {
+  s_ = s;
+  m_ = s.attribute_count();
+  // row_ids_ and bounds_ are fully overwritten by fill_row, so a plain
+  // resize avoids a redundant O(k * 2m) fill on every engine check; the
+  // definedness bitmap and counts genuinely start from zero.
+  row_ids_.resize(row_count);
+  bounds_.resize(row_count * 2 * m_);
+  defined_.assign(row_count * 2 * m_, 0);
+  defined_counts_.assign(row_count, 0);
+}
+
+void ConflictTable::fill_row(std::size_t i, const Subscription& si) {
+  if (si.attribute_count() != m_) {
+    throw std::invalid_argument("ConflictTable: schema mismatch at row " +
+                                std::to_string(i));
   }
+  row_ids_[i] = si.id();
+  const std::size_t base = i * 2 * m_;
+  for (std::size_t j = 0; j < m_; ++j) {
+    const Interval& sr = s_.range(j);
+    const Interval& ir = si.range(j);
+    // Lower side: (s AND x_j < si.lo_j) has positive measure iff
+    // s.lo_j < si.lo_j.
+    if (sr.lo < ir.lo) {
+      defined_[base + 2 * j] = 1;
+      ++defined_counts_[i];
+    }
+    bounds_[base + 2 * j] = ir.lo;
+    // Upper side: (s AND x_j > si.hi_j) positive-measure iff
+    // s.hi_j > si.hi_j.
+    if (sr.hi > ir.hi) {
+      defined_[base + 2 * j + 1] = 1;
+      ++defined_counts_[i];
+    }
+    bounds_[base + 2 * j + 1] = ir.hi;
+  }
+}
+
+void ConflictTable::rebuild(const Subscription& s,
+                            std::span<const Subscription> set) {
+  begin_rebuild(s, set.size());
+  for (std::size_t i = 0; i < set.size(); ++i) fill_row(i, set[i]);
+}
+
+void ConflictTable::rebuild(const Subscription& s,
+                            std::span<const Subscription* const> set) {
+  begin_rebuild(s, set.size());
+  for (std::size_t i = 0; i < set.size(); ++i) fill_row(i, *set[i]);
 }
 
 std::optional<TableEntry> ConflictTable::entry(std::size_t row,
@@ -49,7 +72,7 @@ std::optional<TableEntry> ConflictTable::entry(std::size_t row,
   TableEntry e;
   e.attribute = column / 2;
   e.side = (column % 2 == 0) ? BoundSide::kLower : BoundSide::kUpper;
-  e.bound = rows_.at(row).bounds.at(column);
+  e.bound = bounds_.at(row * 2 * m_ + column);
   return e;
 }
 
@@ -90,8 +113,8 @@ Interval ConflictTable::slab(const TableEntry& entry) const {
 
 void ConflictTable::print(std::ostream& out) const {
   out << "conflict table for " << s_ << "\n";
-  for (std::size_t i = 0; i < rows_.size(); ++i) {
-    out << "  s" << rows_[i].id << ": ";
+  for (std::size_t i = 0; i < row_ids_.size(); ++i) {
+    out << "  s" << row_ids_[i] << ": ";
     bool first = true;
     for (std::size_t c = 0; c < column_count(); ++c) {
       const auto e = entry(i, c);

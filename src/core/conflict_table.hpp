@@ -47,13 +47,30 @@ struct RowStats {
 /// The conflict table for subscription `s` versus subscription set `S`.
 /// Rows correspond 1:1 to the subscriptions passed at construction; columns
 /// to the 2m negated simple predicates. Construction is O(m * k).
+///
+/// Row storage is a flat SoA layout (one bounds array, one definedness
+/// bitmap) so a table can be rebuilt in place without allocating once its
+/// buffers have grown to the working-set size — the SubsumptionEngine
+/// rebuilds its workspace tables on every check() this way.
 class ConflictTable {
  public:
+  /// Empty table; fill with rebuild(). Queries on an empty table see zero
+  /// rows and zero columns.
+  ConflictTable() = default;
+
   /// Builds the table. All subscriptions must share s's attribute schema;
   /// throws std::invalid_argument otherwise.
   ConflictTable(const Subscription& s, std::span<const Subscription> set);
 
-  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  /// As above, over a set given by pointers (no subscription copies).
+  ConflictTable(const Subscription& s, std::span<const Subscription* const> set);
+
+  /// Rebuilds the table in place, reusing the existing buffers. After the
+  /// first call at a given size, rebuilding performs no heap allocation.
+  void rebuild(const Subscription& s, std::span<const Subscription> set);
+  void rebuild(const Subscription& s, std::span<const Subscription* const> set);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return row_ids_.size(); }
   [[nodiscard]] std::size_t attribute_count() const noexcept { return m_; }
   [[nodiscard]] std::size_t column_count() const noexcept { return 2 * m_; }
 
@@ -106,16 +123,16 @@ class ConflictTable {
   void print(std::ostream& out) const;
 
  private:
-  struct Row {
-    SubscriptionId id = kInvalidSubscriptionId;
-    std::vector<Value> bounds;  ///< 2m bound values (valid where defined)
-  };
-
   Subscription s_;
   std::size_t m_ = 0;
-  std::vector<Row> rows_;
+  /// SoA row storage: ids per row, bound values row-major (2m per row).
+  std::vector<SubscriptionId> row_ids_;
+  std::vector<Value> bounds_;
   std::vector<char> defined_;  ///< k * 2m bitmap (char for speed)
   std::vector<std::size_t> defined_counts_;
+
+  void begin_rebuild(const Subscription& s, std::size_t row_count);
+  void fill_row(std::size_t i, const Subscription& si);
 };
 
 }  // namespace psc::core

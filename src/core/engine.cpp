@@ -43,6 +43,14 @@ void SubsumptionEngine::set_config(const EngineConfig& config) {
 
 SubsumptionResult SubsumptionEngine::check(const Subscription& s,
                                            std::span<const Subscription> set) {
+  ws_.input.clear();
+  ws_.input.reserve(set.size());
+  for (const Subscription& si : set) ws_.input.push_back(&si);
+  return check(s, std::span<const Subscription* const>(ws_.input));
+}
+
+SubsumptionResult SubsumptionEngine::check(
+    const Subscription& s, std::span<const Subscription* const> set) {
   SubsumptionResult result;
   result.original_set_size = set.size();
   result.reduced_set_size = set.size();
@@ -51,18 +59,16 @@ SubsumptionResult SubsumptionEngine::check(const Subscription& s,
   // cannot contribute to covering s; dropping it up front skips its
   // conflict-table row and all MCS work on it. Indices are remembered so
   // diagnostics still refer to the caller's set.
-  std::vector<Subscription> filtered;
-  std::vector<std::size_t> original_index;
+  ws_.filtered.clear();
+  ws_.original_index.clear();
   if (config_.prefilter_intersecting) {
-    filtered.reserve(set.size());
-    original_index.reserve(set.size());
     for (std::size_t i = 0; i < set.size(); ++i) {
-      if (s.overlaps_interior(set[i]) || set[i].covers(s)) {
-        filtered.push_back(set[i]);
-        original_index.push_back(i);
+      if (s.overlaps_interior(*set[i]) || set[i]->covers(s)) {
+        ws_.filtered.push_back(set[i]);
+        ws_.original_index.push_back(i);
       }
     }
-    set = filtered;
+    set = ws_.filtered;
     result.reduced_set_size = set.size();
   }
 
@@ -74,15 +80,16 @@ SubsumptionResult SubsumptionEngine::check(const Subscription& s,
     return result;
   }
 
-  const ConflictTable table(s, set);
+  ws_.table.rebuild(s, set);
+  const ConflictTable& table = ws_.table;
 
   if (config_.use_fast_decisions) {
-    const FastDecisionResult fast = run_fast_decisions(table);
+    const FastDecisionResult fast = run_fast_decisions(table, ws_.sorted_counts);
     if (fast.decision == FastDecision::kCoveredPairwise) {
       result.covered = true;
       result.path = DecisionPath::kPairwiseCover;
       result.covering_index = config_.prefilter_intersecting
-                                  ? original_index[*fast.covering_row]
+                                  ? ws_.original_index[*fast.covering_row]
                                   : *fast.covering_row;
       return result;
     }
@@ -94,33 +101,33 @@ SubsumptionResult SubsumptionEngine::check(const Subscription& s,
   }
 
   // Work on the (possibly) reduced candidate set. The reduced view is
-  // materialized so RSPC scans a dense array.
-  std::vector<Subscription> reduced;
-  const Subscription* candidates = set.data();
-  std::size_t candidate_count = set.size();
+  // materialized so RSPC scans a dense pointer array, and the estimate
+  // table is rebuilt only when MCS actually removed rows.
+  std::span<const Subscription* const> rspc_set = set;
+  const ConflictTable* estimate_table = &table;
   if (config_.use_mcs) {
-    const McsResult mcs = run_mcs(table);
+    run_mcs(table, ws_.mcs, ws_.alive);
     result.mcs_ran = true;
-    result.reduced_set_size = mcs.kept.size();
-    if (mcs.empty()) {
+    result.reduced_set_size = ws_.mcs.kept.size();
+    if (ws_.mcs.empty()) {
       result.covered = false;
       result.path = DecisionPath::kMcsEmpty;
       return result;
     }
-    reduced.reserve(mcs.kept.size());
-    for (std::size_t index : mcs.kept) reduced.push_back(set[index]);
-    candidates = reduced.data();
-    candidate_count = reduced.size();
+    if (ws_.mcs.kept.size() < set.size()) {
+      ws_.reduced.clear();
+      for (std::size_t index : ws_.mcs.kept) ws_.reduced.push_back(set[index]);
+      rspc_set = ws_.reduced;
+      // rho_w / d are estimated on the *reduced* set: fewer rows can only
+      // widen the per-attribute minimum gaps, which is exactly the effect
+      // the paper's Figures 7 and 9 measure.
+      ws_.reduced_table.rebuild(s, rspc_set);
+      estimate_table = &ws_.reduced_table;
+    }
   }
 
-  // rho_w / d are estimated on the *reduced* set: fewer rows can only widen
-  // the per-attribute minimum gaps, which is exactly the effect the paper's
-  // Figures 7 and 9 measure.
-  const std::span<const Subscription> rspc_set(candidates, candidate_count);
-  const ConflictTable reduced_table =
-      config_.use_mcs ? ConflictTable(s, rspc_set) : table;
   const WitnessEstimate estimate =
-      estimate_witness_probability(reduced_table, config_.grid_spacing);
+      estimate_witness_probability(*estimate_table, config_.grid_spacing);
   result.rho_w = estimate.rho_w;
   result.theoretical_d =
       estimate.rho_w > 0.0
@@ -129,7 +136,8 @@ SubsumptionResult SubsumptionEngine::check(const Subscription& s,
   result.trial_budget =
       capped_trials(estimate.rho_w, config_.delta, config_.max_iterations);
 
-  const RspcResult rspc = run_rspc(s, rspc_set, result.trial_budget, rng_);
+  const RspcResult rspc =
+      run_rspc(s, rspc_set, result.trial_budget, rng_, ws_.point);
   result.iterations = rspc.iterations;
   if (!rspc.covered) {
     result.covered = false;

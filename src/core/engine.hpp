@@ -77,8 +77,29 @@ struct EngineConfig {
   bool prefilter_intersecting = true;
 };
 
+/// Reusable scratch state for SubsumptionEngine::check. Owned by the
+/// engine; every buffer is cleared-and-refilled per query so its capacity
+/// survives across checks and steady-state queries (same working-set size)
+/// perform zero heap allocations. The only remaining allocation paths are
+/// capacity growth on a larger-than-ever query and the witness copy
+/// returned with a definite NO.
+struct EngineWorkspace {
+  std::vector<const Subscription*> input;     ///< value-span adapter
+  std::vector<const Subscription*> filtered;  ///< prefilter survivors
+  std::vector<std::size_t> original_index;    ///< filtered -> caller index
+  std::vector<const Subscription*> reduced;   ///< MCS survivors
+  ConflictTable table;                        ///< rebuilt per query
+  ConflictTable reduced_table;                ///< rebuilt when MCS shrinks
+  McsResult mcs;                              ///< kept vector reused
+  std::vector<char> alive;                    ///< MCS alive mask
+  std::vector<std::size_t> sorted_counts;     ///< Corollary 3 scratch
+  std::vector<Value> point;                   ///< RSPC sample buffer
+};
+
 /// Stateless-except-RNG checker. One instance may serve many queries; the
 /// RNG stream advances per query, keeping runs reproducible from the seed.
+/// Not safe for concurrent check() calls on one instance (shared workspace
+/// and RNG); use one engine per thread.
 class SubsumptionEngine {
  public:
   explicit SubsumptionEngine(EngineConfig config = {},
@@ -89,6 +110,11 @@ class SubsumptionEngine {
   /// subscriptions may be unbounded.
   [[nodiscard]] SubsumptionResult check(const Subscription& s,
                                         std::span<const Subscription> set);
+
+  /// As above over a pointer set — the zero-copy entry point used by the
+  /// store layer after index pruning.
+  [[nodiscard]] SubsumptionResult check(const Subscription& s,
+                                        std::span<const Subscription* const> set);
 
   /// Convenience overload.
   [[nodiscard]] SubsumptionResult check(const Subscription& s,
@@ -105,6 +131,7 @@ class SubsumptionEngine {
  private:
   EngineConfig config_;
   util::Rng rng_;
+  EngineWorkspace ws_;
 };
 
 /// Validates config invariants; throws std::invalid_argument on violation.

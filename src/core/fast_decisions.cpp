@@ -19,10 +19,13 @@ std::vector<std::size_t> find_rows_covered_by_s(const ConflictTable& table) {
   return rows;
 }
 
-bool sorted_rows_prove_witness(const ConflictTable& table) {
+namespace {
+
+bool sorted_rows_prove_witness_scratch(const ConflictTable& table,
+                                       std::vector<std::size_t>& counts) {
   const std::size_t k = table.row_count();
   if (k == 0) return true;  // empty union covers nothing non-empty
-  std::vector<std::size_t> counts(k);
+  counts.resize(k);
   for (std::size_t row = 0; row < k; ++row) counts[row] = table.defined_count(row);
   std::sort(counts.begin(), counts.end());
   for (std::size_t j = 0; j < k; ++j) {
@@ -32,18 +35,31 @@ bool sorted_rows_prove_witness(const ConflictTable& table) {
   return true;
 }
 
-FastDecisionResult run_fast_decisions(const ConflictTable& table) {
+}  // namespace
+
+bool sorted_rows_prove_witness(const ConflictTable& table) {
+  std::vector<std::size_t> counts;
+  return sorted_rows_prove_witness_scratch(table, counts);
+}
+
+FastDecisionResult run_fast_decisions(const ConflictTable& table,
+                                      std::vector<std::size_t>& counts_scratch) {
   FastDecisionResult result;
   if (auto row = find_pairwise_cover(table)) {
     result.decision = FastDecision::kCoveredPairwise;
     result.covering_row = row;
     return result;
   }
-  if (sorted_rows_prove_witness(table)) {
+  if (sorted_rows_prove_witness_scratch(table, counts_scratch)) {
     result.decision = FastDecision::kNotCoveredWitness;
     return result;
   }
   return result;
+}
+
+FastDecisionResult run_fast_decisions(const ConflictTable& table) {
+  std::vector<std::size_t> counts;
+  return run_fast_decisions(table, counts);
 }
 
 }  // namespace psc::core

@@ -30,6 +30,11 @@ struct FastDecisionResult {
 /// Runs Corollary 1 then Corollary 3 on a built conflict table. O(k log k + k m).
 [[nodiscard]] FastDecisionResult run_fast_decisions(const ConflictTable& table);
 
+/// Allocation-free variant: sorts row counts in `counts_scratch` (resized
+/// as needed, capacity reused across calls).
+[[nodiscard]] FastDecisionResult run_fast_decisions(
+    const ConflictTable& table, std::vector<std::size_t>& counts_scratch);
+
 /// Corollary 1 alone: first row with zero defined entries, if any.
 [[nodiscard]] std::optional<std::size_t> find_pairwise_cover(const ConflictTable& table);
 

@@ -43,8 +43,20 @@ std::size_t count_conflict_free(const ConflictTable& table, std::size_t row,
 
 McsResult run_mcs(const ConflictTable& table) {
   McsResult result;
+  std::vector<char> alive;
+  run_mcs(table, result, alive);
+  return result;
+}
+
+void run_mcs(const ConflictTable& table, McsResult& result,
+             std::vector<char>& alive_scratch) {
+  result.kept.clear();
+  result.sweeps = 0;
+  result.removed_conflict_free = 0;
+  result.removed_defined_count = 0;
   const std::size_t n = table.row_count();
-  std::vector<char> alive(n, 1);
+  std::vector<char>& alive = alive_scratch;
+  alive.assign(n, 1);
   std::size_t alive_count = n;
 
   bool changed = n > 0;
@@ -76,7 +88,6 @@ McsResult run_mcs(const ConflictTable& table) {
   for (std::size_t row = 0; row < n; ++row) {
     if (alive[row]) result.kept.push_back(row);
   }
-  return result;
 }
 
 }  // namespace psc::core

@@ -43,6 +43,12 @@ struct McsResult {
 /// removal is tracked with an alive mask.
 [[nodiscard]] McsResult run_mcs(const ConflictTable& table);
 
+/// Allocation-free variant: writes into `result` (its kept vector is
+/// cleared and refilled, capacity reused) using `alive_scratch` as the
+/// alive mask buffer.
+void run_mcs(const ConflictTable& table, McsResult& result,
+             std::vector<char>& alive_scratch);
+
 /// fc_i for one row given an alive mask over rows (true = row participates).
 /// Exposed for tests and diagnostics.
 [[nodiscard]] std::size_t count_conflict_free(const ConflictTable& table,

@@ -26,8 +26,35 @@ bool point_in_union(std::span<const Value> point,
   return false;
 }
 
-RspcResult run_rspc(const Subscription& s, std::span<const Subscription> set,
-                    std::uint64_t budget, util::Rng& rng) {
+bool point_in_union(std::span<const Value> point,
+                    std::span<const Subscription* const> set) noexcept {
+  for (const Subscription* si : set) {
+    if (si->contains_point(point)) return true;
+  }
+  return false;
+}
+
+namespace {
+
+void sample_into(const Subscription& s, util::Rng& rng,
+                 std::vector<Value>& point) {
+  point.resize(s.attribute_count());
+  for (std::size_t j = 0; j < s.attribute_count(); ++j) {
+    const Interval& range = s.range(j);
+    if (!std::isfinite(range.lo) || !std::isfinite(range.hi)) {
+      throw std::invalid_argument(
+          "run_rspc: unbounded attribute range cannot be sampled uniformly");
+    }
+    point[j] = rng.uniform(range.lo, range.hi);
+  }
+}
+
+}  // namespace
+
+RspcResult run_rspc(const Subscription& s,
+                    std::span<const Subscription* const> set,
+                    std::uint64_t budget, util::Rng& rng,
+                    std::vector<Value>& point_scratch) {
   RspcResult result;
   // An empty union covers nothing with positive measure: definite NO
   // without sampling (unless s itself is a point, which we still report as
@@ -37,25 +64,28 @@ RspcResult run_rspc(const Subscription& s, std::span<const Subscription> set,
     result.witness = sample_point(s, rng);
     return result;
   }
-  std::vector<Value> point(s.attribute_count());
   for (std::uint64_t trial = 0; trial < budget; ++trial) {
     ++result.iterations;
-    for (std::size_t j = 0; j < s.attribute_count(); ++j) {
-      const Interval& range = s.range(j);
-      if (!std::isfinite(range.lo) || !std::isfinite(range.hi)) {
-        throw std::invalid_argument(
-            "run_rspc: unbounded attribute range cannot be sampled uniformly");
-      }
-      point[j] = rng.uniform(range.lo, range.hi);
-    }
-    if (!point_in_union(point, set)) {
+    sample_into(s, rng, point_scratch);
+    if (!point_in_union(point_scratch, set)) {
       result.covered = false;
-      result.witness = point;
+      result.witness = point_scratch;
       return result;
     }
   }
   result.covered = true;
   return result;
+}
+
+RspcResult run_rspc(const Subscription& s, std::span<const Subscription> set,
+                    std::uint64_t budget, util::Rng& rng) {
+  // Delegate to the pointer-span implementation so there is exactly one
+  // copy of the trial loop (identical RNG consumption either way).
+  std::vector<const Subscription*> pointers;
+  pointers.reserve(set.size());
+  for (const Subscription& si : set) pointers.push_back(&si);
+  std::vector<Value> point;
+  return run_rspc(s, pointers, budget, rng, point);
 }
 
 }  // namespace psc::core

@@ -34,6 +34,14 @@ struct RspcResult {
                                   std::span<const Subscription> set,
                                   std::uint64_t budget, util::Rng& rng);
 
+/// Allocation-free variant over a pointer set: the sample point lives in
+/// `point_scratch` (resized once, capacity reused across calls). The only
+/// remaining allocation is the witness copy on a definite NO.
+[[nodiscard]] RspcResult run_rspc(const Subscription& s,
+                                  std::span<const Subscription* const> set,
+                                  std::uint64_t budget, util::Rng& rng,
+                                  std::vector<Value>& point_scratch);
+
 /// Draws one uniform point inside s (requires finite ranges; degenerate
 /// [v, v] ranges yield the point value v).
 [[nodiscard]] std::vector<Value> sample_point(const Subscription& s, util::Rng& rng);
@@ -41,5 +49,7 @@ struct RspcResult {
 /// True iff `point` lies inside at least one subscription of `set`.
 [[nodiscard]] bool point_in_union(std::span<const Value> point,
                                   std::span<const Subscription> set) noexcept;
+[[nodiscard]] bool point_in_union(std::span<const Value> point,
+                                  std::span<const Subscription* const> set) noexcept;
 
 }  // namespace psc::core

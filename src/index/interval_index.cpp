@@ -1,0 +1,352 @@
+#include "index/interval_index.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace psc::index {
+
+using core::Interval;
+using core::Subscription;
+using core::SubscriptionId;
+using core::Value;
+
+IntervalIndex::IntervalIndex(std::size_t attribute_count, IndexConfig config)
+    : m_(attribute_count), config_(config), lows_(attribute_count),
+      highs_(attribute_count) {
+  if (!(config_.domain_lo < config_.domain_hi)) {
+    throw std::invalid_argument("IndexConfig: domain_lo must be < domain_hi");
+  }
+  if (config_.bucket_count == 0) {
+    throw std::invalid_argument("IndexConfig: bucket_count must be > 0");
+  }
+}
+
+bool IntervalIndex::is_wide(const Interval& iv) const noexcept {
+  return iv.lo <= config_.domain_lo && iv.hi >= config_.domain_hi;
+}
+
+std::size_t IntervalIndex::bucket_of(Value v) const noexcept {
+  // Clamp out-of-domain (and infinite) values to the edge buckets; the
+  // exact verification pass absorbs the lost selectivity.
+  if (!(v > config_.domain_lo)) return 0;
+  if (!(v < config_.domain_hi)) return config_.bucket_count - 1;
+  const double fraction =
+      (v - config_.domain_lo) / (config_.domain_hi - config_.domain_lo);
+  std::size_t bucket =
+      static_cast<std::size_t>(fraction * static_cast<double>(config_.bucket_count));
+  if (bucket >= config_.bucket_count) bucket = config_.bucket_count - 1;
+  return bucket;
+}
+
+void IntervalIndex::grow_bitmaps() {
+  const std::size_t new_words = words_ == 0 ? 4 : words_ * 2;
+  // Mask rows default to all-ones (free and wide slots must not block the
+  // sweep); the occupancy row defaults to zero.
+  std::vector<Word> mask_bits(m_ * config_.bucket_count * new_words, ~Word{0});
+  std::vector<Word> occupied_bits(new_words, 0);
+  for (std::size_t row = 0; row < m_ * config_.bucket_count; ++row) {
+    std::copy_n(mask_bits_.begin() + static_cast<std::ptrdiff_t>(row * words_),
+                words_,
+                mask_bits.begin() + static_cast<std::ptrdiff_t>(row * new_words));
+  }
+  std::copy_n(occupied_bits_.begin(), words_, occupied_bits.begin());
+  mask_bits_ = std::move(mask_bits);
+  occupied_bits_ = std::move(occupied_bits);
+  words_ = new_words;
+  slot_capacity_ = words_ * kWordBits;
+}
+
+void IntervalIndex::write_mask_bits(std::size_t attribute, std::uint32_t slot,
+                                    const Interval& iv, bool erase_restore) {
+  const std::size_t word = slot / kWordBits;
+  const Word mask = Word{1} << (slot % kWordBits);
+  const std::size_t first = erase_restore ? 0 : bucket_of(iv.lo);
+  const std::size_t last =
+      erase_restore ? config_.bucket_count - 1 : bucket_of(iv.hi);
+  for (std::size_t bucket = 0; bucket < config_.bucket_count; ++bucket) {
+    Word* row = mask_row(attribute, bucket);
+    if (bucket >= first && bucket <= last) {
+      row[word] |= mask;
+    } else {
+      row[word] &= ~mask;
+    }
+  }
+}
+
+void IntervalIndex::insert(const Subscription& sub) {
+  if (sub.attribute_count() != m_) {
+    throw std::invalid_argument("IntervalIndex::insert: schema mismatch");
+  }
+  if (sub.id() == core::kInvalidSubscriptionId) {
+    throw std::invalid_argument("IntervalIndex::insert: id must be non-zero");
+  }
+  if (slot_of_.count(sub.id()) > 0) {
+    throw std::invalid_argument("IntervalIndex::insert: duplicate id " +
+                                std::to_string(sub.id()));
+  }
+
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(ids_.size());
+    ids_.push_back(core::kInvalidSubscriptionId);
+    required_.push_back(0);
+    ranges_.resize(ranges_.size() + m_, Interval::everything());
+    semantic_attrs_.push_back(0);
+    wide_attrs_.push_back(0);
+    counts_.push_back(0);
+    epochs_.push_back(0);
+    if (slot >= slot_capacity_) grow_bitmaps();
+  }
+
+  ids_[slot] = sub.id();
+  slot_of_.emplace(sub.id(), slot);
+
+  std::uint32_t required = 0;
+  std::uint64_t semantic_mask = 0;
+  std::uint64_t wide_mask = 0;
+  auto by_value = [](const Endpoint& a, const Endpoint& b) {
+    return a.value < b.value;
+  };
+  for (std::size_t j = 0; j < m_; ++j) {
+    const Interval& iv = sub.range(j);
+    ranges_[slot * m_ + j] = iv;
+    const std::uint64_t bit = j < 64 ? std::uint64_t{1} << j : 0;
+    if (iv != Interval::everything()) semantic_mask |= bit;
+    if (is_wide(iv)) {
+      if (iv != Interval::everything()) wide_mask |= bit;
+      continue;
+    }
+    ++required;
+    auto& lows = lows_[j];
+    lows.insert(std::upper_bound(lows.begin(), lows.end(),
+                                 Endpoint{iv.lo, slot}, by_value),
+                Endpoint{iv.lo, slot});
+    auto& highs = highs_[j];
+    highs.insert(std::upper_bound(highs.begin(), highs.end(),
+                                  Endpoint{iv.hi, slot}, by_value),
+                 Endpoint{iv.hi, slot});
+    write_mask_bits(j, slot, iv, /*erase_restore=*/false);
+  }
+  required_[slot] = required;
+  semantic_attrs_[slot] = semantic_mask;
+  wide_attrs_[slot] = wide_mask;
+  if (required == 0) unselective_slots_.push_back(slot);
+  occupied_bits_[slot / kWordBits] |= Word{1} << (slot % kWordBits);
+  ++size_;
+}
+
+void IntervalIndex::remove_endpoint(std::vector<Endpoint>& endpoints,
+                                    Value value, std::uint32_t slot) {
+  auto by_value = [](const Endpoint& a, const Endpoint& b) {
+    return a.value < b.value;
+  };
+  const auto [first, last] = std::equal_range(
+      endpoints.begin(), endpoints.end(), Endpoint{value, slot}, by_value);
+  for (auto it = first; it != last; ++it) {
+    if (it->slot == slot) {
+      endpoints.erase(it);
+      return;
+    }
+  }
+  throw std::logic_error("IntervalIndex: endpoint missing on erase");
+}
+
+bool IntervalIndex::erase(SubscriptionId id) {
+  const auto it = slot_of_.find(id);
+  if (it == slot_of_.end()) return false;
+  const std::uint32_t slot = it->second;
+  slot_of_.erase(it);
+
+  occupied_bits_[slot / kWordBits] &= ~(Word{1} << (slot % kWordBits));
+  for (std::size_t j = 0; j < m_; ++j) {
+    const Interval& iv = ranges_[slot * m_ + j];
+    if (is_wide(iv)) continue;
+    remove_endpoint(lows_[j], iv.lo, slot);
+    remove_endpoint(highs_[j], iv.hi, slot);
+    write_mask_bits(j, slot, iv, /*erase_restore=*/true);
+  }
+  if (required_[slot] == 0) {
+    const auto pos = std::find(unselective_slots_.begin(),
+                               unselective_slots_.end(), slot);
+    if (pos != unselective_slots_.end()) {
+      *pos = unselective_slots_.back();
+      unselective_slots_.pop_back();
+    }
+  }
+  ids_[slot] = core::kInvalidSubscriptionId;
+  required_[slot] = 0;
+  semantic_attrs_[slot] = 0;
+  wide_attrs_[slot] = 0;
+  free_slots_.push_back(slot);
+  --size_;
+  return true;
+}
+
+void IntervalIndex::clear() {
+  for (std::size_t j = 0; j < m_; ++j) {
+    lows_[j].clear();
+    highs_[j].clear();
+  }
+  ids_.clear();
+  required_.clear();
+  ranges_.clear();
+  semantic_attrs_.clear();
+  wide_attrs_.clear();
+  free_slots_.clear();
+  slot_of_.clear();
+  unselective_slots_.clear();
+  counts_.clear();
+  epochs_.clear();
+  mask_bits_.clear();
+  occupied_bits_.clear();
+  words_ = 0;
+  slot_capacity_ = 0;
+  size_ = 0;
+}
+
+bool IntervalIndex::verify_stab(std::uint32_t slot,
+                                std::span<const Value> point) const {
+  const Interval* slot_ranges = ranges_.data() + slot * m_;
+  if (m_ <= 64) {
+    std::uint64_t attrs = semantic_attrs_[slot];
+    while (attrs != 0) {
+      const std::size_t j = static_cast<std::size_t>(std::countr_zero(attrs));
+      attrs &= attrs - 1;
+      if (!slot_ranges[j].contains(point[j])) return false;
+    }
+    return true;
+  }
+  for (std::size_t j = 0; j < m_; ++j) {
+    if (!slot_ranges[j].contains(point[j])) return false;
+  }
+  return true;
+}
+
+bool IntervalIndex::verify_box(std::uint32_t slot,
+                               const Subscription& box) const {
+  const Interval* slot_ranges = ranges_.data() + slot * m_;
+  if (m_ <= 64) {
+    // Selective attributes were counted exactly; only the wide ones (full
+    // domain or beyond, but not everything) still need the intersection
+    // check — it can fail only for probes reaching outside the domain.
+    std::uint64_t attrs = wide_attrs_[slot];
+    while (attrs != 0) {
+      const std::size_t j = static_cast<std::size_t>(std::countr_zero(attrs));
+      attrs &= attrs - 1;
+      if (!slot_ranges[j].intersects(box.range(j))) return false;
+    }
+    return true;
+  }
+  for (std::size_t j = 0; j < m_; ++j) {
+    if (!slot_ranges[j].intersects(box.range(j))) return false;
+  }
+  return true;
+}
+
+void IntervalIndex::stab(std::span<const Value> point,
+                         std::vector<SubscriptionId>& out) const {
+  if (point.size() != m_) {
+    throw std::invalid_argument("IntervalIndex::stab: schema mismatch");
+  }
+  if (size_ == 0) {
+    last_query_cost_ = 0;
+    return;
+  }
+  std::uint64_t cost = 0;
+  const std::size_t words = words_in_use();
+
+  // Fused word-parallel sweep: start from the live slots and AND in each
+  // attribute's candidate-mask row for the probe's bucket. Attributes with
+  // no selective interval anywhere are all-ones rows — skipped outright.
+  acc_scratch_.assign(occupied_bits_.begin(),
+                      occupied_bits_.begin() + static_cast<std::ptrdiff_t>(words));
+  Word* acc = acc_scratch_.data();
+  for (std::size_t j = 0; j < m_; ++j) {
+    if (lows_[j].empty()) continue;
+    const Word* row = mask_row(j, bucket_of(point[j]));
+    for (std::size_t w = 0; w < words; ++w) acc[w] &= row[w];
+    cost += words;
+  }
+
+  // Exact verification of the surviving bucket-granularity superset.
+  for (std::size_t w = 0; w < words; ++w) {
+    Word bits = acc[w];
+    while (bits != 0) {
+      const std::uint32_t slot = static_cast<std::uint32_t>(
+          w * kWordBits + static_cast<std::size_t>(std::countr_zero(bits)));
+      bits &= bits - 1;
+      ++cost;
+      if (verify_stab(slot, point)) out.push_back(ids_[slot]);
+    }
+  }
+  last_query_cost_ = cost;
+}
+
+std::vector<SubscriptionId> IntervalIndex::stab(
+    std::span<const Value> point) const {
+  std::vector<SubscriptionId> out;
+  stab(point, out);
+  return out;
+}
+
+void IntervalIndex::box_intersect(const Subscription& box,
+                                  std::vector<SubscriptionId>& out) const {
+  if (box.attribute_count() != m_) {
+    throw std::invalid_argument("IntervalIndex::box_intersect: schema mismatch");
+  }
+  const std::uint64_t epoch = ++epoch_;
+  std::uint64_t cost = 0;
+  auto touch = [&](std::uint32_t slot) {
+    if (epochs_[slot] != epoch) {
+      epochs_[slot] = epoch;
+      counts_[slot] = 0;
+    }
+  };
+
+  // Two-phase counting over the sorted endpoints; see the header. Phase 1
+  // rules out slots whose interval lies entirely below the probe; all
+  // decrements precede every increment, so phase 2's running count is
+  // monotone and crossing required_[slot] certifies that every selective
+  // attribute intersects. Wide attributes are re-checked on emission.
+  for (std::size_t j = 0; j < m_; ++j) {
+    const Value qlo = box.range(j).lo;
+    for (const Endpoint& e : highs_[j]) {
+      if (!(e.value < qlo)) break;
+      touch(e.slot);
+      --counts_[e.slot];
+      ++cost;
+    }
+  }
+  for (std::size_t j = 0; j < m_; ++j) {
+    const Value qhi = box.range(j).hi;
+    for (const Endpoint& e : lows_[j]) {
+      if (e.value > qhi) break;
+      touch(e.slot);
+      if (static_cast<std::uint32_t>(++counts_[e.slot]) == required_[e.slot]) {
+        ++cost;
+        if (verify_box(e.slot, box)) out.push_back(ids_[e.slot]);
+      }
+      ++cost;
+    }
+  }
+
+  for (const std::uint32_t slot : unselective_slots_) {
+    ++cost;
+    if (verify_box(slot, box)) out.push_back(ids_[slot]);
+  }
+  last_query_cost_ = cost;
+}
+
+std::vector<SubscriptionId> IntervalIndex::box_intersect(
+    const Subscription& box) const {
+  std::vector<SubscriptionId> out;
+  box_intersect(box, out);
+  return out;
+}
+
+}  // namespace psc::index

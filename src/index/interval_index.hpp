@@ -1,0 +1,214 @@
+// IntervalIndex — per-attribute candidate index over a set of box
+// subscriptions, the production generalization of the counting matcher
+// baseline (src/baseline/counting_matcher): fully incremental (insert and
+// erase by subscription id) and answering two queries:
+//
+//   * stab(point): ids of subscriptions whose box CONTAINS the point —
+//     publication matching (Algorithm 5's active scan) without touching
+//     subscriptions that cannot match;
+//   * box_intersect(box): ids of subscriptions whose box INTERSECTS the
+//     query box — the candidate-pruning step in front of the coverage
+//     policies: a subscription disjoint from s can neither cover s
+//     (pairwise or as part of a group) nor be covered by it, so the
+//     subsumption pipeline only ever sees index-pruned candidates.
+//
+// The index distinguishes, per slot and attribute, between
+//   * SELECTIVE intervals — those that do NOT cover the whole configured
+//     domain (IndexConfig) — which enter the search structures below, and
+//   * WIDE intervals — Interval::everything() or any interval containing
+//     [domain_lo, domain_hi] — which cannot prune anything inside the
+//     domain and are therefore kept out of the hot structures entirely
+//     and handled by the exact verification pass (this matters: realistic
+//     workloads encode "don't care" as the full domain, and indexing those
+//     predicates would only add dead weight to every query).
+// required_[slot] counts the selective attributes of a slot.
+//
+// Two complementary structures hold the selective intervals per attribute:
+//
+// 1. Sorted endpoint arrays (lower and upper bounds by value). Queries run
+//    the counting algorithm in two phases over a probe box [qlo, qhi]
+//    (interval [lo,hi] intersects it iff lo <= qhi AND hi >= qlo):
+//      phase 1:  counts[slot] -= 1  for every upper endpoint hi <  qlo[j]
+//      phase 2:  counts[slot] += 1  for every lower endpoint lo <= qhi[j]
+//    Per selective attribute the net contribution is 1 iff the predicate
+//    holds, so a slot survives iff its count reaches required_[slot];
+//    since all decrements precede all increments the phase-2 running
+//    count is monotone and crosses required_[slot] exactly once —
+//    survivors are emitted mid-pass and the classical O(k) counts sweep
+//    disappears. Counts are epoch-stamped, so a query touches only passed
+//    endpoints. box_intersect runs on this structure, then re-checks the
+//    emitted slots' wide attributes against the probe (a handful of
+//    comparisons; selective attributes were counted exactly).
+//
+// 2. Bucketed candidate-mask bitmaps: the attribute domain is split into B
+//    buckets; mask[j][b] is a bitmap over slots whose bit is 1 iff the
+//    slot is a POSSIBLE match for a point in bucket b on attribute j —
+//    its selective interval overlaps the bucket, or the attribute is wide
+//    for it (free slots also stay 1; liveness is a separate occupancy
+//    bitmap). A point probe is then one fused word-parallel sweep
+//        acc[w] &= mask[j][bucket(v_j)][w]
+//    over the attributes somebody constrains — O(m * k/64) single-load
+//    word ops — leaving a small bucket-granularity superset that is
+//    verified exactly (each slot stores a bitmask of its semantically
+//    constrained attributes, so only real predicates are re-checked).
+//    stab runs here: publication matching is the hot path (millions of
+//    publications against a slowly-churning subscription set), and the
+//    fused bitmap sweep beats both the flat scan's early-exit walk and
+//    endpoint counting by a wide margin at 10k actives. Values outside
+//    the configured domain clamp to the edge buckets: only pruning power
+//    degrades, never correctness.
+//
+// Both query paths are exact (closed-interval semantics identical to
+// Subscription::contains_point / Subscription::intersects). Mutation cost
+// is O(m log k) search + O(k) memmove on the endpoint arrays plus
+// O(bucket_count) bitmap updates per selective attribute — fine for
+// subscription churn, which is orders of magnitude rarer than matching in
+// pub/sub workloads. Queries mutate only epoch/scratch state and are
+// const, but not safe to run concurrently on one instance.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/subscription.hpp"
+
+namespace psc::index {
+
+/// Bucketing parameters for the stab-acceleration bitmaps. The domain is a
+/// performance hint, not a constraint: out-of-domain values clamp to the
+/// edge buckets and are resolved by the exact verification pass.
+struct IndexConfig {
+  core::Value domain_lo = 0.0;
+  core::Value domain_hi = 1000.0;
+  std::size_t bucket_count = 128;
+};
+
+class IntervalIndex {
+ public:
+  /// Index over a fixed schema of `attribute_count` attributes.
+  explicit IntervalIndex(std::size_t attribute_count, IndexConfig config = {});
+
+  /// Indexes `sub` under its id. Throws std::invalid_argument on a schema
+  /// mismatch, a duplicate id, or the invalid id 0.
+  void insert(const core::Subscription& sub);
+
+  /// Removes the subscription stored under `id`; false if unknown.
+  bool erase(core::SubscriptionId id);
+
+  void clear();
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t attribute_count() const noexcept { return m_; }
+  [[nodiscard]] const IndexConfig& config() const noexcept { return config_; }
+  [[nodiscard]] bool contains(core::SubscriptionId id) const {
+    return slot_of_.count(id) > 0;
+  }
+
+  /// Appends to `out` the ids of all subscriptions whose box contains
+  /// `point` (one value per attribute). Order is unspecified.
+  void stab(std::span<const core::Value> point,
+            std::vector<core::SubscriptionId>& out) const;
+  [[nodiscard]] std::vector<core::SubscriptionId> stab(
+      std::span<const core::Value> point) const;
+
+  /// Appends to `out` the ids of all subscriptions whose box shares at
+  /// least one point with `box`. Order is unspecified.
+  void box_intersect(const core::Subscription& box,
+                     std::vector<core::SubscriptionId>& out) const;
+  [[nodiscard]] std::vector<core::SubscriptionId> box_intersect(
+      const core::Subscription& box) const;
+
+  /// Work performed by the most recent query (bitmap words + verification
+  /// probes for stab; endpoint passes for box_intersect) — comparable
+  /// against the k subscriptions a flat scan would examine.
+  [[nodiscard]] std::uint64_t last_query_cost() const noexcept {
+    return last_query_cost_;
+  }
+
+ private:
+  struct Endpoint {
+    core::Value value;
+    std::uint32_t slot;
+  };
+  using Word = std::uint64_t;
+  static constexpr std::size_t kWordBits = 64;
+
+  std::size_t m_;
+  IndexConfig config_;
+  std::size_t size_ = 0;
+
+  /// Per attribute: lower/upper endpoints of SELECTIVE intervals, sorted
+  /// by value (ties in arbitrary order; slot disambiguates on erase).
+  std::vector<std::vector<Endpoint>> lows_;
+  std::vector<std::vector<Endpoint>> highs_;
+
+  /// Slot-indexed state. Slots are stable across erasures (free list), so
+  /// endpoint entries and bitmap bits never need renumbering.
+  std::vector<core::SubscriptionId> ids_;      ///< kInvalid for free slots
+  std::vector<std::uint32_t> required_;        ///< selective attributes
+  std::vector<core::Interval> ranges_;         ///< slot-major, m_ per slot
+  /// Per-slot attribute bitmasks (bit j = attribute j; only meaningful for
+  /// m_ <= 64, with a full-loop fallback otherwise):
+  ///   semantic_attrs_ — attributes whose interval != everything() (what
+  ///                     stab must verify on a candidate);
+  ///   wide_attrs_     — semantically constrained but domain-covering
+  ///                     (what box_intersect must re-check on a survivor).
+  std::vector<std::uint64_t> semantic_attrs_;
+  std::vector<std::uint64_t> wide_attrs_;
+  std::vector<std::uint32_t> free_slots_;
+  std::unordered_map<core::SubscriptionId, std::uint32_t> slot_of_;
+
+  /// Slots with no selective attribute bypass the counting pass of
+  /// box_intersect entirely (they are emitted subject to wide-attribute
+  /// verification only).
+  std::vector<std::uint32_t> unselective_slots_;
+
+  /// Candidate-mask rows, m_ * bucket_count of them, words_ words each;
+  /// free and wide/unconstrained slots carry 1-bits (see file comment).
+  /// The occupancy row has 1-bits exactly at live slots.
+  std::size_t words_ = 0;          ///< words per bitmap row
+  std::size_t slot_capacity_ = 0;  ///< slots representable, words_ * 64
+  std::vector<Word> mask_bits_;
+  std::vector<Word> occupied_bits_;
+
+  /// Lazily-reset counting state for box_intersect (epoch stamp instead of
+  /// an O(k) clear).
+  mutable std::vector<std::int32_t> counts_;
+  mutable std::vector<std::uint64_t> epochs_;
+  mutable std::uint64_t epoch_ = 0;
+  mutable std::uint64_t last_query_cost_ = 0;
+  mutable std::vector<Word> acc_scratch_;  ///< stab accumulator
+
+  /// True iff the interval cannot prune inside the configured domain.
+  [[nodiscard]] bool is_wide(const core::Interval& iv) const noexcept;
+  [[nodiscard]] std::size_t bucket_of(core::Value v) const noexcept;
+  [[nodiscard]] std::size_t words_in_use() const noexcept {
+    return (ids_.size() + kWordBits - 1) / kWordBits;
+  }
+  [[nodiscard]] Word* mask_row(std::size_t attribute, std::size_t bucket) noexcept {
+    return mask_bits_.data() + (attribute * config_.bucket_count + bucket) * words_;
+  }
+  [[nodiscard]] const Word* mask_row(std::size_t attribute,
+                                     std::size_t bucket) const noexcept {
+    return mask_bits_.data() + (attribute * config_.bucket_count + bucket) * words_;
+  }
+  /// True iff the slot's box contains the point / intersects the box,
+  /// checking only the attributes the corresponding query path left
+  /// unverified (used on bucket-granularity survivors).
+  [[nodiscard]] bool verify_stab(std::uint32_t slot,
+                                 std::span<const core::Value> point) const;
+  [[nodiscard]] bool verify_box(std::uint32_t slot,
+                                const core::Subscription& box) const;
+  /// Writes the slot's mask bits for one selective attribute: 1 in the
+  /// buckets its interval overlaps (all of them on erase), 0 elsewhere.
+  void write_mask_bits(std::size_t attribute, std::uint32_t slot,
+                       const core::Interval& iv, bool erase_restore);
+  void grow_bitmaps();
+  void remove_endpoint(std::vector<Endpoint>& endpoints, core::Value value,
+                       std::uint32_t slot);
+};
+
+}  // namespace psc::index

@@ -30,53 +30,31 @@ MatchOutcome Matcher::match(const Publication& pub) {
   ++stats_.publications;
   MatchOutcome outcome;
 
-  // Pass 1: actives (the uncovered set S). Track which neighbours are
-  // already scheduled; subscriptions from an already-matched neighbour are
-  // skipped — the publication travels to that broker regardless, and the
-  // remote broker re-matches locally (paper, Section 4.4 optimization).
-  std::vector<NeighborId> scheduled;
-  auto neighbor_scheduled = [&](NeighborId n) {
-    return std::find(scheduled.begin(), scheduled.end(), n) != scheduled.end();
-  };
+  // Algorithm 5 through the store: index-backed point-stab over the
+  // actives (or the flat scan when StoreConfig::use_index is off), then
+  // the Section 4.4 covered-DAG descent below matching actives. The store
+  // reports the work both passes performed.
+  const std::uint64_t covered_before = store_.covered_examined();
+  outcome.matched = store_.match(pub);
+  stats_.active_examined += store_.last_active_examined();
+  stats_.covered_examined += store_.covered_examined() - covered_before;
 
-  const auto actives = store_.active_snapshot();
-  bool any_active_match = false;
-  for (const auto& sub : actives) {
-    const auto owner_it = owners_.find(sub.id());
+  // Destination fan-out with per-neighbour dedup: once a neighbour is
+  // scheduled, further matches it owns add no traffic — the publication
+  // travels there once and the remote broker re-matches locally (paper,
+  // Section 4.4 optimization).
+  std::vector<NeighborId> scheduled;
+  for (const SubscriptionId id : outcome.matched) {
+    const auto owner_it = owners_.find(id);
     const NeighborId owner =
         owner_it == owners_.end() ? kLocalSubscriber : owner_it->second;
-    if (owner != kLocalSubscriber && neighbor_scheduled(owner)) {
+    if (owner == kLocalSubscriber) continue;
+    if (std::find(scheduled.begin(), scheduled.end(), owner) !=
+        scheduled.end()) {
       ++stats_.neighbor_short_circuits;
       continue;
     }
-    ++stats_.active_examined;
-    if (!pub.matches(sub)) continue;
-    any_active_match = true;
-    outcome.matched.push_back(sub.id());
-    if (owner != kLocalSubscriber && !neighbor_scheduled(owner)) {
-      scheduled.push_back(owner);
-    }
-  }
-
-  // Pass 2 (Algorithm 5): covered subscriptions only when an active matched.
-  if (any_active_match) {
-    // Full covered scan through the store's combined matcher; subtract the
-    // active ids we already recorded.
-    const auto all = store_.match(pub);
-    for (const SubscriptionId id : all) {
-      if (std::find(outcome.matched.begin(), outcome.matched.end(), id) !=
-          outcome.matched.end()) {
-        continue;
-      }
-      ++stats_.covered_examined;
-      outcome.matched.push_back(id);
-      const auto owner_it = owners_.find(id);
-      const NeighborId owner =
-          owner_it == owners_.end() ? kLocalSubscriber : owner_it->second;
-      if (owner != kLocalSubscriber && !neighbor_scheduled(owner)) {
-        scheduled.push_back(owner);
-      }
-    }
+    scheduled.push_back(owner);
   }
 
   stats_.matches += outcome.matched.size();

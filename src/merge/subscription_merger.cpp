@@ -52,19 +52,46 @@ std::vector<Subscription> merge_set(std::vector<Subscription> subs,
     throw std::invalid_argument("MergeConfig: max_waste_ratio must be in [0,1]");
   }
   MergeStats local;
+  const std::size_t n = subs.size();
+  if (n < 2 || config.max_rounds == 0) {
+    if (stats) *stats = local;
+    return subs;
+  }
+
+  // Pair waste ratios are cached in a packed upper-triangular matrix and
+  // only the pairs involving a freshly-merged subscription are recomputed
+  // (the O(m) geometric ratio of every untouched pair is unchanged).
+  // Removed subscriptions are masked out rather than erased so cache
+  // indices stay stable; iteration in index order preserves the original
+  // implementation's first-minimum tie-breaking exactly.
+  std::vector<char> alive(n, 1);
+  std::vector<double> ratio(n * (n - 1) / 2, 0.0);
+  // Packed offset of pair (i, l) with i < l.
+  auto at = [n](std::size_t i, std::size_t l) {
+    return i * n - i * (i + 1) / 2 + (l - i - 1);
+  };
+  std::size_t alive_count = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t l = i + 1; l < n; ++l) {
+      ratio[at(i, l)] = waste_ratio(subs[i], subs[l]);
+    }
+  }
+
   for (std::size_t round = 0; round < config.max_rounds; ++round) {
     bool merged_any = false;
     ++local.rounds;
     // One pass: find the best qualifying pair, merge, repeat within the
     // round until no pair qualifies in a full scan.
-    while (subs.size() >= 2) {
+    while (alive_count >= 2) {
       double best = std::numeric_limits<double>::infinity();
       std::size_t best_a = 0, best_b = 0;
-      for (std::size_t i = 0; i < subs.size(); ++i) {
-        for (std::size_t l = i + 1; l < subs.size(); ++l) {
-          const double ratio = waste_ratio(subs[i], subs[l]);
-          if (ratio < best) {
-            best = ratio;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!alive[i]) continue;
+        for (std::size_t l = i + 1; l < n; ++l) {
+          if (!alive[l]) continue;
+          const double cached = ratio[at(i, l)];
+          if (cached < best) {
+            best = cached;
             best_a = i;
             best_b = l;
           }
@@ -78,16 +105,29 @@ std::vector<Subscription> merge_set(std::vector<Subscription> subs,
       if (std::isfinite(hull_volume)) {
         local.waste_volume += static_cast<Value>(best) * hull_volume;
       }
-      // Remove b (higher index first), replace a.
-      subs.erase(subs.begin() + static_cast<std::ptrdiff_t>(best_b));
+      // Drop b, replace a, refresh only a's cached ratios.
+      alive[best_b] = 0;
+      --alive_count;
       subs[best_a] = std::move(merged);
+      for (std::size_t other = 0; other < n; ++other) {
+        if (!alive[other] || other == best_a) continue;
+        const double fresh = waste_ratio(subs[best_a], subs[other]);
+        ratio[at(other < best_a ? other : best_a,
+                 other < best_a ? best_a : other)] = fresh;
+      }
       ++local.merges_performed;
       merged_any = true;
     }
     if (!merged_any) break;
   }
+
+  std::vector<Subscription> result;
+  result.reserve(alive_count);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (alive[i]) result.push_back(std::move(subs[i]));
+  }
   if (stats) *stats = local;
-  return subs;
+  return result;
 }
 
 }  // namespace psc::merge

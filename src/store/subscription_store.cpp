@@ -14,12 +14,60 @@ using core::SubscriptionId;
 SubscriptionStore::SubscriptionStore(StoreConfig config, std::uint64_t seed)
     : config_(config), engine_(config.engine, seed) {}
 
+void SubscriptionStore::index_insert_active(const Subscription& sub) {
+  if (!config_.use_index) return;
+  if (!interval_index_) {
+    interval_index_.emplace(sub.attribute_count(), config_.index);
+  }
+  interval_index_->insert(sub);
+}
+
+std::span<const Subscription* const> SubscriptionStore::intersecting_candidates(
+    const Subscription& box) {
+  // Index-pruned candidates, reordered to active-slot order: every
+  // downstream consumer (pairwise first-cover, engine diagnostics, group
+  // coverer lists, demotion) then sees the same sequence the flat scan
+  // would produce, making the two paths decision-for-decision identical.
+  id_scratch_.clear();
+  interval_index_->box_intersect(box, id_scratch_);
+  slot_scratch_.clear();
+  for (const SubscriptionId id : id_scratch_) {
+    slot_scratch_.push_back(active_index_.at(id));
+  }
+  std::sort(slot_scratch_.begin(), slot_scratch_.end());
+  candidate_scratch_.clear();
+  for (const std::size_t slot : slot_scratch_) {
+    candidate_scratch_.push_back(&active_[slot]);
+  }
+  return candidate_scratch_;
+}
+
 std::optional<std::vector<SubscriptionId>> SubscriptionStore::check_covered(
     const Subscription& sub, std::optional<core::SubsumptionResult>* diag) {
+  if (config_.policy == CoveragePolicy::kNone) return std::nullopt;
+
+  // Candidate pruning: only actives whose box intersects sub can take part
+  // in covering it (pairwise or as a group), so everything else is skipped
+  // before the policies run. Gated on the engine's own prefilter knob:
+  // with prefilter_intersecting=false the caller asked the engine to see
+  // the unfiltered set (an ablation configuration), and pruning here would
+  // silently reintroduce the filter.
+  const bool pruned = index_enabled() && config_.engine.prefilter_intersecting;
+  std::span<const Subscription* const> candidates;
+  if (pruned) candidates = intersecting_candidates(sub);
+
   switch (config_.policy) {
     case CoveragePolicy::kNone:
       return std::nullopt;
     case CoveragePolicy::kPairwise: {
+      if (pruned) {
+        for (const Subscription* candidate : candidates) {
+          if (candidate->covers(sub)) {
+            return std::vector<SubscriptionId>{candidate->id()};
+          }
+        }
+        return std::nullopt;
+      }
       if (const auto slot = baseline::find_covering(sub, active_)) {
         return std::vector<SubscriptionId>{active_[*slot].id()};
       }
@@ -27,17 +75,42 @@ std::optional<std::vector<SubscriptionId>> SubscriptionStore::check_covered(
     }
     case CoveragePolicy::kGroup: {
       ++group_checks_;
-      core::SubsumptionResult result = engine_.check(sub, active_);
+      core::SubsumptionResult result;
+      if (pruned) {
+        if (candidates.empty() && !active_.empty()) {
+          // The index proved no active intersects sub; mirror what the
+          // engine's own prefilter would have reported on the full set so
+          // pruning stays invisible in the diagnostics.
+          result.covered = false;
+          result.path = core::DecisionPath::kMcsEmpty;
+        } else {
+          result = engine_.check(sub, candidates);
+        }
+        // Diagnostics describe the caller-visible set, not the pruned one.
+        result.original_set_size = active_.size();
+      } else {
+        result = engine_.check(sub, active_);
+      }
       if (diag) *diag = result;
       if (!result.covered) return std::nullopt;
       if (result.covering_index) {
-        return std::vector<SubscriptionId>{active_[*result.covering_index].id()};
+        const SubscriptionId coverer_id =
+            pruned ? candidates[*result.covering_index]->id()
+                   : active_[*result.covering_index].id();
+        return std::vector<SubscriptionId>{coverer_id};
       }
       // Group cover: conservatively record every active that overlaps sub
       // as a coverer — any of them disappearing may expose sub again.
       std::vector<SubscriptionId> coverers;
-      for (const auto& active : active_) {
-        if (active.intersects(sub)) coverers.push_back(active.id());
+      if (pruned) {
+        coverers.reserve(candidates.size());
+        for (const Subscription* candidate : candidates) {
+          coverers.push_back(candidate->id());
+        }
+      } else {
+        for (const auto& active : active_) {
+          if (active.intersects(sub)) coverers.push_back(active.id());
+        }
       }
       return coverers;
     }
@@ -72,10 +145,18 @@ std::vector<SubscriptionId> SubscriptionStore::coverers_of(
 
 void SubscriptionStore::demote_actives_covered_by(const Subscription& sub,
                                                   InsertResult& result) {
-  // Collect first (indices shift under erase), then demote by id.
+  // Collect first (indices shift under erase), then demote by id. An
+  // active covered by sub necessarily intersects it, so the index prunes
+  // the candidate sweep here too.
   std::vector<SubscriptionId> to_demote;
-  for (const auto& active : active_) {
-    if (sub.covers(active)) to_demote.push_back(active.id());
+  if (index_enabled()) {
+    for (const Subscription* candidate : intersecting_candidates(sub)) {
+      if (sub.covers(*candidate)) to_demote.push_back(candidate->id());
+    }
+  } else {
+    for (const auto& active : active_) {
+      if (sub.covers(active)) to_demote.push_back(active.id());
+    }
   }
   for (const SubscriptionId id : to_demote) {
     const auto it = active_index_.find(id);
@@ -90,6 +171,7 @@ void SubscriptionStore::demote_actives_covered_by(const Subscription& sub,
 
 void SubscriptionStore::erase_active_slot(std::size_t slot) {
   const std::size_t last = active_.size() - 1;
+  if (index_enabled()) interval_index_->erase(active_[slot].id());
   active_index_.erase(active_[slot].id());
   if (slot != last) {
     active_[slot] = std::move(active_[last]);
@@ -118,6 +200,7 @@ InsertResult SubscriptionStore::insert(const Subscription& sub) {
   result.engine_result = std::move(diag);
   result.accepted_active = true;
   if (config_.demote_covered_actives) demote_actives_covered_by(sub, result);
+  index_insert_active(sub);
   active_index_[sub.id()] = active_.size();
   active_.push_back(sub);
   return result;
@@ -169,10 +252,26 @@ const Subscription* SubscriptionStore::find(SubscriptionId id) const {
 
 std::vector<SubscriptionId> SubscriptionStore::match_active(
     const Publication& pub) const {
+  // Both paths return ids in ascending order: deterministic for callers
+  // and bit-identical between the index and flat implementations (the
+  // equivalence property tests rely on this).
   std::vector<SubscriptionId> ids;
-  for (const auto& sub : active_) {
-    if (pub.matches(sub)) ids.push_back(sub.id());
+  if (index_enabled() &&
+      pub.attribute_count() == interval_index_->attribute_count()) {
+    interval_index_->stab(pub.values(), ids);
+    last_active_examined_ = interval_index_->last_query_cost();
+  } else if (index_enabled()) {
+    // Wrong-arity publication: no subscription can match it (the flat
+    // scan's contains_point answers false on a size mismatch); keep that
+    // behavior instead of surfacing the index's schema check.
+    last_active_examined_ = 0;
+  } else {
+    last_active_examined_ = active_.size();
+    for (const auto& sub : active_) {
+      if (pub.matches(sub)) ids.push_back(sub.id());
+    }
   }
+  std::sort(ids.begin(), ids.end());
   return ids;
 }
 

@@ -29,6 +29,7 @@
 #include "core/engine.hpp"
 #include "core/publication.hpp"
 #include "core/subscription.hpp"
+#include "index/interval_index.hpp"
 
 namespace psc::store {
 
@@ -60,6 +61,19 @@ struct StoreConfig {
   /// its coverers matched. Off = flat scan of the covered set (used by the
   /// ablation bench).
   bool hierarchical_match = true;
+  /// Maintain an IntervalIndex over the active set and route publication
+  /// matching (point-stab) and coverage-candidate gathering (box-intersect)
+  /// through it instead of flat O(k) scans. Off = the seed's flat scans,
+  /// kept for ablation (bench/index_scaling) and as the reference in the
+  /// equivalence property tests. Results are identical either way; only
+  /// the work differs. Requires all subscriptions in the store to share
+  /// one attribute schema (coverage policies already require this; only a
+  /// kNone store with mixed arities needs use_index = false).
+  bool use_index = true;
+  /// Bucketing domain for the index (results never depend on it, but
+  /// pruning power does: values outside the domain clamp to the edge
+  /// buckets). Match it to the deployment's attribute value range.
+  index::IndexConfig index;
 };
 
 class SubscriptionStore {
@@ -123,6 +137,12 @@ class SubscriptionStore {
     return covered_examined_;
   }
 
+  /// Work performed by the most recent match_active()/match() active pass:
+  /// actives examined by the flat scan, or endpoint passes by the index.
+  [[nodiscard]] std::uint64_t last_active_examined() const noexcept {
+    return last_active_examined_;
+  }
+
   /// Direct coverer ids of a covered subscription (empty for actives or
   /// unknown ids). Exposes the cover DAG for tests and diagnostics.
   [[nodiscard]] std::vector<core::SubscriptionId> coverers_of(
@@ -141,17 +161,26 @@ class SubscriptionStore {
   core::SubsumptionEngine engine_;
   std::vector<core::Subscription> active_;
   std::unordered_map<core::SubscriptionId, std::size_t> active_index_;
+  /// Candidate-pruning index over the actives (when config_.use_index).
+  /// Created lazily on the first insert because the schema width is not
+  /// known at construction time.
+  std::optional<index::IntervalIndex> interval_index_;
   std::unordered_map<core::SubscriptionId, CoveredEntry> covered_;
   /// Cover DAG edges: coverer id -> covered ids listing it (Section 4.4).
   std::unordered_map<core::SubscriptionId, std::vector<core::SubscriptionId>>
       children_;
   std::uint64_t group_checks_ = 0;
   mutable std::uint64_t covered_examined_ = 0;
+  mutable std::uint64_t last_active_examined_ = 0;
   /// Scratch buffer + visited epoch for the match() descent, reused across
   /// calls so the hot path performs no allocations and no hashing beyond
   /// the children lookup.
   mutable std::vector<core::SubscriptionId> frontier_scratch_;
   mutable std::uint64_t match_epoch_ = 0;
+  /// Scratch for index-backed queries (reused across calls).
+  mutable std::vector<core::SubscriptionId> id_scratch_;
+  mutable std::vector<std::size_t> slot_scratch_;
+  std::vector<const core::Subscription*> candidate_scratch_;
 
   void link_coverers(core::SubscriptionId covered_id,
                      const std::vector<core::SubscriptionId>& coverers);
@@ -166,6 +195,16 @@ class SubscriptionStore {
   void demote_actives_covered_by(const core::Subscription& sub,
                                  InsertResult& result);
   void erase_active_slot(std::size_t slot);
+
+  [[nodiscard]] bool index_enabled() const noexcept {
+    return config_.use_index && interval_index_.has_value();
+  }
+  void index_insert_active(const core::Subscription& sub);
+  /// Actives whose box intersects `box`, as pointers into active_, in
+  /// active-slot order (so downstream decisions match the flat scan's
+  /// iteration order exactly). Returns the reused scratch vector.
+  [[nodiscard]] std::span<const core::Subscription* const>
+  intersecting_candidates(const core::Subscription& box);
 };
 
 }  // namespace psc::store

@@ -1,0 +1,182 @@
+// Property tests: the index-backed store (StoreConfig::use_index = true)
+// and the seed's flat-scan store must be *decision-for-decision identical*
+// on the same input stream — same InsertResults (activation, coverage,
+// demotions, engine verdicts), same promotions on erase, and same match
+// outputs — across randomized workload streams and every coverage policy.
+//
+// This holds exactly (not just as sets) because the store re-sorts index
+// candidates into active-slot order before any decision consumes them, and
+// because the engine draws the same RNG stream either way: pruning to the
+// intersecting candidates is invisible to the engine's own prefilter.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "store/subscription_store.hpp"
+#include "workload/comparison_stream.hpp"
+#include "workload/publications.hpp"
+#include "workload/scenarios.hpp"
+
+namespace psc::store {
+namespace {
+
+using core::Publication;
+using core::Subscription;
+using core::SubscriptionId;
+
+void expect_same_insert(const InsertResult& a, const InsertResult& b,
+                        int step) {
+  EXPECT_EQ(a.accepted_active, b.accepted_active) << step;
+  EXPECT_EQ(a.covered, b.covered) << step;
+  EXPECT_EQ(a.demoted, b.demoted) << step;
+  ASSERT_EQ(a.engine_result.has_value(), b.engine_result.has_value()) << step;
+  if (a.engine_result) {
+    EXPECT_EQ(a.engine_result->covered, b.engine_result->covered) << step;
+    EXPECT_EQ(a.engine_result->path, b.engine_result->path) << step;
+    EXPECT_EQ(a.engine_result->iterations, b.engine_result->iterations) << step;
+    EXPECT_EQ(a.engine_result->original_set_size,
+              b.engine_result->original_set_size)
+        << step;
+    EXPECT_EQ(a.engine_result->reduced_set_size,
+              b.engine_result->reduced_set_size)
+        << step;
+    EXPECT_EQ(a.engine_result->rho_w, b.engine_result->rho_w) << step;
+    EXPECT_EQ(a.engine_result->trial_budget, b.engine_result->trial_budget)
+        << step;
+    EXPECT_EQ(a.engine_result->covering_index.has_value(),
+              b.engine_result->covering_index.has_value())
+        << step;
+  }
+}
+
+StoreConfig make_config(CoveragePolicy policy, bool use_index) {
+  StoreConfig config;
+  config.policy = policy;
+  config.use_index = use_index;
+  config.engine.max_iterations = 5'000;
+  return config;
+}
+
+class IndexEquivalence : public ::testing::TestWithParam<CoveragePolicy> {};
+
+TEST_P(IndexEquivalence, IdenticalDecisionsAndMatchesUnderChurn) {
+  const CoveragePolicy policy = GetParam();
+  const std::uint64_t seed = 0xfeedULL;
+  SubscriptionStore indexed(make_config(policy, true), seed);
+  SubscriptionStore flat(make_config(policy, false), seed);
+
+  workload::ComparisonConfig stream_config;
+  stream_config.attribute_count = 8;
+  workload::ComparisonStream stream(stream_config, 99);
+  util::Rng rng(7);
+  std::vector<SubscriptionId> live;
+
+  for (int step = 0; step < 400; ++step) {
+    if (!live.empty() && rng.bernoulli(0.2)) {
+      const SubscriptionId victim = live[rng.next_below(live.size())];
+      const auto erased_indexed = indexed.erase_reporting(victim);
+      const auto erased_flat = flat.erase_reporting(victim);
+      EXPECT_EQ(erased_indexed.erased, erased_flat.erased) << step;
+      EXPECT_EQ(erased_indexed.promoted, erased_flat.promoted) << step;
+      live.erase(std::find(live.begin(), live.end(), victim));
+    } else {
+      const Subscription sub = stream.next();
+      const auto inserted_indexed = indexed.insert(sub);
+      const auto inserted_flat = flat.insert(sub);
+      expect_same_insert(inserted_indexed, inserted_flat, step);
+      live.push_back(sub.id());
+    }
+
+    ASSERT_EQ(indexed.active_count(), flat.active_count()) << step;
+    ASSERT_EQ(indexed.covered_count(), flat.covered_count()) << step;
+
+    // Matching: identical output, not merely as a set — the index path
+    // re-sorts into the flat path's active order.
+    const Publication pub = workload::uniform_publication(
+        stream_config.attribute_count, 0.0, 1000.0, rng);
+    EXPECT_EQ(indexed.match_active(pub), flat.match_active(pub)) << step;
+    EXPECT_EQ(indexed.match(pub), flat.match(pub)) << step;
+  }
+
+  // Per-id placement agrees at the end as well.
+  for (const SubscriptionId id : live) {
+    EXPECT_EQ(indexed.is_active(id), flat.is_active(id));
+    EXPECT_EQ(indexed.coverers_of(id), flat.coverers_of(id));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, IndexEquivalence,
+                         ::testing::Values(CoveragePolicy::kNone,
+                                           CoveragePolicy::kPairwise,
+                                           CoveragePolicy::kGroup),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case CoveragePolicy::kNone: return "none";
+                             case CoveragePolicy::kPairwise: return "pairwise";
+                             case CoveragePolicy::kGroup: return "group";
+                           }
+                           return "unknown";
+                         });
+
+TEST(IndexEquivalence, WrongArityPublicationMatchesNothingOnBothPaths) {
+  SubscriptionStore indexed(make_config(CoveragePolicy::kNone, true), 1);
+  SubscriptionStore flat(make_config(CoveragePolicy::kNone, false), 1);
+  const Subscription sub({core::Interval{0, 10}, core::Interval{0, 10},
+                          core::Interval{0, 10}},
+                         1);
+  (void)indexed.insert(sub);
+  (void)flat.insert(sub);
+  const Publication wrong_arity({5.0, 5.0});
+  EXPECT_TRUE(indexed.match_active(wrong_arity).empty());
+  EXPECT_TRUE(flat.match_active(wrong_arity).empty());
+  EXPECT_TRUE(indexed.match(wrong_arity).empty());
+}
+
+TEST(IndexEquivalence, PrefilterDisabledStillIdentical) {
+  // engine.prefilter_intersecting = false asks the engine for the
+  // unfiltered candidate set; index pruning must stand down so the two
+  // paths keep consuming the same RNG stream.
+  StoreConfig with_index = make_config(CoveragePolicy::kGroup, true);
+  with_index.engine.prefilter_intersecting = false;
+  StoreConfig without_index = make_config(CoveragePolicy::kGroup, false);
+  without_index.engine.prefilter_intersecting = false;
+  SubscriptionStore indexed(with_index, 3);
+  SubscriptionStore flat(without_index, 3);
+
+  workload::ComparisonConfig stream_config;
+  stream_config.attribute_count = 5;
+  workload::ComparisonStream stream(stream_config, 17);
+  for (int step = 0; step < 120; ++step) {
+    const Subscription sub = stream.next();
+    expect_same_insert(indexed.insert(sub), flat.insert(sub), step);
+  }
+  EXPECT_EQ(indexed.active_count(), flat.active_count());
+}
+
+TEST(IndexEquivalenceScenario, ScenarioInstancesAgreeOnVerdicts) {
+  // Paper scenario generators stress the group policy with known ground
+  // truth: both paths must agree with each other on every insert verdict.
+  workload::ScenarioConfig config;
+  config.attribute_count = 6;
+  config.set_size = 40;
+  util::Rng rng(123);
+  for (int round = 0; round < 8; ++round) {
+    const auto inst = (round % 2 == 0)
+                          ? workload::make_redundant_covering(config, rng)
+                          : workload::make_non_cover(config, rng);
+    SubscriptionStore indexed(make_config(CoveragePolicy::kGroup, true), 1);
+    SubscriptionStore flat(make_config(CoveragePolicy::kGroup, false), 1);
+    SubscriptionId next_id = 1;
+    for (const auto& sub : inst.existing) {
+      Subscription copy = sub;
+      copy.set_id(next_id++);
+      expect_same_insert(indexed.insert(copy), flat.insert(copy), round);
+    }
+    Subscription tested = inst.tested;
+    tested.set_id(next_id++);
+    expect_same_insert(indexed.insert(tested), flat.insert(tested), round);
+  }
+}
+
+}  // namespace
+}  // namespace psc::store

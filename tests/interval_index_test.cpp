@@ -1,0 +1,182 @@
+// Tests for the IntervalIndex candidate-pruning structure: exactness of
+// point-stab and box-intersect against flat scans, incremental insert/erase,
+// unbounded and unconstrained attributes, and slot reuse after churn.
+#include "index/interval_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "workload/comparison_stream.hpp"
+#include "workload/publications.hpp"
+#include "workload/scenarios.hpp"
+
+namespace psc::index {
+namespace {
+
+using core::Interval;
+using core::Publication;
+using core::Subscription;
+using core::SubscriptionId;
+using core::Value;
+
+Subscription box2(double lo1, double hi1, double lo2, double hi2,
+                  SubscriptionId id) {
+  return Subscription({Interval{lo1, hi1}, Interval{lo2, hi2}}, id);
+}
+
+std::vector<SubscriptionId> sorted(std::vector<SubscriptionId> ids) {
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST(IntervalIndex, StabFindsContainingBoxes) {
+  IntervalIndex index(2);
+  index.insert(box2(0, 10, 0, 10, 1));
+  index.insert(box2(5, 15, 5, 15, 2));
+  index.insert(box2(20, 30, 20, 30, 3));
+
+  const std::vector<Value> inside_both{7.0, 7.0};
+  EXPECT_EQ(sorted(index.stab(inside_both)), (std::vector<SubscriptionId>{1, 2}));
+  const std::vector<Value> inside_first{1.0, 1.0};
+  EXPECT_EQ(index.stab(inside_first), (std::vector<SubscriptionId>{1}));
+  const std::vector<Value> nowhere{17.0, 17.0};
+  EXPECT_TRUE(index.stab(nowhere).empty());
+}
+
+TEST(IntervalIndex, StabIsClosedOnEndpoints) {
+  IntervalIndex index(1);
+  index.insert(Subscription({Interval{2, 5}}, 1));
+  EXPECT_EQ(index.stab(std::vector<Value>{2.0}).size(), 1u);
+  EXPECT_EQ(index.stab(std::vector<Value>{5.0}).size(), 1u);
+  EXPECT_TRUE(index.stab(std::vector<Value>{5.0001}).empty());
+}
+
+TEST(IntervalIndex, BoxIntersectMatchesPairwisePredicate) {
+  IntervalIndex index(2);
+  index.insert(box2(0, 10, 0, 10, 1));
+  index.insert(box2(10, 20, 10, 20, 2));  // touches #1 at a corner
+  index.insert(box2(11, 20, 0, 9, 3));    // disjoint from #1 on attr 0
+  EXPECT_EQ(sorted(index.box_intersect(box2(5, 10, 5, 10, 99))),
+            (std::vector<SubscriptionId>{1, 2}));
+  EXPECT_EQ(index.box_intersect(box2(-5, -1, 0, 100, 99)).size(), 0u);
+}
+
+TEST(IntervalIndex, UnconstrainedAttributesNotIndexed) {
+  IntervalIndex index(2);
+  // Constrains only attribute 0; attribute 1 is the full line.
+  index.insert(Subscription({Interval{0, 10}, Interval::everything()}, 1));
+  // Constrains nothing: matches every probe.
+  index.insert(Subscription({Interval::everything(), Interval::everything()}, 2));
+
+  EXPECT_EQ(sorted(index.stab(std::vector<Value>{5.0, 1e12})),
+            (std::vector<SubscriptionId>{1, 2}));
+  EXPECT_EQ(index.stab(std::vector<Value>{50.0, 0.0}),
+            (std::vector<SubscriptionId>{2}));
+}
+
+TEST(IntervalIndex, HalfBoundedIntervals) {
+  IntervalIndex index(1);
+  index.insert(Subscription({Interval{5, std::numeric_limits<Value>::infinity()}}, 1));
+  index.insert(Subscription({Interval{-std::numeric_limits<Value>::infinity(), 5}}, 2));
+  EXPECT_EQ(sorted(index.stab(std::vector<Value>{5.0})),
+            (std::vector<SubscriptionId>{1, 2}));
+  EXPECT_EQ(index.stab(std::vector<Value>{100.0}), (std::vector<SubscriptionId>{1}));
+  EXPECT_EQ(index.stab(std::vector<Value>{-100.0}), (std::vector<SubscriptionId>{2}));
+}
+
+TEST(IntervalIndex, EraseRemovesAndReusesSlots) {
+  IntervalIndex index(2);
+  index.insert(box2(0, 10, 0, 10, 1));
+  index.insert(box2(0, 10, 0, 10, 2));
+  EXPECT_TRUE(index.erase(1));
+  EXPECT_FALSE(index.erase(1));
+  EXPECT_EQ(index.size(), 1u);
+  EXPECT_FALSE(index.contains(1));
+  EXPECT_EQ(index.stab(std::vector<Value>{5.0, 5.0}),
+            (std::vector<SubscriptionId>{2}));
+  // Slot of #1 is reused by #3.
+  index.insert(box2(20, 30, 20, 30, 3));
+  EXPECT_EQ(index.stab(std::vector<Value>{25.0, 25.0}),
+            (std::vector<SubscriptionId>{3}));
+}
+
+TEST(IntervalIndex, DuplicateIdAndSchemaMismatchThrow) {
+  IntervalIndex index(2);
+  index.insert(box2(0, 1, 0, 1, 1));
+  EXPECT_THROW(index.insert(box2(2, 3, 2, 3, 1)), std::invalid_argument);
+  EXPECT_THROW(index.insert(Subscription({Interval{0, 1}}, 2)),
+               std::invalid_argument);
+  EXPECT_THROW(index.insert(box2(0, 1, 0, 1, 0)), std::invalid_argument);
+  EXPECT_THROW((void)index.stab(std::vector<Value>{1.0}), std::invalid_argument);
+}
+
+TEST(IntervalIndex, RandomizedEquivalenceWithFlatScanUnderChurn) {
+  // Realistic power-law stream with partial schemas, interleaving inserts,
+  // erasures and both query kinds; every query is cross-checked against a
+  // flat scan of the currently-live subscriptions.
+  workload::ComparisonConfig config;
+  config.attribute_count = 6;
+  workload::ComparisonStream stream(config, 20260730);
+  util::Rng rng(42);
+
+  IntervalIndex index(config.attribute_count);
+  std::vector<Subscription> live;
+
+  for (int step = 0; step < 600; ++step) {
+    if (!live.empty() && rng.bernoulli(0.25)) {
+      const std::size_t victim = rng.next_below(live.size());
+      ASSERT_TRUE(index.erase(live[victim].id()));
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+    } else {
+      Subscription sub = stream.next();
+      index.insert(sub);
+      live.push_back(std::move(sub));
+    }
+    ASSERT_EQ(index.size(), live.size());
+
+    const Publication pub = workload::uniform_publication(
+        config.attribute_count, -100.0, 1100.0, rng);
+    std::vector<SubscriptionId> expected_stab;
+    for (const auto& sub : live) {
+      if (pub.matches(sub)) expected_stab.push_back(sub.id());
+    }
+    EXPECT_EQ(sorted(index.stab(pub.values())), sorted(expected_stab)) << step;
+
+    workload::ScenarioConfig box_config;
+    box_config.attribute_count = config.attribute_count;
+    const Subscription probe = workload::random_box(box_config, 0.05, 0.5, rng);
+    std::vector<SubscriptionId> expected_intersect;
+    for (const auto& sub : live) {
+      if (sub.intersects(probe)) expected_intersect.push_back(sub.id());
+    }
+    EXPECT_EQ(sorted(index.box_intersect(probe)), sorted(expected_intersect))
+        << step;
+  }
+}
+
+TEST(IntervalIndex, QueryCostIsReported) {
+  IntervalIndex index(1);
+  for (SubscriptionId id = 1; id <= 50; ++id) {
+    index.insert(Subscription({Interval{static_cast<double>(id), 1000.0}}, id));
+  }
+  // Stab below every lower bound: the bitmap sweep touches a handful of
+  // words and verifies nothing.
+  (void)index.stab(std::vector<Value>{0.5});
+  const std::uint64_t cheap = index.last_query_cost();
+  // Mid-domain stab: every subscription is a candidate.
+  (void)index.stab(std::vector<Value>{500.0});
+  EXPECT_GE(index.last_query_cost(), 50u);
+  EXPECT_LT(cheap, index.last_query_cost());
+
+  // box_intersect reports endpoint passes: a probe below every interval
+  // passes nothing, a full-domain probe passes every endpoint.
+  (void)index.box_intersect(Subscription({Interval{-100.0, -50.0}}, 999));
+  EXPECT_EQ(index.last_query_cost(), 0u);
+  (void)index.box_intersect(Subscription({Interval{-100.0, 2000.0}}, 999));
+  EXPECT_GE(index.last_query_cost(), 50u);
+}
+
+}  // namespace
+}  // namespace psc::index

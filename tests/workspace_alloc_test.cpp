@@ -1,0 +1,133 @@
+// Verifies the EngineWorkspace refactor's zero-allocation guarantee: after
+// a warm-up query has grown the workspace buffers to the working-set size,
+// repeated SubsumptionEngine::check calls perform no heap allocations.
+//
+// Counting is done by overriding the global allocation functions for this
+// test binary. The counters are plain atomics so instrumentation itself
+// does not allocate.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "core/engine.hpp"
+#include "workload/scenarios.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+std::atomic<bool> g_counting{false};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* ptr = std::malloc(size)) return ptr;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return operator new(size); }
+
+void operator delete(void* ptr) noexcept { std::free(ptr); }
+void operator delete[](void* ptr) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { std::free(ptr); }
+
+namespace psc::core {
+namespace {
+
+class AllocationGuard {
+ public:
+  AllocationGuard() {
+    g_allocations.store(0, std::memory_order_relaxed);
+    g_counting.store(true, std::memory_order_relaxed);
+  }
+  ~AllocationGuard() { g_counting.store(false, std::memory_order_relaxed); }
+
+  [[nodiscard]] std::uint64_t count() const {
+    return g_allocations.load(std::memory_order_relaxed);
+  }
+};
+
+TEST(EngineWorkspace, SteadyStateChecksDoNotAllocate) {
+  workload::ScenarioConfig config;
+  config.attribute_count = 10;
+  config.set_size = 120;
+  util::Rng rng(2026);
+  // Redundant covering: no pairwise fast path, so the full pipeline runs
+  // (conflict table, fast decisions, MCS, estimate, RSPC) every check and
+  // the verdict is a probabilistic YES — no witness copy.
+  const auto inst = workload::make_redundant_covering(config, rng);
+
+  EngineConfig engine_config;
+  engine_config.max_iterations = 2'000;
+  SubsumptionEngine engine(engine_config, 7);
+
+  // Warm-up: grows every workspace buffer to the working-set size.
+  for (int i = 0; i < 3; ++i) {
+    const auto warm = engine.check(inst.tested, inst.existing);
+    ASSERT_TRUE(warm.covered);
+    ASSERT_EQ(warm.path, DecisionPath::kRspcProbabilistic);
+  }
+
+  AllocationGuard guard;
+  for (int i = 0; i < 50; ++i) {
+    const auto result = engine.check(inst.tested, inst.existing);
+    ASSERT_TRUE(result.covered);
+  }
+  EXPECT_EQ(guard.count(), 0u)
+      << "steady-state engine checks must reuse the workspace";
+}
+
+TEST(EngineWorkspace, PairwiseFastPathDoesNotAllocate) {
+  workload::ScenarioConfig config;
+  config.attribute_count = 10;
+  config.set_size = 80;
+  util::Rng rng(11);
+  const auto inst = workload::make_pairwise_covering(config, rng);
+
+  SubsumptionEngine engine(EngineConfig{}, 13);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(engine.check(inst.tested, inst.existing).covered);
+  }
+
+  AllocationGuard guard;
+  for (int i = 0; i < 50; ++i) {
+    const auto result = engine.check(inst.tested, inst.existing);
+    ASSERT_EQ(result.path, DecisionPath::kPairwiseCover);
+  }
+  EXPECT_EQ(guard.count(), 0u);
+}
+
+TEST(EngineWorkspace, GrowingSetReusesAfterFirstGrowth) {
+  // A larger instance after a smaller one may allocate once (growth), but
+  // repeating the larger instance must be allocation-free again.
+  workload::ScenarioConfig small_config;
+  small_config.attribute_count = 8;
+  small_config.set_size = 40;
+  workload::ScenarioConfig big_config = small_config;
+  big_config.set_size = 200;
+  util::Rng rng(5);
+  const auto small_inst = workload::make_redundant_covering(small_config, rng);
+  const auto big_inst = workload::make_redundant_covering(big_config, rng);
+
+  EngineConfig engine_config;
+  engine_config.max_iterations = 1'000;
+  SubsumptionEngine engine(engine_config, 3);
+  (void)engine.check(small_inst.tested, small_inst.existing);
+  (void)engine.check(big_inst.tested, big_inst.existing);  // growth
+  (void)engine.check(big_inst.tested, big_inst.existing);  // warm
+
+  AllocationGuard guard;
+  for (int i = 0; i < 20; ++i) {
+    (void)engine.check(big_inst.tested, big_inst.existing);
+    (void)engine.check(small_inst.tested, small_inst.existing);
+  }
+  EXPECT_EQ(guard.count(), 0u);
+}
+
+}  // namespace
+}  // namespace psc::core
