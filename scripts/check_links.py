@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in the repo's Markdown files.
+
+Scans every tracked *.md file (or all *.md under the repo root when git is
+unavailable), extracts inline links and images, and verifies that every
+relative target exists on disk. External schemes (http/https/mailto) and
+pure in-page anchors (#...) are skipped; a #fragment on a relative link is
+stripped before the existence check.
+
+Exit status: 0 when clean, 1 with one line per dead link otherwise.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+# Inline [text](target) and ![alt](target); target ends at the first
+# unescaped ')' or whitespace (titles like (file.md "Title") are split off).
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files(root):
+    try:
+        out = subprocess.run(
+            ["git", "ls-files", "*.md", "**/*.md"],
+            cwd=root, capture_output=True, text=True, check=True,
+        ).stdout
+        files = [line for line in out.splitlines() if line.strip()]
+        if files:
+            return [os.path.join(root, f) for f in files]
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        pass
+    found = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if not d.startswith((".", "build"))]
+        found.extend(
+            os.path.join(dirpath, f) for f in filenames if f.endswith(".md")
+        )
+    return found
+
+
+def strip_code(text):
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`\n]*`", "", text)
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    root = os.path.abspath(root)
+    dead = []
+    for path in sorted(markdown_files(root)):
+        with open(path, encoding="utf-8") as fh:
+            text = strip_code(fh.read())
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            if relative.startswith("/"):
+                resolved = os.path.join(root, relative.lstrip("/"))
+            else:
+                resolved = os.path.join(os.path.dirname(path), relative)
+            if not os.path.exists(resolved):
+                dead.append(
+                    f"{os.path.relpath(path, root)}: dead link -> {target}"
+                )
+    for line in dead:
+        print(line)
+    if dead:
+        print(f"{len(dead)} dead link(s) found", file=sys.stderr)
+        return 1
+    print("all relative markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

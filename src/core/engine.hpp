@@ -98,21 +98,34 @@ struct EngineWorkspace {
 
 /// Stateless-except-RNG checker. One instance may serve many queries; the
 /// RNG stream advances per query, keeping runs reproducible from the seed.
-/// Not safe for concurrent check() calls on one instance (shared workspace
-/// and RNG); use one engine per thread.
+///
+/// Thread-safety: NOT safe for concurrent check() calls on one instance —
+/// the engine owns a reusable workspace and an RNG stream, both mutated
+/// per query. Use one engine per thread; in the sharded execution model
+/// (exec::ShardedStore) every shard's store embeds its own engine, which
+/// is how the batch APIs parallelize without locks.
+///
+/// Error behavior: the constructor and set_config validate the config and
+/// throw std::invalid_argument on violations (delta outside (0,1),
+/// zero iteration budget, negative grid spacing); check() itself never
+/// throws on well-formed subscriptions and allocates only on capacity
+/// growth or when returning a witness (see EngineWorkspace).
 class SubsumptionEngine {
  public:
   explicit SubsumptionEngine(EngineConfig config = {},
                              std::uint64_t seed = 0x5eedf00dULL);
 
   /// Decides s ⊑ (set[0] ∨ ... ∨ set[k-1]) per Algorithm 4.
-  /// Requires s to have finite ranges (uniform sampling); candidate
-  /// subscriptions may be unbounded.
+  /// Preconditions: s has finite ranges on every attribute (RSPC samples
+  /// uniformly inside s) and every candidate shares s's attribute schema;
+  /// candidate ranges may be unbounded. A definite verdict is always
+  /// correct; a probabilistic YES (is_definite == false) errs with
+  /// probability at most config().delta.
   [[nodiscard]] SubsumptionResult check(const Subscription& s,
                                         std::span<const Subscription> set);
 
   /// As above over a pointer set — the zero-copy entry point used by the
-  /// store layer after index pruning.
+  /// store layer after index pruning. Precondition: no null pointers.
   [[nodiscard]] SubsumptionResult check(const Subscription& s,
                                         std::span<const Subscription* const> set);
 

@@ -1,0 +1,173 @@
+#include "exec/sharded_store.hpp"
+
+#include "util/rng.hpp"
+
+namespace psc::exec {
+
+using core::Publication;
+using core::Subscription;
+using core::SubscriptionId;
+
+std::uint64_t shard_seed(std::uint64_t base, std::size_t shard) noexcept {
+  std::uint64_t state =
+      base ^ (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(shard) + 1));
+  return util::splitmix64(state);
+}
+
+ShardedStore::ShardedStore(ShardConfig config, std::uint64_t seed)
+    : config_(config) {
+  if (config_.shard_count == 0) config_.shard_count = 1;
+  shards_.reserve(config_.shard_count);
+  for (std::size_t s = 0; s < config_.shard_count; ++s) {
+    shards_.emplace_back(config_.store, shard_seed(seed, s));
+  }
+}
+
+std::size_t ShardedStore::shard_of(SubscriptionId id) const noexcept {
+  std::uint64_t state = id;
+  return static_cast<std::size_t>(util::splitmix64(state) % shards_.size());
+}
+
+const store::SubscriptionStore* ShardedStore::shard_holding(
+    SubscriptionId id) const {
+  const store::SubscriptionStore& shard = shards_[shard_of(id)];
+  return shard.contains(id) ? &shard : nullptr;
+}
+
+store::InsertResult ShardedStore::insert(const Subscription& sub) {
+  return owning_shard(sub.id()).insert(sub);
+}
+
+store::SubscriptionStore::EraseResult ShardedStore::erase_reporting(
+    SubscriptionId id) {
+  return owning_shard(id).erase_reporting(id);
+}
+
+const Subscription* ShardedStore::find(SubscriptionId id) const {
+  const auto* shard = shard_holding(id);
+  return shard ? shard->find(id) : nullptr;
+}
+
+bool ShardedStore::contains(SubscriptionId id) const {
+  return shard_holding(id) != nullptr;
+}
+
+bool ShardedStore::is_active(SubscriptionId id) const {
+  const auto* shard = shard_holding(id);
+  return shard != nullptr && shard->is_active(id);
+}
+
+std::vector<SubscriptionId> ShardedStore::coverers_of(SubscriptionId id) const {
+  const auto* shard = shard_holding(id);
+  return shard ? shard->coverers_of(id) : std::vector<SubscriptionId>{};
+}
+
+std::vector<SubscriptionId> ShardedStore::match(const Publication& pub) const {
+  std::vector<SubscriptionId> out;
+  for (const auto& shard : shards_) {
+    const auto ids = shard.match(pub);
+    out.insert(out.end(), ids.begin(), ids.end());
+  }
+  return out;
+}
+
+std::vector<SubscriptionId> ShardedStore::match_active(
+    const Publication& pub) const {
+  std::vector<SubscriptionId> out;
+  for (const auto& shard : shards_) {
+    const auto ids = shard.match_active(pub);
+    out.insert(out.end(), ids.begin(), ids.end());
+  }
+  return out;
+}
+
+std::size_t ShardedStore::active_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) n += shard.active_count();
+  return n;
+}
+
+std::size_t ShardedStore::covered_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) n += shard.covered_count();
+  return n;
+}
+
+std::size_t ShardedStore::total_count() const noexcept {
+  return active_count() + covered_count();
+}
+
+std::uint64_t ShardedStore::group_checks() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& shard : shards_) n += shard.group_checks();
+  return n;
+}
+
+std::vector<store::InsertResult> ShardedStore::insert_batch(
+    std::span<const Subscription* const> subs, ThreadPool* pool) {
+  std::vector<store::InsertResult> results(subs.size());
+  // Partition input positions by owning shard, preserving batch order, so
+  // every shard replays exactly the subsequence a sequential insert() loop
+  // would have handed it.
+  std::vector<std::vector<std::size_t>> positions(shards_.size());
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    positions[shard_of(subs[i]->id())].push_back(i);
+  }
+  ThreadPool::run(pool, shards_.size(), [&](std::size_t s) {
+    for (const std::size_t i : positions[s]) {
+      results[i] = shards_[s].insert(*subs[i]);
+    }
+  });
+  return results;
+}
+
+std::vector<store::InsertResult> ShardedStore::insert_batch(
+    std::span<const Subscription> subs, ThreadPool* pool) {
+  std::vector<const Subscription*> pointers;
+  pointers.reserve(subs.size());
+  for (const Subscription& sub : subs) pointers.push_back(&sub);
+  return insert_batch(std::span<const Subscription* const>(pointers), pool);
+}
+
+std::vector<std::vector<SubscriptionId>> ShardedStore::run_match_batch(
+    std::span<const Publication> pubs, ThreadPool* pool,
+    bool active_only) const {
+  // Shard-major fan-out: one lane per shard walks the whole batch, because
+  // a shard's store owns mutable query scratch and must stay single-lane.
+  std::vector<std::vector<std::vector<SubscriptionId>>> partial(
+      shards_.size());
+  ThreadPool::run(pool, shards_.size(), [&](std::size_t s) {
+    auto& mine = partial[s];
+    mine.resize(pubs.size());
+    for (std::size_t p = 0; p < pubs.size(); ++p) {
+      mine[p] = active_only ? shards_[s].match_active(pubs[p])
+                            : shards_[s].match(pubs[p]);
+    }
+  });
+
+  std::vector<std::vector<SubscriptionId>> results(pubs.size());
+  for (std::size_t p = 0; p < pubs.size(); ++p) {
+    std::size_t total = 0;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      total += partial[s][p].size();
+    }
+    results[p].reserve(total);
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      results[p].insert(results[p].end(), partial[s][p].begin(),
+                        partial[s][p].end());
+    }
+  }
+  return results;
+}
+
+std::vector<std::vector<SubscriptionId>> ShardedStore::match_batch(
+    std::span<const Publication> pubs, ThreadPool* pool) const {
+  return run_match_batch(pubs, pool, /*active_only=*/false);
+}
+
+std::vector<std::vector<SubscriptionId>> ShardedStore::match_active_batch(
+    std::span<const Publication> pubs, ThreadPool* pool) const {
+  return run_match_batch(pubs, pool, /*active_only=*/true);
+}
+
+}  // namespace psc::exec

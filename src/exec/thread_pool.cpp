@@ -1,0 +1,122 @@
+#include "exec/thread_pool.hpp"
+
+#include <utility>
+
+namespace psc::exec {
+
+std::size_t ThreadPool::default_worker_count() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 1 ? static_cast<std::size_t>(hw - 1) : 0;
+}
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::record_exception(std::exception_ptr error) {
+  std::lock_guard<std::mutex> lock(error_mutex_);
+  if (!first_error_) first_error_ = std::move(error);
+}
+
+std::size_t ThreadPool::drain(Job& job) {
+  std::size_t ran = 0;
+  for (;;) {
+    const std::size_t i = job.next.fetch_add(1);
+    if (i >= job.n) break;
+    if (!job.aborted.load()) {
+      try {
+        (*job.body)(i);
+      } catch (...) {
+        record_exception(std::current_exception());
+        job.aborted.store(true);
+      }
+    }
+    ++ran;
+    job.done.fetch_add(1);
+  }
+  return ran;
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&] {
+        return stopping_ || (job_ != nullptr && generation_ != seen_generation);
+      });
+      if (stopping_) return;
+      seen_generation = generation_;
+      job = job_;
+      ++job->workers_inside;  // pins the Job until this worker exits it
+    }
+    drain(*job);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --job->workers_inside;
+    }
+    work_done_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    // Inline execution: no synchronization, exceptions propagate directly
+    // (indices after the throwing one do not run).
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  Job job;
+  job.body = &body;
+  job.n = n;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &job;
+    ++generation_;
+  }
+  work_ready_.notify_all();
+
+  drain(job);  // the calling thread is a lane too
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    work_done_.wait(lock, [&] {
+      return job.done.load() == job.n && job.workers_inside == 0;
+    });
+    job_ = nullptr;
+  }
+
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::run(ThreadPool* pool, std::size_t n,
+                     const std::function<void(std::size_t)>& body) {
+  if (pool != nullptr) {
+    pool->parallel_for(n, body);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) body(i);
+}
+
+}  // namespace psc::exec

@@ -1,0 +1,106 @@
+// ThreadPool — a fixed pool of worker threads with a single blocking
+// fan-out primitive, parallel_for.
+//
+// Design constraints, in order:
+//   1. Determinism. The pool never influences RESULTS, only wall-clock
+//      time: parallel_for(n, body) promises that body(0..n-1) each run
+//      exactly once, with no two invocations sharing mutable state unless
+//      the caller arranged it. Callers (ShardedStore, Broker) hand each
+//      index a disjoint slice of state, so outputs are bitwise identical
+//      whether the pool has 0, 1, or 64 workers.
+//   2. No work for the idle case. A pool constructed with worker_count 0
+//      (or parallel_for with n <= 1) executes inline on the caller's
+//      thread — no threads are spawned, no synchronization is touched.
+//      Every batch API in the repo accepts a nullable pool pointer and
+//      treats nullptr exactly like an inline pool.
+//   3. The caller participates. parallel_for uses the calling thread as
+//      an extra worker, so a pool of W threads applies W+1 lanes and a
+//      1-thread pool already halves the wall-clock of a 2-way split.
+//
+// Scheduling: indices are claimed from a shared atomic cursor (dynamic
+// load balancing — shards with more work simply hold their lane longer).
+//
+// Thread-safety / error behavior: parallel_for is a barrier — it returns
+// only after every body invocation finished. It is NOT reentrant: calling
+// parallel_for from inside a body (nested parallelism) deadlocks and is a
+// precondition violation. One ThreadPool must not run parallel_for from
+// two external threads concurrently. If a body invocation throws, indices
+// not yet started are skipped, the barrier still completes, and the first
+// captured exception is rethrown on the caller's thread; state mutated by
+// invocations that did run remains (the determinism guarantee therefore
+// only covers runs in which no body throws).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace psc::exec {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads. 0 = inline pool (no threads, still usable).
+  explicit ThreadPool(std::size_t workers = default_worker_count());
+
+  /// Joins all workers. Precondition: no parallel_for in flight.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Hardware concurrency minus one (the caller's thread is a lane too);
+  /// at least 0. A machine reporting 0 cores yields 0 workers.
+  [[nodiscard]] static std::size_t default_worker_count() noexcept;
+
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return workers_.size();
+  }
+
+  /// Number of lanes parallel_for applies: workers + the calling thread.
+  [[nodiscard]] std::size_t lane_count() const noexcept {
+    return workers_.size() + 1;
+  }
+
+  /// Runs body(i) exactly once for every i in [0, n), blocking until all
+  /// invocations completed. See the file comment for the full contract.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// parallel_for through a nullable pool: nullptr runs inline.
+  static void run(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body);
+
+ private:
+  struct Job {
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::size_t n = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::atomic<bool> aborted{false};
+    int workers_inside = 0;  ///< guarded by mutex_; keeps Job alive
+  };
+
+  void worker_loop();
+  /// Claims and runs indices of the current job until exhausted. Returns
+  /// the number of invocations this thread completed.
+  std::size_t drain(Job& job);
+  void record_exception(std::exception_ptr error);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  Job* job_ = nullptr;           ///< non-null while a batch is live
+  std::uint64_t generation_ = 0; ///< bumped per batch; wakes workers
+  bool stopping_ = false;
+
+  std::mutex error_mutex_;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace psc::exec

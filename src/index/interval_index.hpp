@@ -85,13 +85,24 @@ struct IndexConfig {
   std::size_t bucket_count = 128;
 };
 
+/// Incremental candidate index over one fixed attribute schema (see file
+/// comment for the data structures and query algorithms).
+///
+/// Thread-safety: externally single-threaded. stab/box_intersect are
+/// const but advance epoch counters and reuse scratch buffers, so two
+/// queries must not run concurrently on one instance; one index per
+/// thread (or per shard) is the supported model. Query results never
+/// depend on IndexConfig — only pruning power does.
 class IntervalIndex {
  public:
   /// Index over a fixed schema of `attribute_count` attributes.
+  /// `attribute_count` must be >= 1 and every inserted subscription and
+  /// probe must carry exactly that many attributes.
   explicit IntervalIndex(std::size_t attribute_count, IndexConfig config = {});
 
   /// Indexes `sub` under its id. Throws std::invalid_argument on a schema
-  /// mismatch, a duplicate id, or the invalid id 0.
+  /// mismatch, a duplicate id, or the invalid id 0; the index is
+  /// unchanged when it throws.
   void insert(const core::Subscription& sub);
 
   /// Removes the subscription stored under `id`; false if unknown.
@@ -108,14 +119,19 @@ class IntervalIndex {
   }
 
   /// Appends to `out` the ids of all subscriptions whose box contains
-  /// `point` (one value per attribute). Order is unspecified.
+  /// `point` (one value per attribute; throws std::invalid_argument on a
+  /// size mismatch). Order is unspecified — callers needing determinism
+  /// sort, as SubscriptionStore::match_active does. Exact closed-interval
+  /// semantics, identical to Subscription::contains_point.
   void stab(std::span<const core::Value> point,
             std::vector<core::SubscriptionId>& out) const;
   [[nodiscard]] std::vector<core::SubscriptionId> stab(
       std::span<const core::Value> point) const;
 
   /// Appends to `out` the ids of all subscriptions whose box shares at
-  /// least one point with `box`. Order is unspecified.
+  /// least one point with `box` (throws std::invalid_argument on a schema
+  /// mismatch). Order is unspecified. Exact, identical to
+  /// Subscription::intersects.
   void box_intersect(const core::Subscription& box,
                      std::vector<core::SubscriptionId>& out) const;
   [[nodiscard]] std::vector<core::SubscriptionId> box_intersect(

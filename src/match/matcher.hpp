@@ -5,9 +5,10 @@
 // The store already implements the active/covered split; the matcher wraps
 // it with:
 //   * notification fan-out (subscriber callbacks keyed by subscription id),
-//   * per-neighbour short-circuiting: when a subscription belonging to a
-//     neighbour broker matched, other subscriptions from the same neighbour
-//     need no examination — the publication is forwarded there anyway,
+//   * per-neighbour destination dedup: once one of a neighbour broker's
+//     subscriptions matched, further matches it owns add no traffic — the
+//     publication travels there once (neighbor_short_circuits counts the
+//     deduplicated hits),
 //   * cost counters (subscriptions examined / matched, covered levels
 //     entered) consumed by bench/micro_core and the routing layer.
 #pragma once

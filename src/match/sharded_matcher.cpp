@@ -1,0 +1,78 @@
+#include "match/sharded_matcher.hpp"
+
+#include <algorithm>
+
+namespace psc::match {
+
+using core::Publication;
+using core::Subscription;
+using core::SubscriptionId;
+
+store::InsertResult ShardedMatcher::subscribe(const Subscription& sub,
+                                              NeighborId neighbor) {
+  store::InsertResult result = store_.insert(sub);
+  owners_[sub.id()] = neighbor;
+  return result;
+}
+
+std::vector<store::InsertResult> ShardedMatcher::subscribe_batch(
+    std::span<const Subscription> subs, NeighborId neighbor) {
+  std::vector<store::InsertResult> results = store_.insert_batch(subs, pool_);
+  for (const Subscription& sub : subs) owners_[sub.id()] = neighbor;
+  return results;
+}
+
+bool ShardedMatcher::unsubscribe(SubscriptionId id) {
+  if (!store_.erase(id)) return false;
+  owners_.erase(id);
+  return true;
+}
+
+std::optional<NeighborId> ShardedMatcher::neighbor_of(SubscriptionId id) const {
+  const auto it = owners_.find(id);
+  if (it == owners_.end()) return std::nullopt;
+  return it->second;
+}
+
+MatchOutcome ShardedMatcher::build_outcome(std::vector<SubscriptionId> matched) {
+  ++stats_.publications;
+  // Shard-major merge order -> id order, so outputs are independent of the
+  // shard count.
+  std::sort(matched.begin(), matched.end());
+
+  MatchOutcome outcome;
+  outcome.matched = std::move(matched);
+
+  // Destination fan-out with per-neighbour dedup (paper, Section 4.4
+  // optimization): once a neighbour is scheduled, further matches it owns
+  // add no traffic.
+  for (const SubscriptionId id : outcome.matched) {
+    const auto owner_it = owners_.find(id);
+    const NeighborId owner =
+        owner_it == owners_.end() ? kLocalSubscriber : owner_it->second;
+    if (owner == kLocalSubscriber) continue;
+    if (std::find(outcome.destinations.begin(), outcome.destinations.end(),
+                  owner) != outcome.destinations.end()) {
+      ++stats_.neighbor_short_circuits;
+      continue;
+    }
+    outcome.destinations.push_back(owner);
+  }
+  stats_.matches += outcome.matched.size();
+  return outcome;
+}
+
+MatchOutcome ShardedMatcher::match(const Publication& pub) {
+  return build_outcome(store_.match(pub));
+}
+
+std::vector<MatchOutcome> ShardedMatcher::match_batch(
+    std::span<const Publication> pubs) {
+  auto matched = store_.match_batch(pubs, pool_);
+  std::vector<MatchOutcome> outcomes;
+  outcomes.reserve(pubs.size());
+  for (auto& ids : matched) outcomes.push_back(build_outcome(std::move(ids)));
+  return outcomes;
+}
+
+}  // namespace psc::match

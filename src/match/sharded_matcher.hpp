@@ -1,0 +1,82 @@
+// ShardedMatcher — Matcher's scaling sibling: the same notification
+// semantics (Algorithm 5 matching, subscriber ownership, per-neighbour
+// short-circuit) over an exec::ShardedStore instead of one
+// SubscriptionStore, with batch entry points that fan out across a
+// ThreadPool.
+//
+// Equivalence: with shard_count 1 a ShardedMatcher reproduces Matcher's
+// verdicts exactly (same store decisions, same matched sets); with more
+// shards the matched ID SET of a coverage-free store is unchanged and is
+// returned sorted by id, so notification output is independent of the
+// shard count (tests/batch_determinism_test.cpp).
+//
+// Thread-safety: externally single-threaded, like every matcher/store in
+// this repo — one subscribe/match/match_batch call at a time. The batch
+// calls own their internal parallelism (one lane per shard). The pool
+// pointer passed at construction is borrowed, may be null (inline
+// execution), and must outlive the matcher.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/publication.hpp"
+#include "exec/sharded_store.hpp"
+#include "exec/thread_pool.hpp"
+#include "match/matcher.hpp"
+
+namespace psc::match {
+
+class ShardedMatcher {
+ public:
+  explicit ShardedMatcher(exec::ShardConfig config = {},
+                          std::uint64_t seed = 0x9e3779b9ULL,
+                          exec::ThreadPool* pool = nullptr)
+      : store_(config, seed), pool_(pool) {}
+
+  /// Registers a subscription owned by `neighbor` (or a local subscriber).
+  /// Same preconditions as SubscriptionStore::insert (unique non-zero id).
+  store::InsertResult subscribe(const core::Subscription& sub,
+                                NeighborId neighbor);
+
+  /// Batch subscribe: all owned by `neighbor`, processed in batch order
+  /// per shard; results in input order (see ShardedStore::insert_batch).
+  std::vector<store::InsertResult> subscribe_batch(
+      std::span<const core::Subscription> subs, NeighborId neighbor);
+
+  /// Unsubscribes by id; promotion semantics per SubscriptionStore.
+  bool unsubscribe(core::SubscriptionId id);
+
+  /// Algorithm 5 over all shards + neighbour short-circuit. `matched`
+  /// comes back sorted by id; destinations deduplicated in first-match
+  /// order. Deterministic for every shard count and pool size.
+  [[nodiscard]] MatchOutcome match(const core::Publication& pub);
+
+  /// match() for every publication, shard-parallel; results in input order
+  /// and identical to sequential match() calls.
+  [[nodiscard]] std::vector<MatchOutcome> match_batch(
+      std::span<const core::Publication> pubs);
+
+  [[nodiscard]] const exec::ShardedStore& store() const noexcept {
+    return store_;
+  }
+  [[nodiscard]] const MatchStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = MatchStats{}; }
+
+  [[nodiscard]] std::optional<NeighborId> neighbor_of(
+      core::SubscriptionId id) const;
+
+ private:
+  exec::ShardedStore store_;
+  exec::ThreadPool* pool_;
+  std::unordered_map<core::SubscriptionId, NeighborId> owners_;
+  MatchStats stats_;
+
+  [[nodiscard]] MatchOutcome build_outcome(
+      std::vector<core::SubscriptionId> matched);
+};
+
+}  // namespace psc::match

@@ -11,8 +11,31 @@ using core::Publication;
 using core::Subscription;
 using core::SubscriptionId;
 
-Broker::Broker(BrokerId id, store::StoreConfig store_config, std::uint64_t seed)
-    : id_(id), store_config_(store_config), seed_(seed) {}
+namespace {
+
+/// Configuration of the local match index: coverage-free (every routed
+/// subscription must stay individually matchable), index on/off and
+/// bucketing inherited from the broker's store config.
+exec::ShardConfig match_index_config(const store::StoreConfig& store_config,
+                                     std::size_t match_shards) {
+  exec::ShardConfig config;
+  config.shard_count = match_shards == 0 ? 1 : match_shards;
+  config.store.policy = store::CoveragePolicy::kNone;
+  config.store.demote_covered_actives = false;
+  config.store.use_index = store_config.use_index;
+  config.store.index = store_config.index;
+  return config;
+}
+
+}  // namespace
+
+Broker::Broker(BrokerId id, store::StoreConfig store_config, std::uint64_t seed,
+               std::size_t match_shards)
+    : id_(id),
+      store_config_(store_config),
+      seed_(seed),
+      routed_(match_index_config(store_config, match_shards),
+              util::splitmix64(seed)) {}
 
 void Broker::add_neighbor(BrokerId neighbor) {
   if (std::find(neighbors_.begin(), neighbors_.end(), neighbor) !=
@@ -48,6 +71,7 @@ std::vector<BrokerId> Broker::handle_subscription(const Subscription& sub,
   // do not re-forward (cycles in the overlay graph are cut here).
   if (routing_table_.count(sub.id()) > 0) return {};
   routing_table_.emplace(sub.id(), RouteEntry{sub, origin});
+  (void)routed_.insert(sub);
 
   std::vector<BrokerId> forward_to;
   for (const BrokerId neighbor : neighbors_) {
@@ -63,12 +87,74 @@ std::vector<BrokerId> Broker::handle_subscription(const Subscription& sub,
   return forward_to;
 }
 
+std::vector<std::vector<BrokerId>> Broker::insert_batch(
+    std::span<const Subscription> subs, const Origin& origin,
+    exec::ThreadPool* pool, std::uint64_t* suppressed_out) {
+  std::vector<std::vector<BrokerId>> forward_lists(subs.size());
+
+  // Phase 1 (sequential): routing-table admission. Order matters — a
+  // duplicate id later in the batch must be dropped exactly as a second
+  // handle_subscription call would drop it. Downstream phases reference
+  // the routing-table copies (stable in the unordered_map) instead of
+  // copying each subscription again.
+  std::vector<std::size_t> accepted;
+  accepted.reserve(subs.size());
+  std::vector<const Subscription*> accepted_subs;
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    if (routing_table_.count(subs[i].id()) > 0) continue;
+    const auto entry =
+        routing_table_.emplace(subs[i].id(), RouteEntry{subs[i], origin}).first;
+    accepted.push_back(i);
+    accepted_subs.push_back(&entry->second.sub);
+  }
+
+  // Phase 2 (parallel over the match-index shards): mirror the accepted
+  // subscriptions into the local match index.
+  (void)routed_.insert_batch(accepted_subs, pool);
+
+  // Phase 3 (parallel over links): per-link coverage. Each lane owns one
+  // forwarded_ store and replays the accepted subsequence in batch order,
+  // so link-store state and verdicts are identical to sequential calls.
+  const std::size_t link_count = neighbors_.size();
+  std::vector<std::vector<char>> covered(link_count);
+  // Materialize the link stores up front: forwarded_mutable mutates the
+  // map and must not run concurrently.
+  std::vector<store::SubscriptionStore*> link_stores(link_count, nullptr);
+  for (std::size_t l = 0; l < link_count; ++l) {
+    if (!origin.local && origin.neighbor == neighbors_[l]) continue;
+    link_stores[l] = &forwarded_mutable(neighbors_[l]);
+  }
+  exec::ThreadPool::run(pool, link_count, [&](std::size_t l) {
+    if (link_stores[l] == nullptr) return;  // origin link: nothing to do
+    covered[l].resize(accepted_subs.size(), 0);
+    for (std::size_t j = 0; j < accepted_subs.size(); ++j) {
+      covered[l][j] = link_stores[l]->insert(*accepted_subs[j]).covered ? 1 : 0;
+    }
+  });
+
+  // Merge: forward lists in neighbour order, suppressions accumulated —
+  // the exact shape sequential handle_subscription calls produce.
+  for (std::size_t j = 0; j < accepted.size(); ++j) {
+    auto& forward_to = forward_lists[accepted[j]];
+    for (std::size_t l = 0; l < link_count; ++l) {
+      if (link_stores[l] == nullptr) continue;
+      if (covered[l][j]) {
+        if (suppressed_out) ++*suppressed_out;
+        continue;
+      }
+      forward_to.push_back(neighbors_[l]);
+    }
+  }
+  return forward_lists;
+}
+
 Broker::UnsubscriptionOutcome Broker::handle_unsubscription(
     SubscriptionId id, const Origin& origin) {
   UnsubscriptionOutcome outcome;
   const auto it = routing_table_.find(id);
   if (it == routing_table_.end()) return outcome;
   routing_table_.erase(it);
+  (void)routed_.erase(id);
 
   for (const BrokerId neighbor : neighbors_) {
     if (!origin.local && origin.neighbor == neighbor) continue;
@@ -91,25 +177,49 @@ Broker::UnsubscriptionOutcome Broker::handle_unsubscription(
   return outcome;
 }
 
+Broker::PublicationRoute Broker::route_matches(std::vector<SubscriptionId> ids,
+                                               const Origin& origin) const {
+  // Shard-merged ids arrive shard-major; sort so downstream order is
+  // independent of the shard count.
+  std::sort(ids.begin(), ids.end());
+  PublicationRoute route;
+  for (const SubscriptionId sid : ids) {
+    const auto entry = routing_table_.find(sid);
+    if (entry == routing_table_.end()) continue;
+    if (entry->second.origin.local) {
+      route.local_matches.push_back(sid);
+      continue;
+    }
+    if (!origin.local && entry->second.origin.neighbor == origin.neighbor) {
+      continue;  // never send a publication back where it came from
+    }
+    if (std::find(route.destinations.begin(), route.destinations.end(),
+                  entry->second.origin.neighbor) == route.destinations.end()) {
+      route.destinations.push_back(entry->second.origin.neighbor);
+    }
+  }
+  return route;
+}
+
 std::vector<BrokerId> Broker::handle_publication(
     const Publication& pub, const Origin& origin,
     std::vector<SubscriptionId>& local_matches) {
-  std::vector<BrokerId> destinations;
-  for (const auto& [sid, entry] : routing_table_) {
-    if (!pub.matches(entry.sub)) continue;
-    if (entry.origin.local) {
-      local_matches.push_back(sid);
-      continue;
-    }
-    if (!origin.local && entry.origin.neighbor == origin.neighbor) {
-      continue;  // never send a publication back where it came from
-    }
-    if (std::find(destinations.begin(), destinations.end(),
-                  entry.origin.neighbor) == destinations.end()) {
-      destinations.push_back(entry.origin.neighbor);
-    }
+  PublicationRoute route = route_matches(routed_.match_active(pub), origin);
+  local_matches.insert(local_matches.end(), route.local_matches.begin(),
+                       route.local_matches.end());
+  return std::move(route.destinations);
+}
+
+std::vector<Broker::PublicationRoute> Broker::match_batch(
+    std::span<const Publication> pubs, const Origin& origin,
+    exec::ThreadPool* pool) const {
+  auto matched = routed_.match_active_batch(pubs, pool);
+  std::vector<PublicationRoute> routes;
+  routes.reserve(pubs.size());
+  for (auto& ids : matched) {
+    routes.push_back(route_matches(std::move(ids), origin));
   }
-  return destinations;
+  return routes;
 }
 
 std::vector<std::pair<BrokerId, Subscription>> Broker::handle_expiry(

@@ -4,22 +4,36 @@
 //   * routing_table_: subscription -> the neighbour (or local client) it
 //     arrived from. Publications matching the subscription are sent toward
 //     that neighbour (reverse path of the subscription flood).
+//   * routed_: a sharded, index-accelerated mirror of the routing table's
+//     subscriptions (exec::ShardedStore, coverage-free). Publication
+//     matching stabs this instead of scanning the routing table, and the
+//     batch entry points fan its shards out across a thread pool.
 //   * forwarded_[n]: store of subscriptions this broker has propagated to
 //     neighbour n. A new subscription is forwarded to n only if it is not
 //     covered (per the configured policy) by what n already received —
 //     the paper's traffic-suppression step, and where the probabilistic
 //     group check plugs in.
+//
+// Concurrency model: a Broker is externally single-threaded — one event
+// (or one batch call) at a time. Parallelism lives INSIDE the batch entry
+// points, which fan out across state that is disjoint by construction
+// (routed_'s shards; the per-link forwarded_ stores) and merge results in
+// a deterministic order, so every batch call returns exactly what the
+// equivalent sequence of single-message calls would have returned.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "core/publication.hpp"
 #include "core/subscription.hpp"
+#include "exec/sharded_store.hpp"
+#include "exec/thread_pool.hpp"
 #include "sim/metrics.hpp"
 #include "store/subscription_store.hpp"
 
@@ -39,7 +53,11 @@ struct Origin {
 /// Per-broker state. The BrokerNetwork owns Brokers and moves messages.
 class Broker {
  public:
-  Broker(BrokerId id, store::StoreConfig store_config, std::uint64_t seed);
+  /// `match_shards` partitions the local publication-match index
+  /// (see exec::ShardedStore); 1 keeps it sequential-equivalent while
+  /// still index-accelerated.
+  Broker(BrokerId id, store::StoreConfig store_config, std::uint64_t seed,
+         std::size_t match_shards = 1);
 
   [[nodiscard]] BrokerId id() const noexcept { return id_; }
 
@@ -56,6 +74,17 @@ class Broker {
   [[nodiscard]] std::vector<BrokerId> handle_subscription(
       const core::Subscription& sub, const Origin& origin,
       std::uint64_t* suppressed_out = nullptr);
+
+  /// Batch form of handle_subscription: all of `subs` arrive from `origin`
+  /// in batch order. Returns one forward list per subscription, equal to
+  /// what sequential handle_subscription calls would have produced
+  /// (duplicates of already-routed ids get an empty list). The per-link
+  /// coverage checks — the expensive part — fan out across `pool` with one
+  /// lane per outgoing link; nullptr runs inline. `suppressed_out`
+  /// accumulates suppressed link-forwards across the whole batch.
+  [[nodiscard]] std::vector<std::vector<BrokerId>> insert_batch(
+      std::span<const core::Subscription> subs, const Origin& origin,
+      exec::ThreadPool* pool = nullptr, std::uint64_t* suppressed_out = nullptr);
 
   /// Expires a subscription locally (paper, Section 5: expiration times as
   /// the message-free alternative to unsubscription flooding). Every
@@ -83,9 +112,26 @@ class Broker {
   /// Handles a publication arriving from `origin`. Returns the neighbours
   /// the publication must travel to (reverse paths of matching
   /// subscriptions) and reports local matches via `local_matches`.
+  /// Matching runs against the sharded local index; `local_matches` comes
+  /// back sorted by id and destinations in first-match order, both
+  /// deterministic and independent of the shard count.
   [[nodiscard]] std::vector<BrokerId> handle_publication(
       const core::Publication& pub, const Origin& origin,
       std::vector<core::SubscriptionId>& local_matches);
+
+  /// Where one publication of a batch must travel.
+  struct PublicationRoute {
+    std::vector<core::SubscriptionId> local_matches;  ///< sorted by id
+    std::vector<BrokerId> destinations;  ///< first-match order, deduplicated
+  };
+
+  /// Batch form of handle_publication: all of `pubs` arrive from `origin`.
+  /// Matching fans out across the local index's shards on `pool` (nullptr
+  /// runs inline); results are in input order and identical to sequential
+  /// handle_publication calls.
+  [[nodiscard]] std::vector<PublicationRoute> match_batch(
+      std::span<const core::Publication> pubs, const Origin& origin,
+      exec::ThreadPool* pool = nullptr) const;
 
   /// Duplicate suppression for publications on cyclic overlays: marks the
   /// (network-assigned) token as seen and reports whether it was new.
@@ -107,6 +153,11 @@ class Broker {
   [[nodiscard]] const store::SubscriptionStore* forwarded_store(
       BrokerId neighbor) const;
 
+  /// The sharded local match index (tests introspect shard placement).
+  [[nodiscard]] const exec::ShardedStore& match_index() const noexcept {
+    return routed_;
+  }
+
  private:
   BrokerId id_;
   store::StoreConfig store_config_;
@@ -119,6 +170,9 @@ class Broker {
   };
   std::unordered_map<core::SubscriptionId, RouteEntry> routing_table_;
 
+  /// Sharded mirror of the routed subscriptions (coverage-free, exact).
+  exec::ShardedStore routed_;
+
   /// Per outgoing link: what we already forwarded there (coverage state).
   std::unordered_map<BrokerId, std::unique_ptr<store::SubscriptionStore>> forwarded_;
 
@@ -126,6 +180,11 @@ class Broker {
   std::unordered_set<std::uint64_t> seen_publications_;
 
   store::SubscriptionStore& forwarded_mutable(BrokerId neighbor);
+
+  /// Maps matching subscription ids (sorted) to a PublicationRoute via the
+  /// routing table, honouring the never-send-back rule for `origin`.
+  [[nodiscard]] PublicationRoute route_matches(
+      std::vector<core::SubscriptionId> ids, const Origin& origin) const;
 };
 
 }  // namespace psc::routing

@@ -16,8 +16,8 @@ BrokerNetwork::BrokerNetwork(NetworkConfig config) : config_(config) {}
 BrokerId BrokerNetwork::add_broker() {
   const auto id = static_cast<BrokerId>(brokers_.size());
   std::uint64_t seed = config_.seed ^ (0x9e3779b97f4a7c15ULL * (id + 1));
-  brokers_.push_back(
-      std::make_unique<Broker>(id, config_.store, util::splitmix64(seed)));
+  brokers_.push_back(std::make_unique<Broker>(
+      id, config_.store, util::splitmix64(seed), config_.match_shards));
   return id;
 }
 
@@ -193,6 +193,41 @@ std::vector<SubscriptionId> BrokerNetwork::publish(BrokerId broker,
       ++metrics_.notifications_delivered;
     } else {
       ++metrics_.notifications_lost;
+    }
+  }
+  return delivered;
+}
+
+std::vector<std::vector<SubscriptionId>> BrokerNetwork::publish_batch(
+    BrokerId broker, const std::vector<Publication>& pubs) {
+  // Sinks must not move while scheduled handlers hold pointers to them:
+  // sized up front, never resized below.
+  std::vector<std::vector<SubscriptionId>> delivered(pubs.size());
+  std::vector<sim::EventQueue::Handler> injections;
+  injections.reserve(pubs.size());
+  for (std::size_t i = 0; i < pubs.size(); ++i) {
+    const std::uint64_t token = ++publication_token_;
+    auto* sink = &delivered[i];
+    injections.push_back([this, broker, pub = pubs[i], token, sink]() {
+      deliver_publication(broker, pub, Origin{true, kInvalidBroker}, token,
+                          sink);
+    });
+  }
+  queue_.schedule_batch_in(0, std::move(injections));
+  queue_.run_step();  // fire the whole injection front at one instant
+  run_cascade();
+
+  for (std::size_t i = 0; i < pubs.size(); ++i) {
+    auto& ids = delivered[i];
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    const std::vector<SubscriptionId> expected = expected_recipients(pubs[i]);
+    for (const SubscriptionId id : expected) {
+      if (std::binary_search(ids.begin(), ids.end(), id)) {
+        ++metrics_.notifications_delivered;
+      } else {
+        ++metrics_.notifications_lost;
+      }
     }
   }
   return delivered;

@@ -27,6 +27,10 @@ struct NetworkConfig {
   store::StoreConfig store;      ///< coverage policy + engine tuning
   sim::SimTime link_latency = 0.001;  ///< seconds per hop
   std::uint64_t seed = 0xfeedbeefULL;
+  /// Shard count of every broker's local publication-match index
+  /// (exec::ShardedStore). Purely a throughput knob: delivery decisions
+  /// are identical for every value (see docs/ARCHITECTURE.md).
+  std::size_t match_shards = 1;
 };
 
 class BrokerNetwork {
@@ -70,6 +74,15 @@ class BrokerNetwork {
   /// subscriptions that received a notification.
   std::vector<core::SubscriptionId> publish(BrokerId broker,
                                             const core::Publication& pub);
+
+  /// Publishes a batch at `broker`: all publications are injected at the
+  /// same simulated instant (EventQueue batch dispatch) and the combined
+  /// cascade runs to quiescence once, instead of one cascade per call.
+  /// Returns the delivered ids per publication, each sorted/deduplicated —
+  /// identical to calling publish() once per publication (publication
+  /// handling never mutates routing state, so interleaving is invisible).
+  std::vector<std::vector<core::SubscriptionId>> publish_batch(
+      BrokerId broker, const std::vector<core::Publication>& pubs);
 
   [[nodiscard]] std::size_t broker_count() const noexcept { return brokers_.size(); }
   [[nodiscard]] const Broker& broker(BrokerId id) const { return *brokers_.at(id); }

@@ -8,6 +8,27 @@ void EventQueue::schedule_at(SimTime at, Handler handler) {
   heap_.push(Event{at < now_ ? now_ : at, next_seq_++, std::move(handler)});
 }
 
+void EventQueue::schedule_batch_at(SimTime at, std::vector<Handler> handlers) {
+  const SimTime time = at < now_ ? now_ : at;
+  for (Handler& handler : handlers) {
+    heap_.push(Event{time, next_seq_++, std::move(handler)});
+  }
+}
+
+std::size_t EventQueue::run_step() {
+  if (heap_.empty()) return 0;
+  const SimTime step_time = heap_.top().time;
+  std::size_t fired = 0;
+  while (!heap_.empty() && heap_.top().time == step_time) {
+    Event event = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = event.time;
+    ++fired;
+    event.handler();
+  }
+  return fired;
+}
+
 std::size_t EventQueue::run(std::size_t max_events) {
   std::size_t fired = 0;
   while (!heap_.empty() && fired < max_events) {

@@ -188,6 +188,14 @@ InsertResult SubscriptionStore::insert(const Subscription& sub) {
     throw std::invalid_argument("SubscriptionStore::insert: duplicate id " +
                                 std::to_string(sub.id()));
   }
+  // Mixed-arity stream: the index requires one attribute schema, so fall
+  // back to the flat scans for good (decision-for-decision identical per
+  // the equivalence property tests) instead of rejecting the insert.
+  if (config_.use_index && interval_index_ &&
+      sub.attribute_count() != interval_index_->attribute_count()) {
+    interval_index_.reset();
+    config_.use_index = false;
+  }
   InsertResult result;
   std::optional<core::SubsumptionResult> diag;
   if (auto coverers = check_covered(sub, &diag)) {

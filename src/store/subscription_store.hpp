@@ -66,9 +66,11 @@ struct StoreConfig {
   /// through it instead of flat O(k) scans. Off = the seed's flat scans,
   /// kept for ablation (bench/index_scaling) and as the reference in the
   /// equivalence property tests. Results are identical either way; only
-  /// the work differs. Requires all subscriptions in the store to share
-  /// one attribute schema (coverage policies already require this; only a
-  /// kNone store with mixed arities needs use_index = false).
+  /// the work differs. The index requires all subscriptions in the store
+  /// to share one attribute schema (coverage policies already require
+  /// this); on the first insert with a different arity the store drops
+  /// the index and continues on the flat scans for its remaining
+  /// lifetime, so mixed-arity kNone streams stay supported.
   bool use_index = true;
   /// Bucketing domain for the index (results never depend on it, but
   /// pruning power does: values outside the domain clamp to the edge
@@ -76,12 +78,28 @@ struct StoreConfig {
   index::IndexConfig index;
 };
 
+/// A broker's subscription state machine (see file comment).
+///
+/// Thread-safety: externally single-threaded. Mutations must be
+/// serialized, and the const query methods (match, match_active) mutate
+/// internal scratch/epoch state, so two queries must not run concurrently
+/// on one instance either. For parallelism, partition ids across
+/// instances — that is exactly what exec::ShardedStore does, and it is
+/// the only supported concurrency model for this type.
+///
+/// Determinism: all decisions are a pure function of (config, seed,
+/// call sequence); the engine's RNG stream advances only on group checks,
+/// identically for the index and flat paths.
 class SubscriptionStore {
  public:
   explicit SubscriptionStore(StoreConfig config = {},
                              std::uint64_t seed = 0xc0ffee11ULL);
 
-  /// Inserts a subscription (id must be unique and non-zero).
+  /// Inserts a subscription and runs the configured coverage policy.
+  /// Preconditions: a non-zero id not already in the store — violations
+  /// throw std::invalid_argument and leave the store unchanged. The
+  /// subscription itself is validated at construction (no empty ranges),
+  /// so every stored subscription is satisfiable.
   InsertResult insert(const core::Subscription& sub);
 
   /// Outcome of erasing a subscription.
@@ -107,11 +125,15 @@ class SubscriptionStore {
 
   /// Algorithm 5: ids of ALL matching subscriptions (active + covered),
   /// checking actives first and descending into covered levels only below
-  /// subscriptions that matched.
+  /// subscriptions that matched. Output order: matching actives sorted by
+  /// id, then covered matches in DAG-descent order. A publication whose
+  /// arity differs from a subscription's never matches it (never throws).
+  /// Const but not concurrently callable (mutates reused scratch).
   [[nodiscard]] std::vector<core::SubscriptionId> match(
       const core::Publication& pub) const;
 
-  /// Matching ids among actives only (what a broker forwards on).
+  /// Matching ids among actives only (what a broker forwards on), sorted
+  /// ascending. Same arity and concurrency contract as match().
   [[nodiscard]] std::vector<core::SubscriptionId> match_active(
       const core::Publication& pub) const;
 

@@ -81,6 +81,66 @@ TEST(EventQueue, EmptyQueueRunsZero) {
   EXPECT_TRUE(queue.empty());
 }
 
+TEST(EventQueue, BatchKeepsVectorOrderAmongEqualTimestamps) {
+  EventQueue queue;
+  std::vector<int> order;
+  // An unrelated event at the same time, scheduled BEFORE the batch,
+  // fires first (lower sequence); the batch then fires in vector order.
+  queue.schedule_at(1.0, [&] { order.push_back(-1); });
+  std::vector<EventQueue::Handler> batch;
+  for (int i = 0; i < 4; ++i) {
+    batch.push_back([&order, i] { order.push_back(i); });
+  }
+  queue.schedule_batch_at(1.0, std::move(batch));
+  queue.run();
+  EXPECT_EQ(order, (std::vector<int>{-1, 0, 1, 2, 3}));
+}
+
+TEST(EventQueue, BatchClampsPastTimesToNow) {
+  EventQueue queue;
+  queue.schedule_at(5.0, [] {});
+  queue.run();
+  ASSERT_DOUBLE_EQ(queue.now(), 5.0);
+  int fired = 0;
+  std::vector<EventQueue::Handler> batch;
+  batch.push_back([&] { ++fired; });
+  queue.schedule_batch_at(1.0, std::move(batch));  // in the past
+  queue.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(queue.now(), 5.0);  // did not travel back in time
+}
+
+TEST(EventQueue, RunStepFiresExactlyTheEarliestTimestampGroup) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule_at(1.0, [&] { order.push_back(1); });
+  queue.schedule_at(1.0, [&] { order.push_back(2); });
+  queue.schedule_at(2.0, [&] { order.push_back(3); });
+  EXPECT_EQ(queue.run_step(), 2u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(queue.pending(), 1u);
+  EXPECT_DOUBLE_EQ(queue.now(), 1.0);
+  EXPECT_EQ(queue.run_step(), 1u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(queue.run_step(), 0u);  // empty queue: a no-op step
+}
+
+TEST(EventQueue, RunStepIncludesEventsScheduledAtTheStepTime) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule_at(1.0, [&] {
+    order.push_back(1);
+    // Lands at the step's own timestamp (clamped to now): same step.
+    queue.schedule_at(0.5, [&] { order.push_back(2); });
+    // Strictly later: next step.
+    queue.schedule_at(1.5, [&] { order.push_back(3); });
+  });
+  EXPECT_EQ(queue.run_step(), 2u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(queue.run_step(), 1u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
 TEST(Metrics, DeliveryRatio) {
   Metrics m;
   EXPECT_DOUBLE_EQ(m.delivery_ratio(), 1.0);  // nothing expected

@@ -210,5 +210,22 @@ TEST(Store, StressInsertEraseKeepsInvariants) {
   }
 }
 
+TEST(Store, MixedArityStreamDegradesIndexInsteadOfThrowing) {
+  // use_index defaults to on; a second schema width must drop the index
+  // and continue on the flat scans (decision-identical per the
+  // equivalence property tests), not reject the insert.
+  SubscriptionStore store(policy(CoveragePolicy::kNone));
+  store.insert(box2(0, 10, 0, 10, 1));
+  const Subscription three_wide(
+      {Interval{0, 10}, Interval{0, 10}, Interval{0, 10}}, 2);
+  EXPECT_NO_THROW(store.insert(three_wide));
+  EXPECT_EQ(store.active_count(), 2u);
+  // Both schema widths stay matchable after the fallback.
+  EXPECT_EQ(store.match_active(Publication({5.0, 5.0})),
+            (std::vector<SubscriptionId>{1}));
+  EXPECT_EQ(store.match_active(Publication({5.0, 5.0, 5.0})),
+            (std::vector<SubscriptionId>{2}));
+}
+
 }  // namespace
 }  // namespace psc::store
