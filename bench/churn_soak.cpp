@@ -1,0 +1,184 @@
+// Churn soak — sustained open-workload churn over the standard topology
+// family, with a per-epoch metrics time series and machine-readable JSON
+// output so successive PRs can track the trajectory.
+//
+//   ./churn_soak [--duration=60] [--seed=2006] [--policy=exact]
+//                [--sub-rate=2.0] [--pub-rate=5.0] [--ttl-fraction=0.5]
+//                [--shards=1] [--differential=true] [--json=PATH]
+//                [--topology=NAME]   (substring filter, e.g. "grid")
+//
+// Every run replays the same seeded trace per topology, so two runs with
+// equal flags produce identical counters; wall-clock timing is the only
+// nondeterministic field in the JSON.
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "routing/topology.hpp"
+#include "sim/churn_driver.hpp"
+#include "util/json_writer.hpp"
+#include "workload/churn_workload.hpp"
+
+namespace {
+
+using namespace psc;
+
+struct SoakResult {
+  routing::Topology topology;
+  workload::ChurnTrace trace;
+  sim::ChurnReport report;
+  double elapsed_seconds = 0.0;
+};
+
+void write_json(const std::string& path, const workload::ChurnConfig& config,
+                store::CoveragePolicy policy, std::uint64_t seed,
+                const std::vector<SoakResult>& results) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open --json path: " + path);
+  util::JsonWriter json(out);
+  json.begin_object();
+  json.member("bench", "churn_soak");
+  json.member("seed", seed);
+  json.member("policy", store::to_string(policy));
+  json.begin_object("config");
+  json.member("duration", config.duration);
+  json.member("epoch_length", config.epoch_length);
+  json.member("subscription_rate", config.subscription_rate);
+  json.member("publication_rate", config.publication_rate);
+  json.member("ttl_fraction", config.ttl_fraction);
+  json.member("immortal_fraction", config.immortal_fraction);
+  json.member("mean_lifetime", config.mean_lifetime);
+  json.member("attribute_count", std::uint64_t{config.attribute_count});
+  json.member("hotspot_count", std::uint64_t{config.hotspot_count});
+  json.member("zipf_skew", config.zipf_skew);
+  json.end_object();
+  json.begin_array("topologies");
+  for (const SoakResult& result : results) {
+    const sim::ChurnReport& report = result.report;
+    json.begin_object();
+    json.member("name", result.topology.name);
+    json.member("brokers", std::uint64_t{result.topology.brokers});
+    json.member("ops", std::uint64_t{report.ops});
+    json.member("publishes", std::uint64_t{report.publishes});
+    json.member("delivered", report.totals.notifications_delivered);
+    json.member("lost", report.totals.notifications_lost);
+    json.member("mismatched_publishes", report.mismatched_publishes);
+    json.member("messages", report.totals.total_messages());
+    json.member("suppressed", report.totals.subscriptions_suppressed);
+    json.member("peak_routing_entries", std::uint64_t{report.peak_routing_entries});
+    json.member("elapsed_seconds", result.elapsed_seconds);
+    json.begin_array("epochs");
+    for (const sim::ChurnEpoch& epoch : report.epochs) {
+      json.begin_object();
+      json.member("end_time", epoch.end_time);
+      json.member("ops", std::uint64_t{epoch.ops});
+      json.member("publishes", std::uint64_t{epoch.publishes});
+      json.member("delivered", epoch.delivered);
+      json.member("lost", epoch.lost);
+      json.member("live_subscriptions", std::uint64_t{epoch.live_subscriptions});
+      json.member("routing_entries", std::uint64_t{epoch.routing_entries});
+      json.member("forwarded_entries", std::uint64_t{epoch.forwarded_entries});
+      json.member("forwarded_active", std::uint64_t{epoch.forwarded_active});
+      json.member("subscription_messages", epoch.subscription_messages);
+      json.member("unsubscription_messages", epoch.unsubscription_messages);
+      json.member("publication_messages", epoch.publication_messages);
+      json.member("suppressed", epoch.suppressed);
+      json.member("hops_per_publication", epoch.hops_per_publication());
+      json.member("mismatched_publishes", epoch.mismatched_publishes);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  out << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace psc;
+  const util::Flags flags(argc, argv);
+
+  workload::ChurnConfig config;
+  config.duration = flags.get_double("duration", 60.0);
+  config.subscription_rate = flags.get_double("sub-rate", 2.0);
+  config.publication_rate = flags.get_double("pub-rate", 5.0);
+  config.ttl_fraction = flags.get_double("ttl-fraction", 0.5);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 2006));
+  const auto policy =
+      store::parse_coverage_policy(flags.get_string("policy", "exact"));
+  const auto shards =
+      static_cast<std::size_t>(flags.get_int("shards", 1));
+  const bool differential = flags.get_bool("differential", true);
+  const std::string json_path = flags.get_string("json", "");
+  const std::string topology_filter = flags.get_string("topology", "");
+
+  util::print_banner(std::cout, "churn_soak",
+                     "open-workload churn across the standard topologies");
+
+  util::TableWriter table({"topology", "brokers", "ops", "publishes",
+                           "delivered", "lost", "mismatch", "messages",
+                           "suppressed", "peak_routing", "live_end",
+                           "seconds"});
+  std::vector<SoakResult> results;
+  for (routing::Topology& topology : routing::standard_topologies(seed)) {
+    if (!topology_filter.empty() &&
+        topology.name.find(topology_filter) == std::string::npos) {
+      continue;
+    }
+    routing::NetworkConfig net_config;
+    net_config.store.policy = policy;
+    net_config.match_shards = shards;
+    config.link_latency = net_config.link_latency;
+
+    SoakResult result;
+    result.topology = topology;
+    result.trace = workload::generate_churn_trace(config, topology.brokers, seed);
+    auto net = topology.build(net_config);
+    const util::Timer timer;
+    result.report = sim::ChurnDriver::run(net, result.trace,
+                                          {.differential = differential});
+    result.elapsed_seconds = timer.elapsed_seconds();
+
+    const sim::ChurnReport& report = result.report;
+    table.add_row({topology.name, static_cast<long long>(topology.brokers),
+                   static_cast<long long>(report.ops),
+                   static_cast<long long>(report.publishes),
+                   static_cast<long long>(report.totals.notifications_delivered),
+                   static_cast<long long>(report.totals.notifications_lost),
+                   static_cast<long long>(report.mismatched_publishes),
+                   static_cast<long long>(report.totals.total_messages()),
+                   static_cast<long long>(report.totals.subscriptions_suppressed),
+                   static_cast<long long>(report.peak_routing_entries),
+                   static_cast<long long>(report.final_live_subscriptions),
+                   result.elapsed_seconds});
+    results.push_back(std::move(result));
+  }
+  table.print(std::cout);
+
+  if (!json_path.empty()) {
+    write_json(json_path, config, policy, seed, results);
+    std::cout << "\njson written to " << json_path << "\n";
+  }
+
+  // With the differential oracle on, the soak doubles as a gate: any
+  // divergence or lost notification fails the run (CI smoke relies on
+  // this). Under --policy=group losses bounded by delta are legal — run
+  // with --differential=false to soak group without gating.
+  if (differential) {
+    std::uint64_t mismatches = 0, lost = 0;
+    for (const SoakResult& result : results) {
+      mismatches += result.report.mismatched_publishes;
+      lost += result.report.totals.notifications_lost;
+    }
+    if (mismatches > 0 || lost > 0) {
+      std::cerr << "\nFAIL: " << mismatches << " mismatched publishes, "
+                << lost << " lost notifications\n";
+      return 1;
+    }
+  }
+  return 0;
+}

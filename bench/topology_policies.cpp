@@ -48,6 +48,7 @@ const char* policy_name(store::CoveragePolicy policy) {
     case store::CoveragePolicy::kNone: return "flood";
     case store::CoveragePolicy::kPairwise: return "pair";
     case store::CoveragePolicy::kGroup: return "group";
+    case store::CoveragePolicy::kExact: return "exact";
   }
   return "?";
 }

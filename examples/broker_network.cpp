@@ -35,6 +35,7 @@ const char* policy_name(store::CoveragePolicy policy) {
     case store::CoveragePolicy::kNone: return "flooding ";
     case store::CoveragePolicy::kPairwise: return "pairwise ";
     case store::CoveragePolicy::kGroup: return "group    ";
+    case store::CoveragePolicy::kExact: return "exact    ";
   }
   return "?";
 }

@@ -71,9 +71,16 @@ void subtract(const Subscription& cut, Box box, std::vector<Box>& out) {
 
 }  // namespace
 
-ExactResult exact_subsumption(const Subscription& s,
-                              std::span<const Subscription> set,
-                              std::size_t fragment_limit) {
+namespace {
+
+const Subscription& deref(const Subscription& sub) noexcept { return sub; }
+const Subscription& deref(const Subscription* sub) noexcept { return *sub; }
+
+/// Shared residue-subtraction core over either a value span or a pointer
+/// span (the store layer works with index-pruned pointer sets).
+template <typename SetSpan>
+ExactResult exact_subsumption_impl(const Subscription& s, SetSpan set,
+                                   std::size_t fragment_limit) {
   ExactResult result;
   std::vector<Box> residue;
   residue.push_back(Box{{s.ranges().begin(), s.ranges().end()}});
@@ -84,7 +91,8 @@ ExactResult exact_subsumption(const Subscription& s,
     return result;
   }
 
-  for (const Subscription& cut : set) {
+  for (const auto& element : set) {
+    const Subscription& cut = deref(element);
     if (residue.empty()) break;
     std::vector<Box> next;
     next.reserve(residue.size());
@@ -120,8 +128,27 @@ ExactResult exact_subsumption(const Subscription& s,
   return result;
 }
 
+}  // namespace
+
+ExactResult exact_subsumption(const Subscription& s,
+                              std::span<const Subscription> set,
+                              std::size_t fragment_limit) {
+  return exact_subsumption_impl(s, set, fragment_limit);
+}
+
+ExactResult exact_subsumption(const Subscription& s,
+                              std::span<const Subscription* const> set,
+                              std::size_t fragment_limit) {
+  return exact_subsumption_impl(s, set, fragment_limit);
+}
+
 bool exactly_covered(const Subscription& s,
                      std::span<const Subscription> set) {
+  return exact_subsumption(s, set).covered;
+}
+
+bool exactly_covered(const Subscription& s,
+                     std::span<const Subscription* const> set) {
   return exact_subsumption(s, set).covered;
 }
 

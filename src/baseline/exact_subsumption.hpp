@@ -37,8 +37,16 @@ struct ExactResult {
     const core::Subscription& s, std::span<const core::Subscription> set,
     std::size_t fragment_limit = 1'000'000);
 
+/// As above over a pointer set — the zero-copy entry point for callers
+/// holding index-pruned candidate pointers. Precondition: no nulls.
+[[nodiscard]] ExactResult exact_subsumption(
+    const core::Subscription& s, std::span<const core::Subscription* const> set,
+    std::size_t fragment_limit = 1'000'000);
+
 /// Convenience: just the boolean verdict.
 [[nodiscard]] bool exactly_covered(const core::Subscription& s,
                                    std::span<const core::Subscription> set);
+[[nodiscard]] bool exactly_covered(
+    const core::Subscription& s, std::span<const core::Subscription* const> set);
 
 }  // namespace psc::baseline

@@ -48,12 +48,25 @@ void Broker::add_neighbor(BrokerId neighbor) {
 store::SubscriptionStore& Broker::forwarded_mutable(BrokerId neighbor) {
   auto it = forwarded_.find(neighbor);
   if (it == forwarded_.end()) {
+    // The link store's ACTIVE set must stay exactly the set of
+    // subscriptions ANNOUNCED to the neighbour: an id is forwarded when it
+    // inserts active, reannounced when promotion makes it active, and an
+    // unsubscription is forwarded iff the id is active here. Demoting an
+    // active (because a later subscription covers it) would break that
+    // invariant — the neighbour learned the id when it was announced, so
+    // skipping its unsubscription leaks a ghost route on the neighbour's
+    // side forever (caught by the churn differential suite). Demotion is
+    // therefore disabled on link stores; it costs nothing in suppression
+    // power because anything covered by a demoted active is also covered
+    // by that active's coverer.
+    store::StoreConfig link_config = store_config_;
+    link_config.demote_covered_actives = false;
     // Derive a per-link seed so link stores have independent RNG streams
     // while the whole network stays reproducible.
     std::uint64_t mix = seed_ ^ (static_cast<std::uint64_t>(id_) << 32) ^ neighbor;
     it = forwarded_
              .emplace(neighbor, std::make_unique<store::SubscriptionStore>(
-                                    store_config_, util::splitmix64(mix)))
+                                    link_config, util::splitmix64(mix)))
              .first;
   }
   return *it->second;

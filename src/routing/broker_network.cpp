@@ -54,6 +54,109 @@ BrokerNetwork BrokerNetwork::chain_topology(std::size_t n, NetworkConfig config)
   return net;
 }
 
+BrokerNetwork BrokerNetwork::random_tree_topology(std::size_t n,
+                                                  std::uint64_t seed,
+                                                  NetworkConfig config) {
+  if (n == 0) throw std::invalid_argument("random_tree_topology: n must be > 0");
+  BrokerNetwork net(config);
+  for (std::size_t i = 0; i < n; ++i) net.add_broker();
+  util::Rng rng(seed);
+  for (std::size_t i = 1; i < n; ++i) {
+    const auto parent = static_cast<BrokerId>(rng.next_below(i));
+    net.connect(static_cast<BrokerId>(i), parent);
+  }
+  return net;
+}
+
+BrokerNetwork BrokerNetwork::grid_topology(std::size_t rows, std::size_t cols,
+                                           NetworkConfig config) {
+  if (rows == 0 || cols == 0 || rows * cols < 2) {
+    throw std::invalid_argument("grid_topology: need rows, cols > 0 and > 1 broker");
+  }
+  BrokerNetwork net(config);
+  for (std::size_t i = 0; i < rows * cols; ++i) net.add_broker();
+  const auto at = [cols](std::size_t r, std::size_t c) {
+    return static_cast<BrokerId>(r * cols + c);
+  };
+  // Comb spanning tree of the grid: the first row is the spine, every
+  // column hangs off it. Acyclic by construction, diameter rows + cols - 2.
+  for (std::size_t c = 0; c + 1 < cols; ++c) net.connect(at(0, c), at(0, c + 1));
+  for (std::size_t c = 0; c < cols; ++c) {
+    for (std::size_t r = 0; r + 1 < rows; ++r) {
+      net.connect(at(r, c), at(r + 1, c));
+    }
+  }
+  return net;
+}
+
+BrokerNetwork BrokerNetwork::random_regular_topology(std::size_t n,
+                                                     std::size_t degree,
+                                                     std::uint64_t seed,
+                                                     NetworkConfig config) {
+  if (degree < 2 || degree >= n || (n * degree) % 2 != 0) {
+    throw std::invalid_argument(
+        "random_regular_topology: need 2 <= degree < n and n * degree even");
+  }
+  util::Rng rng(seed);
+  // Pairing model: shuffle n * degree stubs, pair them consecutively, and
+  // reject draws with self-loops, parallel edges, or a disconnected graph.
+  // Acceptance probability is bounded away from zero for fixed degree, so
+  // a few hundred attempts is overkill; the throw is a config-error guard.
+  std::vector<std::vector<std::size_t>> adjacency;
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    std::vector<std::size_t> stubs;
+    stubs.reserve(n * degree);
+    for (std::size_t v = 0; v < n; ++v) {
+      for (std::size_t k = 0; k < degree; ++k) stubs.push_back(v);
+    }
+    for (std::size_t i = stubs.size() - 1; i > 0; --i) {
+      std::swap(stubs[i], stubs[rng.next_below(i + 1)]);
+    }
+    adjacency.assign(n, {});
+    bool ok = true;
+    for (std::size_t i = 0; ok && i < stubs.size(); i += 2) {
+      const std::size_t a = stubs[i], b = stubs[i + 1];
+      if (a == b) ok = false;
+      for (const std::size_t peer : adjacency[a]) {
+        if (peer == b) ok = false;
+      }
+      if (ok) {
+        adjacency[a].push_back(b);
+        adjacency[b].push_back(a);
+      }
+    }
+    if (!ok) continue;
+    // BFS from 0: connectivity check and spanning tree in one pass. The
+    // overlay routes over the tree (tree edges only), keeping it acyclic;
+    // node degrees are bounded by the graph degree.
+    std::vector<BrokerId> parent(n, kInvalidBroker);
+    std::vector<char> seen(n, 0);
+    std::vector<std::size_t> frontier{0};
+    seen[0] = 1;
+    std::size_t reached = 1;
+    for (std::size_t head = 0; head < frontier.size(); ++head) {
+      const std::size_t v = frontier[head];
+      // Deterministic visit order within a node's adjacency list.
+      for (const std::size_t peer : adjacency[v]) {
+        if (seen[peer]) continue;
+        seen[peer] = 1;
+        parent[peer] = static_cast<BrokerId>(v);
+        frontier.push_back(peer);
+        ++reached;
+      }
+    }
+    if (reached != n) continue;
+    BrokerNetwork net(config);
+    for (std::size_t i = 0; i < n; ++i) net.add_broker();
+    for (std::size_t v = 1; v < n; ++v) {
+      net.connect(static_cast<BrokerId>(v), parent[v]);
+    }
+    return net;
+  }
+  throw std::runtime_error(
+      "random_regular_topology: no connected simple draw in 1000 attempts");
+}
+
 void BrokerNetwork::deliver_subscription(BrokerId at, Subscription sub,
                                          Origin origin,
                                          std::optional<sim::SimTime> expiry) {
@@ -68,10 +171,7 @@ void BrokerNetwork::deliver_subscription(BrokerId at, Subscription sub,
     queue_.schedule_at(*expiry, [this, at, id]() {
       const auto reannounce = brokers_.at(at)->handle_expiry(id);
       for (const auto& [next, promoted] : reannounce) {
-        ++metrics_.subscription_messages;
-        queue_.schedule_in(config_.link_latency, [this, next, at, promoted]() {
-          deliver_subscription(next, promoted, Origin{false, at});
-        });
+        schedule_reannounce(at, next, promoted);
       }
     });
   }
@@ -98,11 +198,24 @@ void BrokerNetwork::deliver_unsubscription(BrokerId at, SubscriptionId id,
   // treats it like any subscription arrival (duplicate-suppressed if it
   // somehow already routes the id).
   for (const auto& [next, sub] : outcome.reannounce) {
-    ++metrics_.subscription_messages;
-    queue_.schedule_in(config_.link_latency, [this, next, at, sub]() {
-      deliver_subscription(next, sub, Origin{false, at});
-    });
+    schedule_reannounce(at, next, sub);
   }
+}
+
+void BrokerNetwork::schedule_reannounce(BrokerId at, BrokerId next,
+                                        const Subscription& promoted) {
+  // A promoted subscription must travel with its original TTL expiry, or
+  // the receiving broker would hold it forever. If the subscription is no
+  // longer live (its own removal fires at this same instant), announcing
+  // it would plant a route nothing ever cleans up — skip; every broker
+  // that already routes it runs its own expiry/unsubscription anyway.
+  const auto live = local_subs_.find(promoted.id());
+  if (live == local_subs_.end()) return;
+  const std::optional<sim::SimTime> expiry = live->second.expiry;
+  ++metrics_.subscription_messages;
+  queue_.schedule_in(config_.link_latency, [this, next, at, promoted, expiry]() {
+    deliver_subscription(next, promoted, Origin{false, at}, expiry);
+  });
 }
 
 void BrokerNetwork::deliver_publication(BrokerId at, Publication pub,
@@ -131,7 +244,7 @@ void BrokerNetwork::subscribe(BrokerId broker, const Subscription& sub) {
   if (local_subs_.count(sub.id()) > 0) {
     throw std::invalid_argument("BrokerNetwork::subscribe: duplicate id");
   }
-  local_subs_.emplace(sub.id(), LocalSub{broker, sub});
+  local_subs_.emplace(sub.id(), LocalSub{broker, sub, std::nullopt});
   deliver_subscription(broker, sub, Origin{true, kInvalidBroker});
   run_cascade();
 }
@@ -148,7 +261,7 @@ void BrokerNetwork::subscribe_with_ttl(BrokerId broker, const Subscription& sub,
     throw std::invalid_argument("BrokerNetwork::subscribe_with_ttl: ttl <= 0");
   }
   const sim::SimTime expiry = queue_.now() + ttl;
-  local_subs_.emplace(sub.id(), LocalSub{broker, sub});
+  local_subs_.emplace(sub.id(), LocalSub{broker, sub, expiry});
   deliver_subscription(broker, sub, Origin{true, kInvalidBroker}, expiry);
   // The subscriber side forgets the subscription at expiry too.
   queue_.schedule_at(expiry, [this, id = sub.id()]() { local_subs_.erase(id); });

@@ -50,6 +50,29 @@ class BrokerNetwork {
   /// Builds a chain B1-B2-...-Bn (Section 5 analysis topology).
   static BrokerNetwork chain_topology(std::size_t n, NetworkConfig config = {});
 
+  /// Builds a random attachment tree: broker i (i >= 1) links to a
+  /// uniformly random earlier broker. Produces skewed degree distributions
+  /// (early brokers become hubs), the classic random-recursive-tree shape.
+  /// Deterministic per (n, seed). Requires n > 0.
+  static BrokerNetwork random_tree_topology(std::size_t n, std::uint64_t seed,
+                                            NetworkConfig config = {});
+
+  /// Builds rows x cols brokers laid out on a grid, routed over the grid's
+  /// comb spanning tree (full first row + every vertical column edge), so
+  /// the overlay stays acyclic: long row/column paths, high diameter
+  /// (rows + cols - 2). Requires rows, cols > 0 and rows * cols > 1.
+  static BrokerNetwork grid_topology(std::size_t rows, std::size_t cols,
+                                     NetworkConfig config = {});
+
+  /// Builds a random degree-regular graph (pairing model, rejecting
+  /// self-loops / parallel edges / disconnected draws) and routes over its
+  /// BFS spanning tree from broker 0: a bushy low-diameter tree whose node
+  /// degrees never exceed `degree`. Deterministic per (n, degree, seed).
+  /// Requires 2 <= degree < n and n * degree even.
+  static BrokerNetwork random_regular_topology(std::size_t n, std::size_t degree,
+                                               std::uint64_t seed,
+                                               NetworkConfig config = {});
+
   /// Client subscribes at `broker`. The subscription floods immediately
   /// (events are processed to quiescence before returning).
   void subscribe(BrokerId broker, const core::Subscription& sub);
@@ -85,6 +108,10 @@ class BrokerNetwork {
       BrokerId broker, const std::vector<core::Publication>& pubs);
 
   [[nodiscard]] std::size_t broker_count() const noexcept { return brokers_.size(); }
+  /// Live client subscriptions network-wide (TTL-expired ones excluded).
+  [[nodiscard]] std::size_t local_subscription_count() const noexcept {
+    return local_subs_.size();
+  }
   [[nodiscard]] const Broker& broker(BrokerId id) const { return *brokers_.at(id); }
   [[nodiscard]] const sim::Metrics& metrics() const noexcept { return metrics_; }
   void reset_metrics() noexcept { metrics_.reset(); }
@@ -101,6 +128,10 @@ class BrokerNetwork {
   struct LocalSub {
     BrokerId home;
     core::Subscription sub;
+    /// Absolute expiry for TTL subscriptions. Promotion re-announcements
+    /// must carry it: a promoted TTL subscription delivered without its
+    /// expiry would never die at the receiving broker (ghost route).
+    std::optional<sim::SimTime> expiry;
   };
   std::unordered_map<core::SubscriptionId, LocalSub> local_subs_;
   sim::Metrics metrics_;
@@ -116,6 +147,12 @@ class BrokerNetwork {
   /// clock into future expiries.
   void run_cascade();
   void deliver_unsubscription(BrokerId at, core::SubscriptionId id, Origin origin);
+  /// Schedules a promotion re-announcement of `promoted` from `at` to
+  /// `next`, carrying the subscription's TTL expiry (if any) so the
+  /// receiver arms its own timer; no-op if the subscription is no longer
+  /// live at this instant.
+  void schedule_reannounce(BrokerId at, BrokerId next,
+                           const core::Subscription& promoted);
   void deliver_publication(BrokerId at, core::Publication pub, Origin origin,
                            std::uint64_t token,
                            std::vector<core::SubscriptionId>* sink);

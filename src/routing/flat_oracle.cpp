@@ -1,0 +1,68 @@
+#include "routing/flat_oracle.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace psc::routing {
+
+using core::Publication;
+using core::Subscription;
+using core::SubscriptionId;
+
+void FlatOracle::subscribe(BrokerId broker, const Subscription& sub) {
+  if (sub.id() == core::kInvalidSubscriptionId) {
+    throw std::invalid_argument("FlatOracle::subscribe: id must be non-zero");
+  }
+  if (subs_.count(sub.id()) > 0) {
+    throw std::invalid_argument("FlatOracle::subscribe: duplicate id");
+  }
+  subs_.emplace(sub.id(), Entry{broker, sub, std::nullopt});
+}
+
+void FlatOracle::subscribe_with_ttl(BrokerId broker, const Subscription& sub,
+                                    sim::SimTime ttl) {
+  if (sub.id() == core::kInvalidSubscriptionId) {
+    throw std::invalid_argument("FlatOracle::subscribe_with_ttl: bad id");
+  }
+  if (subs_.count(sub.id()) > 0) {
+    throw std::invalid_argument("FlatOracle::subscribe_with_ttl: duplicate id");
+  }
+  if (!(ttl > 0)) {
+    throw std::invalid_argument("FlatOracle::subscribe_with_ttl: ttl <= 0");
+  }
+  subs_.emplace(sub.id(), Entry{broker, sub, now_ + ttl});
+}
+
+void FlatOracle::unsubscribe(BrokerId broker, SubscriptionId id) {
+  const auto it = subs_.find(id);
+  if (it == subs_.end() || it->second.home != broker) {
+    throw std::invalid_argument("FlatOracle::unsubscribe: unknown id");
+  }
+  subs_.erase(it);
+}
+
+void FlatOracle::expire_due() {
+  for (auto it = subs_.begin(); it != subs_.end();) {
+    if (it->second.expiry && *it->second.expiry <= now_) {
+      it = subs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void FlatOracle::advance_time(sim::SimTime horizon) {
+  if (horizon > now_) now_ = horizon;
+  expire_due();
+}
+
+std::vector<SubscriptionId> FlatOracle::publish(const Publication& pub) {
+  std::vector<SubscriptionId> delivered;
+  for (const auto& [id, entry] : subs_) {
+    if (pub.matches(entry.sub)) delivered.push_back(id);
+  }
+  std::sort(delivered.begin(), delivered.end());
+  return delivered;
+}
+
+}  // namespace psc::routing

@@ -1,0 +1,73 @@
+// FlatOracle — the differential ground truth for BrokerNetwork.
+//
+// Replays the same client-visible op sequence (subscribe /
+// subscribe_with_ttl / unsubscribe / publish / advance_time) against one
+// flat subscription table with no overlay, no links, and no coverage
+// pruning. Matching is direct box evaluation, so its delivered set is
+// correct by construction; any divergence from the network is a routing
+// bug (or, under the probabilistic kGroup policy, the paper's bounded
+// false-suppression error).
+//
+// Time contract: the oracle mirrors the network's TTL semantics — a
+// subscription with expiry E is live while now < E and dies once time
+// advances to E or beyond. The one intentional simplification is that
+// publish() does not advance the clock, whereas BrokerNetwork::publish
+// runs its cascade (now moves by up to (brokers + 1) * link_latency).
+// Differential replays therefore require expiry instants to stay out of
+// cascade windows; workload::generate_churn_trace guarantees this by
+// quantizing op times to slot boundaries and placing every expiry at a
+// mid-slot offset wider than the worst-case cascade.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <optional>
+#include <vector>
+
+#include "core/publication.hpp"
+#include "core/subscription.hpp"
+#include "routing/broker.hpp"
+#include "sim/event_queue.hpp"
+
+namespace psc::routing {
+
+class FlatOracle {
+ public:
+  /// Mirrors BrokerNetwork::subscribe preconditions: non-zero id not
+  /// already live; violations throw std::invalid_argument.
+  void subscribe(BrokerId broker, const core::Subscription& sub);
+
+  /// Mirrors BrokerNetwork::subscribe_with_ttl (ttl > 0); the subscription
+  /// dies when time advances to now + ttl.
+  void subscribe_with_ttl(BrokerId broker, const core::Subscription& sub,
+                          sim::SimTime ttl);
+
+  /// Mirrors BrokerNetwork::unsubscribe: id must be live and homed at
+  /// `broker`, else std::invalid_argument.
+  void unsubscribe(BrokerId broker, core::SubscriptionId id);
+
+  /// Advances the clock (monotone; earlier horizons are no-ops) and drops
+  /// every subscription whose expiry has been reached.
+  void advance_time(sim::SimTime horizon);
+
+  /// Ground-truth delivered set: ids of live subscriptions containing the
+  /// publication point, sorted ascending. Does not advance the clock.
+  [[nodiscard]] std::vector<core::SubscriptionId> publish(
+      const core::Publication& pub);
+
+  [[nodiscard]] sim::SimTime now() const noexcept { return now_; }
+  [[nodiscard]] std::size_t live_count() const noexcept { return subs_.size(); }
+
+ private:
+  struct Entry {
+    BrokerId home;
+    core::Subscription sub;
+    std::optional<sim::SimTime> expiry;
+  };
+  std::unordered_map<core::SubscriptionId, Entry> subs_;
+  sim::SimTime now_ = 0.0;
+
+  void expire_due();
+};
+
+}  // namespace psc::routing

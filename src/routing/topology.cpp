@@ -1,0 +1,27 @@
+#include "routing/topology.hpp"
+
+namespace psc::routing {
+
+std::vector<Topology> standard_topologies(std::uint64_t seed) {
+  std::vector<Topology> topologies;
+  topologies.push_back({"figure1", 9, [](NetworkConfig config) {
+                          return BrokerNetwork::figure1_topology(config);
+                        }});
+  topologies.push_back({"chain8", 8, [](NetworkConfig config) {
+                          return BrokerNetwork::chain_topology(8, config);
+                        }});
+  topologies.push_back({"random_tree32", 32, [seed](NetworkConfig config) {
+                          return BrokerNetwork::random_tree_topology(32, seed,
+                                                                     config);
+                        }});
+  topologies.push_back({"grid6x6", 36, [](NetworkConfig config) {
+                          return BrokerNetwork::grid_topology(6, 6, config);
+                        }});
+  topologies.push_back({"random_regular24d3", 24, [seed](NetworkConfig config) {
+                          return BrokerNetwork::random_regular_topology(
+                              24, 3, seed, config);
+                        }});
+  return topologies;
+}
+
+}  // namespace psc::routing

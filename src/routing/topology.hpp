@@ -1,0 +1,36 @@
+// Topology — a named, uniformly-buildable overlay descriptor so tests and
+// benches enumerate the whole scenario family (paper Figure 1, the Section 5
+// chain, and the generated tree/grid/regular overlays) with one loop
+// instead of hand-wiring each shape.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "routing/broker_network.hpp"
+
+namespace psc::routing {
+
+/// One overlay shape: a display name, its broker count, and a builder that
+/// instantiates it with the caller's NetworkConfig. Builders are pure —
+/// calling build twice yields two independent, identically-wired networks.
+struct Topology {
+  std::string name;
+  std::size_t brokers = 0;
+  std::function<BrokerNetwork(NetworkConfig)> build;
+};
+
+/// The five-shape standard family every scenario-diversity test and the
+/// churn-soak bench run against:
+///   figure1          — the paper's 9-broker example overlay
+///   chain8           — 8-broker chain (Section 5 analysis shape)
+///   random_tree32    — 32-broker random attachment tree (hubby, deep)
+///   grid6x6          — 36 brokers on a grid, comb-spanning-tree routed
+///   random_regular24 — BFS tree of a random 3-regular graph on 24 brokers
+/// `seed` feeds the randomized generators; every descriptor is
+/// deterministic per seed.
+[[nodiscard]] std::vector<Topology> standard_topologies(std::uint64_t seed = 2006);
+
+}  // namespace psc::routing

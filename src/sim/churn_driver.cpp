@@ -1,0 +1,125 @@
+#include "sim/churn_driver.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace psc::sim {
+
+using routing::BrokerNetwork;
+using routing::FlatOracle;
+using workload::ChurnOp;
+using workload::ChurnOpKind;
+using workload::ChurnTrace;
+
+namespace {
+
+/// End-of-epoch state sweep over every broker and link store.
+void snapshot_state(const BrokerNetwork& net, ChurnEpoch& epoch) {
+  epoch.live_subscriptions = net.local_subscription_count();
+  for (std::size_t b = 0; b < net.broker_count(); ++b) {
+    const auto& broker = net.broker(static_cast<routing::BrokerId>(b));
+    epoch.routing_entries += broker.routing_table_size();
+    for (const routing::BrokerId neighbor : broker.neighbors()) {
+      const auto* store = broker.forwarded_store(neighbor);
+      if (store == nullptr) continue;
+      epoch.forwarded_entries += store->total_count();
+      epoch.forwarded_active += store->active_count();
+    }
+  }
+}
+
+}  // namespace
+
+ChurnReport ChurnDriver::run(BrokerNetwork& net, const ChurnTrace& trace,
+                             Options options) {
+  if (net.broker_count() != trace.broker_count) {
+    throw std::invalid_argument(
+        "ChurnDriver::run: network broker count does not match the trace");
+  }
+  // generate_churn_trace validates this, but hand-built traces reach here
+  // too, and a non-positive epoch length would loop close_epoch forever.
+  if (!(trace.config.epoch_length > 0)) {
+    throw std::invalid_argument("ChurnDriver::run: epoch_length must be > 0");
+  }
+  net.reset_metrics();
+
+  ChurnReport report;
+  FlatOracle oracle;
+
+  const double epoch_length = trace.config.epoch_length;
+  Metrics at_epoch_start;  // metrics totals when the current epoch began
+  ChurnEpoch epoch;
+  double epoch_end = epoch_length;
+
+  const auto close_epoch = [&]() {
+    // Settle both replicas exactly at the boundary, then snapshot.
+    net.advance_time(epoch_end);
+    if (options.differential) oracle.advance_time(epoch_end);
+    epoch.end_time = epoch_end;
+    const Metrics& m = net.metrics();
+    epoch.delivered = m.notifications_delivered - at_epoch_start.notifications_delivered;
+    epoch.lost = m.notifications_lost - at_epoch_start.notifications_lost;
+    epoch.subscription_messages =
+        m.subscription_messages - at_epoch_start.subscription_messages;
+    epoch.unsubscription_messages =
+        m.unsubscription_messages - at_epoch_start.unsubscription_messages;
+    epoch.publication_messages =
+        m.publication_messages - at_epoch_start.publication_messages;
+    epoch.suppressed =
+        m.subscriptions_suppressed - at_epoch_start.subscriptions_suppressed;
+    snapshot_state(net, epoch);
+    report.peak_routing_entries =
+        std::max(report.peak_routing_entries, epoch.routing_entries);
+    report.mismatched_publishes += epoch.mismatched_publishes;
+    report.epochs.push_back(epoch);
+    at_epoch_start = m;
+    epoch = ChurnEpoch{};
+    epoch_end += epoch_length;
+  };
+
+  for (const ChurnOp& op : trace.ops) {
+    // Close every epoch the trace has moved past. Boundaries are slot
+    // multiples, so they never collide with mid-slot expiry instants.
+    while (op.time > epoch_end) close_epoch();
+
+    net.advance_time(op.time);
+    if (options.differential) oracle.advance_time(op.time);
+    ++epoch.ops;
+    ++report.ops;
+    switch (op.kind) {
+      case ChurnOpKind::kSubscribe:
+        net.subscribe(op.broker, op.sub);
+        if (options.differential) oracle.subscribe(op.broker, op.sub);
+        break;
+      case ChurnOpKind::kSubscribeTtl:
+        net.subscribe_with_ttl(op.broker, op.sub, op.ttl);
+        if (options.differential) {
+          oracle.subscribe_with_ttl(op.broker, op.sub, op.ttl);
+        }
+        break;
+      case ChurnOpKind::kUnsubscribe:
+        net.unsubscribe(op.broker, op.id);
+        if (options.differential) oracle.unsubscribe(op.broker, op.id);
+        break;
+      case ChurnOpKind::kPublish: {
+        ++epoch.publishes;
+        ++report.publishes;
+        const auto delivered = net.publish(op.broker, op.pub);
+        if (options.differential && delivered != oracle.publish(op.pub)) {
+          ++epoch.mismatched_publishes;
+        }
+        break;
+      }
+      case ChurnOpKind::kAdvance:
+        break;  // the advance above already moved both clocks
+    }
+  }
+  // Close the trailing (possibly partial) epoch at its natural boundary.
+  close_epoch();
+
+  report.totals = net.metrics();
+  report.final_live_subscriptions = net.local_subscription_count();
+  return report;
+}
+
+}  // namespace psc::sim

@@ -1,0 +1,92 @@
+// ChurnDriver — replays a workload::ChurnTrace against a BrokerNetwork and
+// reports a per-epoch metrics time series; optionally replays the same
+// trace against routing::FlatOracle in lockstep and differentially checks
+// every publication's delivered set.
+//
+// Layering note: unlike the event-queue core (which sits at the bottom of
+// the stack), the driver is a harness — it sits ABOVE routing/ and
+// workload/ and owns no state of its own. It lives in sim/ because it is
+// the simulator's steering wheel, not because the routing layer depends
+// on it (it doesn't).
+//
+// Determinism: a replay is a pure function of (trace, NetworkConfig). Two
+// replays of one trace against identically-configured networks produce
+// identical metrics, epoch series, and delivered sets — this is what the
+// churn regression tests pin.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "routing/broker_network.hpp"
+#include "routing/flat_oracle.hpp"
+#include "sim/metrics.hpp"
+#include "workload/churn_workload.hpp"
+
+namespace psc::sim {
+
+/// One epoch of the soak: deltas over (epoch_start, epoch_end] plus
+/// end-of-epoch state snapshots.
+struct ChurnEpoch {
+  SimTime end_time = 0.0;
+
+  // --- deltas within the epoch ---------------------------------------
+  std::size_t ops = 0;             ///< client ops issued
+  std::size_t publishes = 0;
+  std::uint64_t delivered = 0;     ///< notifications delivered
+  std::uint64_t lost = 0;          ///< notifications lost
+  std::uint64_t subscription_messages = 0;
+  std::uint64_t unsubscription_messages = 0;
+  std::uint64_t publication_messages = 0;
+  std::uint64_t suppressed = 0;    ///< link-forwards withheld by coverage
+  std::uint64_t mismatched_publishes = 0;  ///< differential failures
+
+  // --- end-of-epoch state ---------------------------------------------
+  std::size_t live_subscriptions = 0;   ///< client subs alive network-wide
+  std::size_t routing_entries = 0;      ///< sum of broker routing tables
+  std::size_t forwarded_entries = 0;    ///< sum of per-link store sizes
+  std::size_t forwarded_active = 0;     ///< uncovered (announced) share
+
+  /// Publication hops per publication this epoch; 0 when no publishes.
+  [[nodiscard]] double hops_per_publication() const noexcept {
+    return publishes == 0 ? 0.0
+                          : static_cast<double>(publication_messages) /
+                                static_cast<double>(publishes);
+  }
+};
+
+/// Whole-run result: the epoch series plus totals.
+struct ChurnReport {
+  std::vector<ChurnEpoch> epochs;
+  Metrics totals;                  ///< network metrics for the whole run
+  std::size_t ops = 0;
+  std::size_t publishes = 0;
+  std::uint64_t mismatched_publishes = 0;  ///< 0 unless differential found drift
+  std::size_t peak_routing_entries = 0;
+  std::size_t final_live_subscriptions = 0;
+};
+
+class ChurnDriver {
+ public:
+  struct Options {
+    /// Replay the trace against a FlatOracle in lockstep and count
+    /// publications whose delivered set diverges from the network's.
+    bool differential = false;
+  };
+
+  /// Replays `trace` against `net`. The network must have
+  /// trace.broker_count brokers (throws std::invalid_argument otherwise)
+  /// and should be configured with the link latency the trace was
+  /// generated for — the trace's slot quantization assumes it. Epoch
+  /// boundaries come from trace.config.epoch_length. Resets the network's
+  /// metrics first so the report's deltas are self-contained.
+  [[nodiscard]] static ChurnReport run(routing::BrokerNetwork& net,
+                                       const workload::ChurnTrace& trace,
+                                       Options options);
+  [[nodiscard]] static ChurnReport run(routing::BrokerNetwork& net,
+                                       const workload::ChurnTrace& trace) {
+    return run(net, trace, Options{});
+  }
+};
+
+}  // namespace psc::sim

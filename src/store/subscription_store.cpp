@@ -2,10 +2,31 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
+#include "baseline/exact_subsumption.hpp"
 #include "baseline/pairwise_cover.hpp"
 
 namespace psc::store {
+
+std::string_view to_string(CoveragePolicy policy) noexcept {
+  switch (policy) {
+    case CoveragePolicy::kNone: return "none";
+    case CoveragePolicy::kPairwise: return "pairwise";
+    case CoveragePolicy::kGroup: return "group";
+    case CoveragePolicy::kExact: return "exact";
+  }
+  return "?";
+}
+
+CoveragePolicy parse_coverage_policy(std::string_view name) {
+  if (name == "none") return CoveragePolicy::kNone;
+  if (name == "pairwise") return CoveragePolicy::kPairwise;
+  if (name == "group") return CoveragePolicy::kGroup;
+  if (name == "exact") return CoveragePolicy::kExact;
+  throw std::invalid_argument("unknown coverage policy (none|pairwise|group|exact): " +
+                              std::string(name));
+}
 
 using core::Publication;
 using core::Subscription;
@@ -112,6 +133,47 @@ std::optional<std::vector<SubscriptionId>> SubscriptionStore::check_covered(
           if (active.intersects(sub)) coverers.push_back(active.id());
         }
       }
+      return coverers;
+    }
+    case CoveragePolicy::kExact: {
+      // Exact group cover via recursive box subtraction. Only intersecting
+      // actives can contribute to the union over sub, so the candidate set
+      // is always the intersecting ones whether or not the index prunes;
+      // either way it is assembled as pointers (zero subscription copies).
+      std::vector<const Subscription*> group;
+      std::vector<SubscriptionId> coverers;
+      const auto consider = [&](const Subscription& active) {
+        if (active.covers(sub)) return true;  // pairwise fast path
+        group.push_back(&active);
+        coverers.push_back(active.id());
+        return false;
+      };
+      if (pruned) {
+        group.reserve(candidates.size());
+        for (const Subscription* candidate : candidates) {
+          if (consider(*candidate)) {
+            return std::vector<SubscriptionId>{candidate->id()};
+          }
+        }
+      } else {
+        for (const auto& active : active_) {
+          if (!active.intersects(sub)) continue;
+          if (consider(active)) {
+            return std::vector<SubscriptionId>{active.id()};
+          }
+        }
+      }
+      if (group.empty()) return std::nullopt;
+      bool covered = false;
+      try {
+        covered = baseline::exactly_covered(sub, group);
+      } catch (const std::runtime_error&) {
+        // Fragment-limit blowup on an adversarial set: treating the
+        // subscription as uncovered is sound (it floods instead of being
+        // suppressed, which can never lose a notification).
+        covered = false;
+      }
+      if (!covered) return std::nullopt;
       return coverers;
     }
   }

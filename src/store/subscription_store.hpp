@@ -23,6 +23,7 @@
 #include <functional>
 #include <optional>
 #include <span>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -38,7 +39,19 @@ enum class CoveragePolicy : std::uint8_t {
   kNone,      ///< flooding-style: every subscription stays active
   kPairwise,  ///< classical baseline: single-subscription cover only
   kGroup,     ///< paper: probabilistic group cover via SubsumptionEngine
+  kExact,     ///< exact group cover via box subtraction (baseline oracle).
+              ///< Every decision is definite, so a network routed under it
+              ///< never loses a notification — the differential-test and
+              ///< churn-soak reference configuration. Worst-case exponential
+              ///< in the candidate count; meant for tests/benches, not the
+              ///< high-rate production path.
 };
+
+/// Canonical lowercase name ("none" / "pairwise" / "group" / "exact").
+[[nodiscard]] std::string_view to_string(CoveragePolicy policy) noexcept;
+
+/// Inverse of to_string; throws std::invalid_argument on unknown names.
+[[nodiscard]] CoveragePolicy parse_coverage_policy(std::string_view name);
 
 /// Result of inserting a subscription.
 struct InsertResult {

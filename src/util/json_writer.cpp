@@ -1,0 +1,139 @@
+#include "util/json_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace psc::util {
+
+void JsonWriter::comma_and_indent() {
+  if (!stack_.empty()) {
+    if (stack_.back()) out_ << ',';
+    stack_.back() = true;
+    out_ << '\n';
+    for (std::size_t i = 0; i < stack_.size(); ++i) out_ << "  ";
+  }
+}
+
+void JsonWriter::key_prefix(std::string_view key) {
+  comma_and_indent();
+  write_escaped(key);
+  out_ << ": ";
+}
+
+void JsonWriter::write_escaped(std::string_view text) {
+  out_ << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out_ << "\\\""; break;
+      case '\\': out_ << "\\\\"; break;
+      case '\n': out_ << "\\n"; break;
+      case '\t': out_ << "\\t"; break;
+      case '\r': out_ << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out_ << buf;
+        } else {
+          out_ << c;
+        }
+    }
+  }
+  out_ << '"';
+}
+
+void JsonWriter::write_double(double number) {
+  if (!std::isfinite(number)) {
+    out_ << "null";  // JSON has no Inf/NaN
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.12g", number);
+  out_ << buf;
+}
+
+void JsonWriter::begin_object() {
+  comma_and_indent();
+  out_ << '{';
+  stack_.push_back(false);
+}
+
+void JsonWriter::begin_object(std::string_view key) {
+  key_prefix(key);
+  out_ << '{';
+  stack_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  const bool had_members = !stack_.empty() && stack_.back();
+  if (!stack_.empty()) stack_.pop_back();
+  if (had_members) {
+    out_ << '\n';
+    for (std::size_t i = 0; i < stack_.size(); ++i) out_ << "  ";
+  }
+  out_ << '}';
+}
+
+void JsonWriter::begin_array() {
+  comma_and_indent();
+  out_ << '[';
+  stack_.push_back(false);
+}
+
+void JsonWriter::begin_array(std::string_view key) {
+  key_prefix(key);
+  out_ << '[';
+  stack_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  const bool had_members = !stack_.empty() && stack_.back();
+  if (!stack_.empty()) stack_.pop_back();
+  if (had_members) {
+    out_ << '\n';
+    for (std::size_t i = 0; i < stack_.size(); ++i) out_ << "  ";
+  }
+  out_ << ']';
+}
+
+void JsonWriter::member(std::string_view key, std::string_view value) {
+  key_prefix(key);
+  write_escaped(value);
+}
+
+void JsonWriter::member(std::string_view key, double value) {
+  key_prefix(key);
+  write_double(value);
+}
+
+void JsonWriter::member(std::string_view key, std::int64_t value) {
+  key_prefix(key);
+  out_ << value;
+}
+
+void JsonWriter::member(std::string_view key, std::uint64_t value) {
+  key_prefix(key);
+  out_ << value;
+}
+
+void JsonWriter::member(std::string_view key, bool value) {
+  key_prefix(key);
+  out_ << (value ? "true" : "false");
+}
+
+void JsonWriter::value(std::string_view element) {
+  comma_and_indent();
+  write_escaped(element);
+}
+
+void JsonWriter::value(double element) {
+  comma_and_indent();
+  write_double(element);
+}
+
+void JsonWriter::value(std::uint64_t element) {
+  comma_and_indent();
+  out_ << element;
+}
+
+}  // namespace psc::util

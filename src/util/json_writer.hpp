@@ -1,0 +1,71 @@
+// Minimal streaming JSON emitter for machine-readable bench output.
+//
+// TableWriter covers flat CSV series; the churn-soak bench emits nested
+// per-topology/per-epoch records, which CSV cannot express without
+// denormalizing. This writer produces standard JSON with no dependencies:
+// a begin/end nesting API with automatic comma placement and string
+// escaping. It does NOT validate that keys appear only inside objects —
+// callers pair begin/end correctly (debug-checked via the nesting depth).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace psc::util {
+
+/// Streaming JSON writer with 2-space indentation.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  /// Containers. The keyed forms are for members of an object.
+  void begin_object();
+  void begin_object(std::string_view key);
+  void end_object();
+  void begin_array();
+  void begin_array(std::string_view key);
+  void end_array();
+
+  /// Object members.
+  void member(std::string_view key, std::string_view value);
+  void member(std::string_view key, const char* value) {
+    member(key, std::string_view(value));
+  }
+  void member(std::string_view key, double value);
+  void member(std::string_view key, std::int64_t value);
+  void member(std::string_view key, std::uint64_t value);
+  void member(std::string_view key, bool value);
+  /// Disambiguates the integer overloads for any integral argument.
+  template <typename T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
+  void member(std::string_view key, T value) {
+    if constexpr (std::is_signed_v<T>) {
+      member(key, static_cast<std::int64_t>(value));
+    } else {
+      member(key, static_cast<std::uint64_t>(value));
+    }
+  }
+
+  /// Bare array elements.
+  void value(std::string_view element);
+  void value(double element);
+  void value(std::uint64_t element);
+
+  /// Depth 0 means every container was closed (sanity check for callers).
+  [[nodiscard]] std::size_t depth() const noexcept { return stack_.size(); }
+
+ private:
+  std::ostream& out_;
+  /// One flag per open container: whether it already has an element.
+  std::vector<bool> stack_;
+
+  void comma_and_indent();
+  void key_prefix(std::string_view key);
+  void write_escaped(std::string_view text);
+  void write_double(double number);
+};
+
+}  // namespace psc::util

@@ -1,0 +1,224 @@
+#include "workload/churn_workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/interval.hpp"
+#include "util/distributions.hpp"
+#include "util/rng.hpp"
+
+namespace psc::workload {
+
+using core::Interval;
+using core::Publication;
+using core::Subscription;
+using core::SubscriptionId;
+using routing::BrokerId;
+
+namespace {
+
+/// Exponential variate with the given mean (inverse-CDF, one rng call).
+double sample_exponential(util::Rng& rng, double mean) {
+  const double u = 1.0 - rng.next_double();  // (0, 1], avoids log(0)
+  return -mean * std::log(u);
+}
+
+void validate(const ChurnConfig& c, std::size_t broker_count) {
+  const auto fail = [](const char* what) {
+    throw std::invalid_argument(std::string("generate_churn_trace: ") + what);
+  };
+  if (broker_count == 0) fail("broker_count must be > 0");
+  if (c.attribute_count == 0) fail("attribute_count must be > 0");
+  if (!(c.domain_hi > c.domain_lo)) fail("domain must be non-empty");
+  if (c.subscription_rate < 0 || c.publication_rate < 0) fail("negative rate");
+  if (c.subscription_rate + c.publication_rate <= 0) fail("all rates zero");
+  if (c.ttl_fraction < 0 || c.ttl_fraction > 1) fail("ttl_fraction outside [0,1]");
+  if (c.immortal_fraction < 0 || c.immortal_fraction > 1) {
+    fail("immortal_fraction outside [0,1]");
+  }
+  if (!(c.mean_lifetime > 0)) fail("mean_lifetime must be > 0");
+  if (c.hotspot_count == 0) fail("hotspot_count must be > 0");
+  if (c.zipf_skew < 0) fail("zipf_skew must be >= 0");
+  if (!(c.hotspot_radius_fraction >= 0)) fail("hotspot_radius_fraction < 0");
+  if (!(c.width_fraction_lo > 0) || c.width_fraction_hi < c.width_fraction_lo ||
+      c.width_fraction_hi > 1.0) {
+    fail("width fractions need 0 < lo <= hi <= 1");
+  }
+  if (!(c.slot > 0) || !(c.duration >= c.slot)) fail("need 0 < slot <= duration");
+  if (!(c.link_latency > 0)) fail("link_latency must be > 0");
+  if (!(c.epoch_length > 0)) fail("epoch_length must be > 0");
+  // Epoch boundaries must land on slot boundaries, or a driver snapshot
+  // could fall on a mid-slot expiry instant and observe mid-cascade state.
+  const double epoch_slots = c.epoch_length / c.slot;
+  if (std::abs(epoch_slots - std::round(epoch_slots)) > 1e-9) {
+    fail("epoch_length must be a whole number of slots");
+  }
+  // The differential time contract: expiries sit half a slot past a
+  // boundary, which must clear the worst-case cascade window.
+  if (c.slot / 2 <=
+      static_cast<double>(broker_count + 1) * c.link_latency) {
+    fail("slot too small: slot/2 must exceed (brokers + 1) * link_latency");
+  }
+}
+
+/// Pending proto-event: payloads are sampled at pop time so the RNG stream
+/// is consumed in one deterministic (time, insertion) order.
+struct Proto {
+  double t = 0.0;
+  ChurnOpKind kind = ChurnOpKind::kAdvance;
+  std::uint64_t seq = 0;           ///< FIFO tie-break
+  SubscriptionId unsub_id = 0;     ///< kUnsubscribe payload
+  BrokerId unsub_home = 0;
+};
+
+struct ProtoLater {
+  bool operator()(const Proto& a, const Proto& b) const noexcept {
+    if (a.t != b.t) return a.t > b.t;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace
+
+ChurnTrace generate_churn_trace(const ChurnConfig& config,
+                                std::size_t broker_count, std::uint64_t seed) {
+  validate(config, broker_count);
+
+  ChurnTrace trace;
+  trace.config = config;
+  trace.broker_count = broker_count;
+  trace.seed = seed;
+
+  util::Rng rng(seed);
+  const double domain_width = config.domain_hi - config.domain_lo;
+  const util::ZipfSampler hotspot_rank(config.hotspot_count, config.zipf_skew);
+  const util::NormalSampler jitter(0.0,
+                                   config.hotspot_radius_fraction * domain_width);
+
+  // Hotspot centers: the popular regions both sides of the workload share.
+  std::vector<std::vector<double>> hotspots(config.hotspot_count);
+  for (auto& center : hotspots) {
+    center.reserve(config.attribute_count);
+    for (std::size_t a = 0; a < config.attribute_count; ++a) {
+      center.push_back(rng.uniform(config.domain_lo, config.domain_hi));
+    }
+  }
+
+  // Poisson arrival processes (exponential inter-arrival times).
+  std::priority_queue<Proto, std::vector<Proto>, ProtoLater> pending;
+  std::uint64_t seq = 0;
+  if (config.subscription_rate > 0) {
+    for (double t = sample_exponential(rng, 1.0 / config.subscription_rate);
+         t < config.duration;
+         t += sample_exponential(rng, 1.0 / config.subscription_rate)) {
+      pending.push(Proto{t, ChurnOpKind::kSubscribe, seq++, 0, 0});
+    }
+  }
+  if (config.publication_rate > 0) {
+    for (double t = sample_exponential(rng, 1.0 / config.publication_rate);
+         t < config.duration;
+         t += sample_exponential(rng, 1.0 / config.publication_rate)) {
+      pending.push(Proto{t, ChurnOpKind::kPublish, seq++, 0, 0});
+    }
+  }
+
+  // Slot assignment: ops are serialized one-per-slot in event order, so
+  // every op owns a quiet boundary and replay is collision-free.
+  const auto slot_of = [&](double t) {
+    return static_cast<std::uint64_t>(std::ceil(t / config.slot));
+  };
+  std::uint64_t last_slot = 0;  // slot 0 is reserved: time 0 issues nothing
+  SubscriptionId next_id = 1;
+
+  while (!pending.empty()) {
+    Proto proto = pending.top();
+    pending.pop();
+    if (proto.t >= config.duration) continue;
+    const std::uint64_t op_slot = std::max(slot_of(proto.t), last_slot + 1);
+    const double op_time = static_cast<double>(op_slot) * config.slot;
+    last_slot = op_slot;
+
+    ChurnOp op;
+    op.time = op_time;
+    switch (proto.kind) {
+      case ChurnOpKind::kSubscribe: {
+        // Box around a Zipf-popular hotspot: popular regions accumulate
+        // overlapping subscriptions, which is what coverage pruning eats.
+        const auto& center = hotspots[hotspot_rank.sample(rng)];
+        std::vector<Interval> ranges;
+        ranges.reserve(config.attribute_count);
+        for (std::size_t a = 0; a < config.attribute_count; ++a) {
+          const double mid = std::clamp(center[a] + jitter.sample(rng),
+                                        config.domain_lo, config.domain_hi);
+          const double width = rng.uniform(config.width_fraction_lo,
+                                           config.width_fraction_hi) *
+                               domain_width;
+          ranges.emplace_back(
+              std::max(config.domain_lo, mid - width / 2),
+              std::min(config.domain_hi, mid + width / 2));
+        }
+        op.broker = static_cast<BrokerId>(rng.next_below(broker_count));
+        op.sub = Subscription(std::move(ranges), next_id++);
+        trace.subscribe_count += 1;
+
+        // Fate: immortal, TTL-expired, or explicitly unsubscribed.
+        if (rng.bernoulli(config.immortal_fraction)) {
+          op.kind = ChurnOpKind::kSubscribe;
+        } else if (rng.bernoulli(config.ttl_fraction)) {
+          op.kind = ChurnOpKind::kSubscribeTtl;
+          const double lifetime = sample_exponential(rng, config.mean_lifetime);
+          const auto ttl_slots = std::max<std::uint64_t>(
+              1, static_cast<std::uint64_t>(std::llround(lifetime / config.slot)));
+          // Whole slots plus half a slot: the expiry instant sits mid-slot,
+          // clear of every cascade window (see header contract).
+          op.ttl = static_cast<double>(ttl_slots) * config.slot + config.slot / 2;
+        } else {
+          op.kind = ChurnOpKind::kSubscribe;
+          const double lifetime = sample_exponential(rng, config.mean_lifetime);
+          pending.push(Proto{proto.t + lifetime, ChurnOpKind::kUnsubscribe,
+                             seq++, op.sub.id(), op.broker});
+        }
+        break;
+      }
+      case ChurnOpKind::kPublish: {
+        const auto& center = hotspots[hotspot_rank.sample(rng)];
+        std::vector<double> point;
+        point.reserve(config.attribute_count);
+        for (std::size_t a = 0; a < config.attribute_count; ++a) {
+          point.push_back(std::clamp(center[a] + jitter.sample(rng),
+                                     config.domain_lo, config.domain_hi));
+        }
+        op.kind = ChurnOpKind::kPublish;
+        op.broker = static_cast<BrokerId>(rng.next_below(broker_count));
+        op.pub = Publication(std::move(point));
+        trace.publish_count += 1;
+        break;
+      }
+      case ChurnOpKind::kUnsubscribe:
+        op.kind = ChurnOpKind::kUnsubscribe;
+        op.id = proto.unsub_id;
+        op.broker = proto.unsub_home;
+        break;
+      case ChurnOpKind::kSubscribeTtl:
+      case ChurnOpKind::kAdvance:
+        continue;  // never enqueued as proto events
+    }
+    trace.ops.push_back(std::move(op));
+  }
+
+  // Closing advance: fires every expiry due by the end of the run, so a
+  // replayed trace ends with both replicas at the same instant.
+  ChurnOp closing;
+  closing.kind = ChurnOpKind::kAdvance;
+  closing.time =
+      static_cast<double>(std::max(last_slot + 1, slot_of(config.duration))) *
+      config.slot;
+  trace.ops.push_back(std::move(closing));
+  return trace;
+}
+
+}  // namespace psc::workload

@@ -1,0 +1,101 @@
+// Churn workload — an open, deterministic client-op trace for soaking a
+// broker overlay: Poisson subscription arrivals with a TTL / explicit-
+// unsubscribe mix, exponential lifetimes, and Zipf-skewed publication
+// hotspots (popular regions of the attribute space attract both
+// subscriptions and publications, so coverage pruning, TTL expiry, and
+// promotion-on-erase all fire continuously).
+//
+// A trace is a plain vector of client-visible ops, so the SAME trace can
+// be replayed against a BrokerNetwork (sim::ChurnDriver) and against the
+// routing::FlatOracle for differential checking.
+//
+// Time discipline (the determinism contract, see docs/ARCHITECTURE.md):
+// every op lands on its own slot boundary k * slot, and every TTL is a
+// whole number of slots plus HALF a slot. Expiries therefore fire at
+// mid-slot instants, strictly after any publish/subscribe cascade started
+// at the preceding boundary has quiesced (cascades span at most
+// (brokers + 1) * link_latency, and generation validates
+// slot / 2 > that bound). This keeps the network's cascade-time clock
+// drift invisible to the flat oracle, whose clock only moves on
+// advance_time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/publication.hpp"
+#include "core/subscription.hpp"
+#include "routing/broker.hpp"
+#include "sim/event_queue.hpp"
+
+namespace psc::workload {
+
+/// One client-visible operation of a churn trace.
+enum class ChurnOpKind : std::uint8_t {
+  kSubscribe,     ///< permanent (or explicitly unsubscribed later)
+  kSubscribeTtl,  ///< expires ttl seconds after issue, message-free
+  kUnsubscribe,   ///< explicit removal of an earlier kSubscribe
+  kPublish,       ///< point publication
+  kAdvance,       ///< pure time advance (flushes due expiries)
+};
+
+struct ChurnOp {
+  ChurnOpKind kind = ChurnOpKind::kAdvance;
+  sim::SimTime time = 0.0;        ///< absolute, slot-aligned issue time
+  routing::BrokerId broker = 0;   ///< issuing client's home broker
+  core::Subscription sub;         ///< kSubscribe / kSubscribeTtl payload
+  sim::SimTime ttl = 0.0;         ///< kSubscribeTtl only
+  core::SubscriptionId id = 0;    ///< kUnsubscribe target
+  core::Publication pub;          ///< kPublish payload
+};
+
+/// Knobs of the churn model. Rates are per simulated second; the defaults
+/// give a sustained mixed workload on the standard topology family (see
+/// docs/TUNING.md for the measured effect of each knob).
+struct ChurnConfig {
+  // --- attribute space ------------------------------------------------
+  std::size_t attribute_count = 2;
+  double domain_lo = 0.0;
+  double domain_hi = 1000.0;
+
+  // --- workload shape -------------------------------------------------
+  double subscription_rate = 2.0;  ///< Poisson arrivals of new subscriptions
+  double publication_rate = 5.0;   ///< Poisson arrivals of publications
+  double ttl_fraction = 0.5;       ///< share of subs removed by TTL expiry
+  double immortal_fraction = 0.1;  ///< share of subs that never leave
+  double mean_lifetime = 8.0;      ///< exponential lifetime mean, seconds
+
+  // --- hotspot model (Zipf-skewed popularity) -------------------------
+  std::size_t hotspot_count = 16;        ///< distinct popular regions
+  double zipf_skew = 0.9;                ///< hotspot popularity exponent
+  double hotspot_radius_fraction = 0.04; ///< normal jitter stddev / domain
+  double width_fraction_lo = 0.02;       ///< sub box width bounds / domain
+  double width_fraction_hi = 0.25;
+
+  // --- time discipline ------------------------------------------------
+  double duration = 60.0;      ///< simulated seconds of churn
+  double slot = 0.1;           ///< op-time quantum; one op per slot
+  double link_latency = 0.001; ///< must match NetworkConfig::link_latency
+  double epoch_length = 5.0;   ///< driver snapshot period (slot multiple)
+};
+
+/// A generated trace: time-ordered ops plus the config that shaped it.
+struct ChurnTrace {
+  ChurnConfig config;
+  std::size_t broker_count = 0;
+  std::uint64_t seed = 0;
+  std::vector<ChurnOp> ops;
+  std::size_t publish_count = 0;
+  std::size_t subscribe_count = 0;  ///< kSubscribe + kSubscribeTtl ops
+};
+
+/// Generates a deterministic trace for an overlay of `broker_count`
+/// brokers. Throws std::invalid_argument on nonsensical configs, including
+/// a slot too small for the overlay's worst-case cascade
+/// (slot / 2 <= (broker_count + 1) * link_latency), which would break the
+/// differential time contract above.
+[[nodiscard]] ChurnTrace generate_churn_trace(const ChurnConfig& config,
+                                              std::size_t broker_count,
+                                              std::uint64_t seed);
+
+}  // namespace psc::workload

@@ -109,15 +109,10 @@ TEST_P(SingleShardEquivalence, DecisionForDecisionIdenticalUnderChurn) {
 INSTANTIATE_TEST_SUITE_P(AllPolicies, SingleShardEquivalence,
                          ::testing::Values(store::CoveragePolicy::kNone,
                                            store::CoveragePolicy::kPairwise,
-                                           store::CoveragePolicy::kGroup),
+                                           store::CoveragePolicy::kGroup,
+                                           store::CoveragePolicy::kExact),
                          [](const auto& info) {
-                           switch (info.param) {
-                             case store::CoveragePolicy::kNone: return "none";
-                             case store::CoveragePolicy::kPairwise:
-                               return "pairwise";
-                             case store::CoveragePolicy::kGroup: return "group";
-                           }
-                           return "unknown";
+                           return std::string(store::to_string(info.param));
                          });
 
 // Property 2: notifications are shard-count- and pool-size-invariant.

@@ -1,0 +1,199 @@
+// Tests for the churn workload generator and the churn driver: trace
+// determinism and shape (the slot/mid-slot time discipline the
+// differential oracle depends on), driver replay determinism, and the
+// epoch-series bookkeeping.
+#include "sim/churn_driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "routing/topology.hpp"
+#include "workload/churn_workload.hpp"
+
+namespace psc::sim {
+namespace {
+
+using routing::BrokerNetwork;
+using routing::NetworkConfig;
+using workload::ChurnConfig;
+using workload::ChurnOp;
+using workload::ChurnOpKind;
+using workload::ChurnTrace;
+using workload::generate_churn_trace;
+
+bool ops_equal(const ChurnOp& a, const ChurnOp& b) {
+  if (a.kind != b.kind || a.time != b.time || a.broker != b.broker ||
+      a.ttl != b.ttl || a.id != b.id) {
+    return false;
+  }
+  if (a.sub.id() != b.sub.id() || !(a.sub == b.sub)) return false;
+  if (a.pub.attribute_count() != b.pub.attribute_count()) return false;
+  for (std::size_t i = 0; i < a.pub.attribute_count(); ++i) {
+    if (a.pub.value(i) != b.pub.value(i)) return false;
+  }
+  return true;
+}
+
+TEST(ChurnWorkload, TraceIsDeterministicPerSeed) {
+  const ChurnConfig config;
+  const ChurnTrace a = generate_churn_trace(config, 9, 42);
+  const ChurnTrace b = generate_churn_trace(config, 9, 42);
+  const ChurnTrace c = generate_churn_trace(config, 9, 43);
+  ASSERT_EQ(a.ops.size(), b.ops.size());
+  for (std::size_t i = 0; i < a.ops.size(); ++i) {
+    EXPECT_TRUE(ops_equal(a.ops[i], b.ops[i])) << "op " << i;
+  }
+  bool any_difference = a.ops.size() != c.ops.size();
+  for (std::size_t i = 0; !any_difference && i < a.ops.size(); ++i) {
+    any_difference = !ops_equal(a.ops[i], c.ops[i]);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(ChurnWorkload, TraceHonorsTheSlotTimeDiscipline) {
+  ChurnConfig config;
+  config.duration = 40.0;
+  const ChurnTrace trace = generate_churn_trace(config, 36, 7);
+  ASSERT_FALSE(trace.ops.empty());
+  double previous = 0.0;
+  for (const ChurnOp& op : trace.ops) {
+    // One op per slot, strictly increasing, slot-aligned.
+    EXPECT_GT(op.time, previous);
+    const double slots = op.time / config.slot;
+    EXPECT_NEAR(slots, std::round(slots), 1e-9);
+    previous = op.time;
+    if (op.kind == ChurnOpKind::kSubscribeTtl) {
+      // TTLs are whole slots plus half a slot, so expiries fire mid-slot,
+      // clear of every cascade window.
+      const double offset = op.ttl / config.slot;
+      EXPECT_NEAR(offset - std::floor(offset), 0.5, 1e-9);
+      EXPECT_GE(op.ttl, config.slot);
+    }
+  }
+}
+
+TEST(ChurnWorkload, TraceMixesAllOpKinds) {
+  ChurnConfig config;
+  config.duration = 60.0;
+  const ChurnTrace trace = generate_churn_trace(config, 9, 2006);
+  std::set<ChurnOpKind> kinds;
+  std::set<core::SubscriptionId> subscribed;
+  for (const ChurnOp& op : trace.ops) {
+    kinds.insert(op.kind);
+    if (op.kind == ChurnOpKind::kSubscribe ||
+        op.kind == ChurnOpKind::kSubscribeTtl) {
+      EXPECT_TRUE(subscribed.insert(op.sub.id()).second)
+          << "duplicate id " << op.sub.id();
+      EXPECT_LT(op.broker, 9u);
+    }
+    if (op.kind == ChurnOpKind::kUnsubscribe) {
+      EXPECT_TRUE(subscribed.count(op.id)) << "unsubscribe before subscribe";
+    }
+  }
+  EXPECT_TRUE(kinds.count(ChurnOpKind::kSubscribe));
+  EXPECT_TRUE(kinds.count(ChurnOpKind::kSubscribeTtl));
+  EXPECT_TRUE(kinds.count(ChurnOpKind::kUnsubscribe));
+  EXPECT_TRUE(kinds.count(ChurnOpKind::kPublish));
+  EXPECT_TRUE(kinds.count(ChurnOpKind::kAdvance));
+  EXPECT_EQ(trace.subscribe_count, subscribed.size());
+}
+
+TEST(ChurnWorkload, RejectsConfigsThatBreakTheTimeContract) {
+  ChurnConfig config;
+  // slot/2 must exceed (brokers + 1) * link_latency: 0.05 <= 0.101.
+  EXPECT_THROW(generate_churn_trace(config, 100, 1), std::invalid_argument);
+  config.slot = 0.5;
+  EXPECT_NO_THROW(generate_churn_trace(config, 100, 1));
+  config.ttl_fraction = 1.5;
+  EXPECT_THROW(generate_churn_trace(config, 9, 1), std::invalid_argument);
+  config.ttl_fraction = 0.5;
+  config.subscription_rate = 0.0;
+  config.publication_rate = 0.0;
+  EXPECT_THROW(generate_churn_trace(config, 9, 1), std::invalid_argument);
+  config.subscription_rate = 2.0;
+  config.epoch_length = 0.0;  // would loop the driver's epoch closer forever
+  EXPECT_THROW(generate_churn_trace(config, 9, 1), std::invalid_argument);
+  config.epoch_length = 5.13;  // boundary would land mid-slot
+  EXPECT_THROW(generate_churn_trace(config, 9, 1), std::invalid_argument);
+}
+
+TEST(ChurnDriver, ReplayIsDeterministic) {
+  ChurnConfig config;
+  config.duration = 30.0;
+  const ChurnTrace trace = generate_churn_trace(config, 9, 11);
+  auto net_a = BrokerNetwork::figure1_topology();
+  auto net_b = BrokerNetwork::figure1_topology();
+  const ChurnReport a = ChurnDriver::run(net_a, trace, {.differential = true});
+  const ChurnReport b = ChurnDriver::run(net_b, trace, {.differential = true});
+  EXPECT_EQ(a.ops, b.ops);
+  EXPECT_EQ(a.publishes, b.publishes);
+  EXPECT_EQ(a.totals.total_messages(), b.totals.total_messages());
+  EXPECT_EQ(a.totals.notifications_delivered, b.totals.notifications_delivered);
+  ASSERT_EQ(a.epochs.size(), b.epochs.size());
+  for (std::size_t i = 0; i < a.epochs.size(); ++i) {
+    EXPECT_EQ(a.epochs[i].delivered, b.epochs[i].delivered) << i;
+    EXPECT_EQ(a.epochs[i].routing_entries, b.epochs[i].routing_entries) << i;
+    EXPECT_EQ(a.epochs[i].forwarded_entries, b.epochs[i].forwarded_entries) << i;
+  }
+}
+
+TEST(ChurnDriver, EpochSeriesAccountsForEveryOpAndMessage) {
+  ChurnConfig config;
+  config.duration = 30.0;
+  config.epoch_length = 5.0;
+  const ChurnTrace trace = generate_churn_trace(config, 8, 3);
+  auto net = BrokerNetwork::chain_topology(8);
+  const ChurnReport report = ChurnDriver::run(net, trace);
+  ASSERT_FALSE(report.epochs.empty());
+  std::size_t ops = 0, publishes = 0;
+  std::uint64_t delivered = 0, messages = 0;
+  double previous_end = 0.0;
+  std::size_t peak = 0;
+  for (const ChurnEpoch& epoch : report.epochs) {
+    EXPECT_NEAR(epoch.end_time - previous_end, config.epoch_length, 1e-9);
+    previous_end = epoch.end_time;
+    ops += epoch.ops;
+    publishes += epoch.publishes;
+    delivered += epoch.delivered;
+    messages += epoch.subscription_messages + epoch.unsubscription_messages +
+                epoch.publication_messages;
+    peak = std::max(peak, epoch.routing_entries);
+  }
+  EXPECT_EQ(ops, report.ops);
+  EXPECT_EQ(publishes, report.publishes);
+  EXPECT_EQ(delivered, report.totals.notifications_delivered);
+  EXPECT_EQ(messages, report.totals.total_messages());
+  EXPECT_EQ(peak, report.peak_routing_entries);
+  EXPECT_EQ(report.final_live_subscriptions, net.local_subscription_count());
+}
+
+TEST(ChurnDriver, RejectsBrokerCountMismatch) {
+  const ChurnTrace trace = generate_churn_trace(ChurnConfig{}, 9, 1);
+  auto net = BrokerNetwork::chain_topology(4);
+  EXPECT_THROW((void)ChurnDriver::run(net, trace), std::invalid_argument);
+}
+
+TEST(ChurnDriver, ExactPolicySoakIsLossFreeWithLiveChurn) {
+  ChurnConfig config;
+  config.duration = 60.0;
+  NetworkConfig net_config;
+  net_config.store.policy = store::CoveragePolicy::kExact;
+  const ChurnTrace trace = generate_churn_trace(config, 9, 2006);
+  auto net = BrokerNetwork::figure1_topology(net_config);
+  const ChurnReport report = ChurnDriver::run(net, trace, {.differential = true});
+  EXPECT_EQ(report.totals.notifications_lost, 0u);
+  EXPECT_EQ(report.mismatched_publishes, 0u);
+  EXPECT_GT(report.totals.notifications_delivered, 0u);
+  EXPECT_GT(report.totals.subscriptions_suppressed, 0u)
+      << "hotspot workload should trigger coverage pruning";
+  // Churn actually happened: subscriptions arrived and left.
+  EXPECT_GT(report.ops, 100u);
+  EXPECT_LT(report.final_live_subscriptions, trace.subscribe_count);
+}
+
+}  // namespace
+}  // namespace psc::sim

@@ -108,14 +108,10 @@ TEST_P(IndexEquivalence, IdenticalDecisionsAndMatchesUnderChurn) {
 INSTANTIATE_TEST_SUITE_P(AllPolicies, IndexEquivalence,
                          ::testing::Values(CoveragePolicy::kNone,
                                            CoveragePolicy::kPairwise,
-                                           CoveragePolicy::kGroup),
+                                           CoveragePolicy::kGroup,
+                                           CoveragePolicy::kExact),
                          [](const auto& info) {
-                           switch (info.param) {
-                             case CoveragePolicy::kNone: return "none";
-                             case CoveragePolicy::kPairwise: return "pairwise";
-                             case CoveragePolicy::kGroup: return "group";
-                           }
-                           return "unknown";
+                           return std::string(to_string(info.param));
                          });
 
 TEST(IndexEquivalence, WrongArityPublicationMatchesNothingOnBothPaths) {

@@ -177,6 +177,40 @@ TEST(BrokerNetwork, UnsubscribeRemovesRoutesAndPromotes) {
   EXPECT_EQ(net.metrics().notifications_lost, 0u);
 }
 
+TEST(BrokerNetwork, UnsubscribeOfDemotedSubscriptionReachesAllBrokers) {
+  // Regression (churn differential find): s1 floods while uncovered, THEN
+  // s2 ⊇ s1 arrives. s1 was announced everywhere before s2 existed, so
+  // s1's unsubscription must still flood — a link store that demoted s1
+  // under s2 must not swallow it, or downstream brokers keep a ghost
+  // route for s1 forever.
+  auto net = BrokerNetwork::chain_topology(
+      3, with_policy(store::CoveragePolicy::kPairwise));
+  net.subscribe(0, box2(2, 8, 2, 8, 1));    // s1 floods first
+  net.subscribe(0, box2(0, 10, 0, 10, 2));  // s2 covers s1, floods too
+  net.unsubscribe(0, 1);
+  for (BrokerId b = 0; b < 3; ++b) {
+    EXPECT_EQ(net.broker(b).routing_table_size(), 1u) << "broker " << b;
+  }
+}
+
+TEST(BrokerNetwork, PromotedTtlSubscriptionStillExpiresAfterReannounce) {
+  // Regression (churn differential find): a TTL subscription suppressed as
+  // covered is later promoted when its coverer unsubscribes. The
+  // re-announcement must carry the original expiry — without it the
+  // receiving broker would route the promoted subscription forever.
+  auto net = BrokerNetwork::chain_topology(
+      2, with_policy(store::CoveragePolicy::kPairwise));
+  net.subscribe(0, box2(0, 10, 0, 10, 1));            // coverer
+  net.subscribe_with_ttl(0, box2(2, 8, 2, 8, 2), 5.0);  // suppressed on link
+  EXPECT_EQ(net.broker(1).routing_table_size(), 1u);  // only s1 announced
+  net.unsubscribe(0, 1);  // promotes s2, reannounces it to broker 1
+  EXPECT_EQ(net.broker(1).routing_table_size(), 1u);  // now s2
+  net.advance_time(6.0);  // past s2's expiry
+  EXPECT_EQ(net.broker(0).routing_table_size(), 0u);
+  EXPECT_EQ(net.broker(1).routing_table_size(), 0u);
+  EXPECT_EQ(net.local_subscription_count(), 0u);
+}
+
 TEST(BrokerNetwork, ExpectedRecipientsGroundTruth) {
   auto net = BrokerNetwork::chain_topology(
       3, with_policy(store::CoveragePolicy::kPairwise));

@@ -141,6 +141,48 @@ TEST(EventQueue, RunStepIncludesEventsScheduledAtTheStepTime) {
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
+TEST(EventQueue, SameTimestampOrderIsGlobalFifoAcrossScheduleForms) {
+  // Churn-replay determinism regression pin: equal-timestamp events fire
+  // in exact scheduling order no matter how they were scheduled (single,
+  // batch, or from inside a handler) and no matter which drive API runs
+  // them. TTL expiries armed by a subscription flood rely on this — a
+  // heap that broke FIFO ties would reorder expiry against message
+  // delivery and desynchronize the differential oracle.
+  std::vector<int> order;
+  const auto build = [&order](EventQueue& queue) {
+    queue.schedule_at(1.0, [&order] { order.push_back(0); });
+    std::vector<EventQueue::Handler> batch;
+    batch.push_back([&order] { order.push_back(1); });
+    batch.push_back([&order] { order.push_back(2); });
+    queue.schedule_batch_at(1.0, std::move(batch));
+    queue.schedule_at(1.0, [&order, &queue] {
+      order.push_back(3);
+      // Scheduled mid-step at the step's own timestamp: fires after every
+      // already-queued 1.0 event, still within the same instant.
+      queue.schedule_at(1.0, [&order] { order.push_back(5); });
+    });
+    queue.schedule_at(1.0, [&order] { order.push_back(4); });
+  };
+  const std::vector<int> expected{0, 1, 2, 3, 4, 5};
+
+  EventQueue via_run;
+  build(via_run);
+  via_run.run();
+  EXPECT_EQ(order, expected);
+
+  order.clear();
+  EventQueue via_run_until;
+  build(via_run_until);
+  via_run_until.run_until(1.0);
+  EXPECT_EQ(order, expected);
+
+  order.clear();
+  EventQueue via_run_step;
+  build(via_run_step);
+  EXPECT_EQ(via_run_step.run_step(), 6u);
+  EXPECT_EQ(order, expected);
+}
+
 TEST(Metrics, DeliveryRatio) {
   Metrics m;
   EXPECT_DOUBLE_EQ(m.delivery_ratio(), 1.0);  // nothing expected

@@ -1,0 +1,155 @@
+// Tests for the topology generators and the standard descriptor family:
+// every generated overlay must be a connected spanning tree (n - 1 links),
+// deterministic per seed, and floodable edge-to-edge.
+#include "routing/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/subscription.hpp"
+
+namespace psc::routing {
+namespace {
+
+using core::Interval;
+using core::Subscription;
+
+/// Sorted undirected edge list of a network's overlay.
+std::vector<std::pair<BrokerId, BrokerId>> edges_of(const BrokerNetwork& net) {
+  std::vector<std::pair<BrokerId, BrokerId>> edges;
+  for (std::size_t b = 0; b < net.broker_count(); ++b) {
+    const auto id = static_cast<BrokerId>(b);
+    for (const BrokerId peer : net.broker(id).neighbors()) {
+      if (id < peer) edges.emplace_back(id, peer);
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+/// Brokers reachable from broker 0 over neighbor links.
+std::size_t reachable_count(const BrokerNetwork& net) {
+  std::vector<char> seen(net.broker_count(), 0);
+  std::vector<BrokerId> frontier{0};
+  seen[0] = 1;
+  std::size_t count = 1;
+  while (!frontier.empty()) {
+    const BrokerId at = frontier.back();
+    frontier.pop_back();
+    for (const BrokerId peer : net.broker(at).neighbors()) {
+      if (seen[peer]) continue;
+      seen[peer] = 1;
+      frontier.push_back(peer);
+      ++count;
+    }
+  }
+  return count;
+}
+
+void expect_spanning_tree(const BrokerNetwork& net) {
+  ASSERT_GT(net.broker_count(), 0u);
+  EXPECT_EQ(edges_of(net).size(), net.broker_count() - 1);
+  EXPECT_EQ(reachable_count(net), net.broker_count());
+}
+
+TEST(TopologyGenerators, RandomTreeIsConnectedSpanningTree) {
+  const auto net = BrokerNetwork::random_tree_topology(32, 7);
+  EXPECT_EQ(net.broker_count(), 32u);
+  expect_spanning_tree(net);
+}
+
+TEST(TopologyGenerators, RandomTreeDeterministicPerSeed) {
+  const auto a = BrokerNetwork::random_tree_topology(24, 42);
+  const auto b = BrokerNetwork::random_tree_topology(24, 42);
+  const auto c = BrokerNetwork::random_tree_topology(24, 43);
+  EXPECT_EQ(edges_of(a), edges_of(b));
+  EXPECT_NE(edges_of(a), edges_of(c));
+}
+
+TEST(TopologyGenerators, RandomTreeRejectsZeroBrokers) {
+  EXPECT_THROW(BrokerNetwork::random_tree_topology(0, 1), std::invalid_argument);
+}
+
+TEST(TopologyGenerators, GridCombSpanningTreeShape) {
+  const auto net = BrokerNetwork::grid_topology(6, 6);
+  EXPECT_EQ(net.broker_count(), 36u);
+  expect_spanning_tree(net);
+  // Spine node (0,1) = broker 1: left + right + its column below.
+  EXPECT_EQ(net.broker(1).neighbors().size(), 3u);
+  // Bottom-row non-spine node (5,3) = broker 33: only its column above.
+  EXPECT_EQ(net.broker(33).neighbors().size(), 1u);
+}
+
+TEST(TopologyGenerators, GridRejectsDegenerateDimensions) {
+  EXPECT_THROW(BrokerNetwork::grid_topology(0, 4), std::invalid_argument);
+  EXPECT_THROW(BrokerNetwork::grid_topology(4, 0), std::invalid_argument);
+  EXPECT_THROW(BrokerNetwork::grid_topology(1, 1), std::invalid_argument);
+}
+
+TEST(TopologyGenerators, RandomRegularTreeBoundedDegree) {
+  const auto net = BrokerNetwork::random_regular_topology(24, 3, 11);
+  EXPECT_EQ(net.broker_count(), 24u);
+  expect_spanning_tree(net);
+  // BFS tree of a 3-regular graph: no node exceeds the graph degree.
+  for (std::size_t b = 0; b < net.broker_count(); ++b) {
+    EXPECT_LE(net.broker(static_cast<BrokerId>(b)).neighbors().size(), 3u);
+  }
+}
+
+TEST(TopologyGenerators, RandomRegularDeterministicPerSeed) {
+  const auto a = BrokerNetwork::random_regular_topology(24, 3, 5);
+  const auto b = BrokerNetwork::random_regular_topology(24, 3, 5);
+  EXPECT_EQ(edges_of(a), edges_of(b));
+}
+
+TEST(TopologyGenerators, RandomRegularRejectsBadParameters) {
+  // n * degree odd.
+  EXPECT_THROW(BrokerNetwork::random_regular_topology(9, 3, 1),
+               std::invalid_argument);
+  // degree < 2.
+  EXPECT_THROW(BrokerNetwork::random_regular_topology(8, 1, 1),
+               std::invalid_argument);
+  // degree >= n.
+  EXPECT_THROW(BrokerNetwork::random_regular_topology(4, 4, 1),
+               std::invalid_argument);
+}
+
+TEST(StandardTopologies, FamilyHasFiveDistinctNamedShapes) {
+  const auto family = standard_topologies(2006);
+  ASSERT_EQ(family.size(), 5u);
+  std::set<std::string> names;
+  for (const Topology& topology : family) names.insert(topology.name);
+  EXPECT_EQ(names.size(), 5u);
+  EXPECT_TRUE(names.count("figure1"));
+  EXPECT_TRUE(names.count("grid6x6"));
+}
+
+TEST(StandardTopologies, BuildersMatchDescriptorAndFloodWholeTree) {
+  for (const Topology& topology : standard_topologies(2006)) {
+    auto net = topology.build(NetworkConfig{});
+    EXPECT_EQ(net.broker_count(), topology.brokers) << topology.name;
+    expect_spanning_tree(net);
+    // A subscription floods every link exactly once on a tree overlay.
+    net.subscribe(0, Subscription({Interval{0, 10}, Interval{0, 10}}, 1));
+    EXPECT_EQ(net.metrics().subscription_messages, topology.brokers - 1)
+        << topology.name;
+    for (std::size_t b = 0; b < net.broker_count(); ++b) {
+      EXPECT_EQ(net.broker(static_cast<BrokerId>(b)).routing_table_size(), 1u)
+          << topology.name << " broker " << b;
+    }
+  }
+}
+
+TEST(StandardTopologies, BuildersArePure) {
+  const auto family = standard_topologies(99);
+  const auto& tree = family[2];
+  const auto first = tree.build(NetworkConfig{});
+  const auto second = tree.build(NetworkConfig{});
+  EXPECT_EQ(edges_of(first), edges_of(second));
+}
+
+}  // namespace
+}  // namespace psc::routing
