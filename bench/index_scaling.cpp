@@ -52,6 +52,10 @@ int main(int argc, char** argv) {
   const auto args = bench::HarnessArgs::parse(argc, argv);
   const std::size_t publications =
       static_cast<std::size_t>(args.runs_or(2'000));
+  // Caps both sweeps' set sizes (--max-actives=1000 is the ctest smoke:
+  // population cost, not the timed loops, dominates at full size).
+  const auto max_actives = static_cast<std::size_t>(
+      util::Flags(argc, argv).get_int("max-actives", 10'000));
   const util::Timer timer;
 
   // Wide schema, sparse selective predicates: the standard pub/sub
@@ -77,6 +81,7 @@ int main(int argc, char** argv) {
        "matches"},
       3);
   for (const std::size_t k : {1'000UL, 2'500UL, 5'000UL, 10'000UL}) {
+    if (k > max_actives) continue;
     // kNone keeps every subscription active so both stores hold exactly k.
     auto flat = populate(k, false, store::CoveragePolicy::kNone,
                          workload_config, args.seed);
@@ -125,6 +130,7 @@ int main(int argc, char** argv) {
        "active_index"},
       3);
   for (const std::size_t k : {500UL, 1'000UL, 2'000UL}) {
+    if (k > max_actives) continue;
     util::Timer flat_timer;
     auto flat = populate(k, false, store::CoveragePolicy::kGroup,
                          workload_config, args.seed);

@@ -1,0 +1,451 @@
+// perf_gate — the repo's persistent performance trajectory, in one binary.
+//
+// Measures ops/sec and p50/p99 latency for the hot paths every PR is
+// judged against, emits machine-readable BENCH_core.json, and GATES on
+// correctness while doing so: every timed section cross-checks its results
+// against a flat-scan oracle, and the five-topology churn soak runs with
+// the differential network oracle on. Any divergence exits non-zero (the
+// CI perf-smoke job relies on this).
+//
+//   ./perf_gate [--small] [--json=BENCH_core.json] [--actives=100000]
+//               [--attrs=4] [--queries=N] [--churn-ops=N] [--seed=2006]
+//               [--soak-duration=20]
+//
+// Sections (see docs/PERFORMANCE.md for the methodology):
+//   * stab           — point-stab on the interval index at `actives` size
+//   * box_intersect  — box-intersect on the same index
+//   * insert_erase_churn — mutation-heavy steady state (erase+insert per
+//     op) on BOTH the churn-amortized tiered index and the eager pre-tier
+//     ablation (IndexConfig::amortize_mutations = false); the ratio is the
+//     PR's headline speedup and is gated >= 3x in full runs
+//   * broker_publish — Broker::handle_publication through PublishScratch
+//     (the zero-allocation publish path) against a routed table
+//   * churn_soak     — sim::ChurnDriver over the five standard topologies
+//     with the differential oracle on (ops/sec per topology)
+//
+// --small shrinks every size for the CI smoke / ctest registration; small
+// runs still gate on correctness but skip the speedup threshold (tiny
+// sizes are all noise).
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "index/interval_index.hpp"
+#include "routing/broker.hpp"
+#include "routing/topology.hpp"
+#include "sim/churn_driver.hpp"
+#include "util/json_writer.hpp"
+#include "workload/churn_workload.hpp"
+#include "workload/comparison_stream.hpp"
+#include "workload/publications.hpp"
+#include "workload/scenarios.hpp"
+
+namespace {
+
+using namespace psc;
+using core::Publication;
+using core::Subscription;
+using core::SubscriptionId;
+
+struct SectionResult {
+  std::string name;
+  std::uint64_t ops = 0;
+  double ops_per_sec = 0.0;
+  double p50_ns = 0.0;
+  double p99_ns = 0.0;
+};
+
+/// Times `op(i)` for i in [0, ops), returning throughput and latency
+/// percentiles. Per-op timing: the measured operations are microsecond-
+/// scale, so the ~20ns clock overhead is in the noise.
+template <typename Op>
+SectionResult time_section(const std::string& name, std::uint64_t ops, Op&& op) {
+  using clock = std::chrono::steady_clock;
+  util::SampleSet latencies;
+  latencies.reserve(ops);
+  const auto begin = clock::now();
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    const auto t0 = clock::now();
+    op(i);
+    const auto t1 = clock::now();
+    latencies.add(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()));
+  }
+  const double elapsed =
+      std::chrono::duration<double>(clock::now() - begin).count();
+  SectionResult result;
+  result.name = name;
+  result.ops = ops;
+  result.ops_per_sec = elapsed > 0 ? static_cast<double>(ops) / elapsed : 0.0;
+  result.p50_ns = latencies.percentile(50.0);
+  result.p99_ns = latencies.percentile(99.0);
+  return result;
+}
+
+void write_section(util::JsonWriter& json, const SectionResult& result) {
+  json.begin_object(result.name);
+  json.member("ops", result.ops);
+  json.member("ops_per_sec", result.ops_per_sec);
+  json.member("p50_ns", result.p50_ns);
+  json.member("p99_ns", result.p99_ns);
+  json.end_object();
+}
+
+std::vector<SubscriptionId> sorted(std::vector<SubscriptionId> ids) {
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+struct GateState {
+  std::uint64_t divergences = 0;
+
+  void check(bool ok, const std::string& what) {
+    if (!ok) {
+      ++divergences;
+      std::cerr << "ORACLE DIVERGENCE: " << what << "\n";
+    }
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  const bool small = flags.get_bool("small", false);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 2006));
+  const auto actives = static_cast<std::size_t>(
+      flags.get_int("actives", small ? 2'000 : 100'000));
+  const auto attrs =
+      static_cast<std::size_t>(flags.get_int("attrs", 4));
+  const auto queries = static_cast<std::uint64_t>(
+      flags.get_int("queries", small ? 2'000 : 20'000));
+  const auto churn_ops = static_cast<std::uint64_t>(
+      flags.get_int("churn-ops", small ? 2'000 : 20'000));
+  const double soak_duration = flags.get_double("soak-duration", small ? 5.0 : 20.0);
+  const std::string json_path = flags.get_string("json", "BENCH_core.json");
+
+  util::print_banner(std::cout, "perf_gate",
+                     "hot-path throughput/latency trajectory + oracle gates");
+
+  GateState gate;
+  workload::ComparisonConfig stream_config;
+  stream_config.attribute_count = attrs;
+  stream_config.max_constrained = std::min<std::size_t>(attrs, 3);
+
+  // ---------------------------------------------------------------------
+  // Shared fixture: live subscription set at `actives`, mirrored in a flat
+  // vector (the oracle) and in the production tiered index.
+  workload::ComparisonStream stream(stream_config, seed);
+  std::vector<Subscription> live;
+  live.reserve(actives);
+  index::IntervalIndex tiered(attrs);
+  for (std::size_t i = 0; i < actives; ++i) {
+    Subscription sub = stream.next();
+    tiered.insert(sub);
+    live.push_back(std::move(sub));
+  }
+
+  std::uint64_t probe_seed = seed;
+  util::Rng probe_rng(util::splitmix64(probe_seed));
+  std::vector<Publication> probes;
+  probes.reserve(queries);
+  for (std::uint64_t i = 0; i < queries; ++i) {
+    probes.push_back(workload::uniform_publication(attrs, 0.0, 1000.0, probe_rng));
+  }
+  workload::ScenarioConfig box_config;
+  box_config.attribute_count = attrs;
+  std::vector<Subscription> box_probes;
+  box_probes.reserve(queries);
+  for (std::uint64_t i = 0; i < queries; ++i) {
+    box_probes.push_back(workload::random_box(box_config, 0.02, 0.2, probe_rng));
+  }
+
+  // --- Section: stab ---------------------------------------------------
+  std::vector<SubscriptionId> out;
+  std::uint64_t sink = 0;
+  const SectionResult stab =
+      time_section("stab", queries, [&](std::uint64_t i) {
+        out.clear();
+        tiered.stab(probes[i].values(), out);
+        sink += out.size();
+      });
+  // Oracle: flat scan on a sample of probes.
+  for (std::uint64_t i = 0; i < queries; i += std::max<std::uint64_t>(queries / 16, 1)) {
+    std::vector<SubscriptionId> expected;
+    for (const Subscription& sub : live) {
+      if (probes[i].matches(sub)) expected.push_back(sub.id());
+    }
+    gate.check(sorted(tiered.stab(probes[i].values())) == sorted(expected),
+               "stab probe " + std::to_string(i));
+  }
+
+  // --- Section: box_intersect ------------------------------------------
+  const SectionResult box =
+      time_section("box_intersect", queries, [&](std::uint64_t i) {
+        out.clear();
+        tiered.box_intersect(box_probes[i], out);
+        sink += out.size();
+      });
+  for (std::uint64_t i = 0; i < queries; i += std::max<std::uint64_t>(queries / 16, 1)) {
+    std::vector<SubscriptionId> expected;
+    for (const Subscription& sub : live) {
+      if (sub.intersects(box_probes[i])) expected.push_back(sub.id());
+    }
+    gate.check(sorted(tiered.box_intersect(box_probes[i])) == sorted(expected),
+               "box_intersect probe " + std::to_string(i));
+  }
+
+  // --- Section: insert_erase_churn (amortized vs eager ablation) -------
+  // Mutation-heavy steady state at `actives`: each op erases a random live
+  // subscription and inserts a fresh one, the workload PR 3's churn soak
+  // showed dominating end-to-end throughput.
+  const auto run_churn = [&](index::IndexConfig config, std::uint64_t ops,
+                             const std::string& label) {
+    workload::ComparisonStream churn_stream(stream_config, seed);
+    index::IntervalIndex index(attrs, config);
+    // live_subs[i] is the subscription whose id is live at position i —
+    // the exact-oracle mirror of the index's contents.
+    std::vector<Subscription> live_subs;
+    live_subs.reserve(actives);
+    for (std::size_t i = 0; i < actives; ++i) {
+      Subscription sub = churn_stream.next();
+      index.insert(sub);
+      live_subs.push_back(std::move(sub));
+    }
+    std::vector<Subscription> incoming;
+    incoming.reserve(ops);
+    for (std::uint64_t i = 0; i < ops; ++i) incoming.push_back(churn_stream.next());
+    util::Rng churn_rng(seed ^ 0x5eedULL);
+    SectionResult result = time_section(label, ops, [&](std::uint64_t i) {
+      const std::size_t victim = churn_rng.next_below(live_subs.size());
+      index.erase(live_subs[victim].id());
+      index.insert(incoming[i]);
+      live_subs[victim] = incoming[i];
+    });
+    // Oracle: exact stab equality against a flat scan over the mirrored
+    // live set, after the full churn run — catches both ghost ids and
+    // silently dropped matches.
+    gate.check(index.size() == live_subs.size(), label + ": size drift");
+    for (std::uint64_t p = 0; p < queries;
+         p += std::max<std::uint64_t>(queries / 8, 1)) {
+      std::vector<SubscriptionId> expected;
+      for (const Subscription& sub : live_subs) {
+        if (probes[p].matches(sub)) expected.push_back(sub.id());
+      }
+      gate.check(sorted(index.stab(probes[p].values())) == sorted(expected),
+                 label + ": post-churn stab drift at probe " + std::to_string(p));
+    }
+    return result;
+  };
+
+  index::IndexConfig amortized_config;
+  const SectionResult churn_amortized =
+      run_churn(amortized_config, churn_ops, "insert_erase_churn_amortized");
+  index::IndexConfig eager_config;
+  eager_config.amortize_mutations = false;
+  // The eager path is orders of magnitude slower at 100k actives; cap its
+  // op count so the baseline measurement stays tractable.
+  const std::uint64_t eager_ops = std::min<std::uint64_t>(
+      churn_ops, small ? churn_ops : 4'000);
+  const SectionResult churn_eager =
+      run_churn(eager_config, eager_ops, "insert_erase_churn_eager");
+  const double speedup = churn_eager.ops_per_sec > 0
+                             ? churn_amortized.ops_per_sec / churn_eager.ops_per_sec
+                             : 0.0;
+
+  // Deep equivalence check between the two mutation modes on a smaller
+  // churned instance: identical stab/box results op for op.
+  {
+    const std::size_t n = small ? 300 : 2'000;
+    workload::ComparisonStream a_stream(stream_config, seed + 1);
+    workload::ComparisonStream b_stream(stream_config, seed + 1);
+    index::IntervalIndex amortized(attrs, amortized_config);
+    index::IntervalIndex eager(attrs, eager_config);
+    std::vector<SubscriptionId> ids;
+    util::Rng rng(seed + 2);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!ids.empty() && rng.bernoulli(0.4)) {
+        const std::size_t victim = rng.next_below(ids.size());
+        amortized.erase(ids[victim]);
+        eager.erase(ids[victim]);
+        ids[victim] = ids.back();
+        ids.pop_back();
+      } else {
+        const Subscription sub = a_stream.next();
+        (void)b_stream.next();
+        amortized.insert(sub);
+        eager.insert(sub);
+        ids.push_back(sub.id());
+      }
+      const Publication probe =
+          workload::uniform_publication(attrs, 0.0, 1000.0, rng);
+      gate.check(sorted(amortized.stab(probe.values())) ==
+                     sorted(eager.stab(probe.values())),
+                 "amortized/eager stab drift at op " + std::to_string(i));
+    }
+  }
+
+  // --- Section: broker_publish ------------------------------------------
+  // One broker, two links, `actives` routed subscriptions from a mix of
+  // local and neighbour origins; the zero-allocation scratch publish path.
+  store::StoreConfig broker_store;
+  routing::Broker broker(0, broker_store, seed, /*match_shards=*/1);
+  broker.add_neighbor(1);
+  broker.add_neighbor(2);
+  {
+    workload::ComparisonStream route_stream(stream_config, seed + 3);
+    util::Rng origin_rng(seed + 4);
+    for (std::size_t i = 0; i < actives; ++i) {
+      routing::Origin origin{true, routing::kInvalidBroker};
+      const auto draw = origin_rng.next_below(3);
+      if (draw == 1) origin = routing::Origin{false, 1};
+      if (draw == 2) origin = routing::Origin{false, 2};
+      (void)broker.handle_subscription(route_stream.next(), origin);
+    }
+  }
+  routing::Broker::PublishScratch scratch;
+  const routing::Origin publish_origin{true, routing::kInvalidBroker};
+  const SectionResult broker_publish =
+      time_section("broker_publish", queries, [&](std::uint64_t i) {
+        const auto& route =
+            broker.handle_publication(probes[i], publish_origin, scratch);
+        sink += route.local_matches.size() + route.destinations.size();
+      });
+  // Oracle: scratch overload against the legacy vector-returning overload.
+  for (std::uint64_t i = 0; i < queries; i += std::max<std::uint64_t>(queries / 8, 1)) {
+    std::vector<SubscriptionId> legacy_local;
+    const auto legacy_dests =
+        broker.handle_publication(probes[i], publish_origin, legacy_local);
+    const auto& route = broker.handle_publication(probes[i], publish_origin, scratch);
+    gate.check(route.local_matches == legacy_local &&
+                   route.destinations == legacy_dests,
+               "broker_publish route drift at probe " + std::to_string(i));
+  }
+
+  // --- Section: churn_soak (five topologies, differential oracle on) ---
+  struct SoakRow {
+    std::string name;
+    std::size_t brokers = 0;
+    std::uint64_t ops = 0;
+    std::uint64_t publishes = 0;
+    std::uint64_t mismatched = 0;
+    std::uint64_t lost = 0;
+    double ops_per_sec = 0.0;
+  };
+  std::vector<SoakRow> soak_rows;
+  {
+    workload::ChurnConfig churn_config;
+    churn_config.duration = soak_duration;
+    churn_config.subscription_rate = 3.0;
+    churn_config.publication_rate = 5.0;
+    for (routing::Topology& topology : routing::standard_topologies(seed)) {
+      routing::NetworkConfig net_config;
+      churn_config.link_latency = net_config.link_latency;
+      const auto trace =
+          workload::generate_churn_trace(churn_config, topology.brokers, seed);
+      auto net = topology.build(net_config);
+      const util::Timer timer;
+      const auto report =
+          sim::ChurnDriver::run(net, trace, {.differential = true});
+      const double elapsed = timer.elapsed_seconds();
+      SoakRow row;
+      row.name = topology.name;
+      row.brokers = topology.brokers;
+      row.ops = report.ops;
+      row.publishes = report.publishes;
+      row.mismatched = report.mismatched_publishes;
+      row.lost = report.totals.notifications_lost;
+      row.ops_per_sec =
+          elapsed > 0 ? static_cast<double>(report.ops) / elapsed : 0.0;
+      gate.check(row.mismatched == 0,
+                 "churn_soak differential mismatch on " + row.name);
+      gate.check(row.lost == 0, "churn_soak lost notifications on " + row.name);
+      soak_rows.push_back(std::move(row));
+    }
+  }
+
+  // ---------------------------------------------------------------- table
+  util::TableWriter table({"section", "ops", "ops_per_sec", "p50_ns", "p99_ns"});
+  for (const SectionResult* r :
+       {&stab, &box, &churn_amortized, &churn_eager, &broker_publish}) {
+    table.add_row({r->name, static_cast<long long>(r->ops), r->ops_per_sec,
+                   r->p50_ns, r->p99_ns});
+  }
+  table.print(std::cout);
+  std::cout << "\nchurn speedup (amortized / eager) at " << actives
+            << " actives: " << speedup << "x\n";
+  for (const SoakRow& row : soak_rows) {
+    std::cout << "soak " << row.name << ": " << row.ops_per_sec
+              << " ops/sec, mismatched=" << row.mismatched
+              << ", lost=" << row.lost << "\n";
+  }
+
+  // ----------------------------------------------------------------- json
+  if (!json_path.empty()) {
+    std::ofstream out_file(json_path);
+    if (!out_file) {
+      std::cerr << "cannot open --json path: " << json_path << "\n";
+      return 1;
+    }
+    util::JsonWriter json(out_file);
+    json.begin_object();
+    json.member("bench", "perf_gate");
+    json.member("seed", seed);
+    json.member("small", small);
+    json.begin_object("config");
+    json.member("actives", std::uint64_t{actives});
+    json.member("attributes", std::uint64_t{attrs});
+    json.member("queries", queries);
+    json.member("churn_ops", churn_ops);
+    json.member("soak_duration", soak_duration);
+    json.end_object();
+    json.begin_object("sections");
+    write_section(json, stab);
+    write_section(json, box);
+    write_section(json, churn_amortized);
+    write_section(json, churn_eager);
+    write_section(json, broker_publish);
+    json.begin_object("churn_soak");
+    json.begin_array("topologies");
+    for (const SoakRow& row : soak_rows) {
+      json.begin_object();
+      json.member("name", row.name);
+      json.member("brokers", std::uint64_t{row.brokers});
+      json.member("ops", row.ops);
+      json.member("publishes", row.publishes);
+      json.member("ops_per_sec", row.ops_per_sec);
+      json.member("mismatched_publishes", row.mismatched);
+      json.member("lost", row.lost);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    json.end_object();
+    json.begin_object("gates");
+    json.member("oracle_divergences", gate.divergences);
+    json.member("churn_speedup_vs_eager", speedup);
+    json.member("churn_speedup_required",
+                small ? 0.0 : 3.0);
+    json.end_object();
+    json.member("checksum_sink", sink);  // defeats dead-code elimination
+    json.end_object();
+    out_file << '\n';
+    std::cout << "\njson written to " << json_path << "\n";
+  }
+
+  // ---------------------------------------------------------------- gates
+  if (gate.divergences > 0) {
+    std::cerr << "\nFAIL: " << gate.divergences << " oracle divergences\n";
+    return 1;
+  }
+  if (!small && speedup < 3.0) {
+    std::cerr << "\nFAIL: churn speedup " << speedup
+              << "x below the 3x acceptance gate\n";
+    return 1;
+  }
+  return 0;
+}

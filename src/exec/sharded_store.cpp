@@ -62,22 +62,29 @@ std::vector<SubscriptionId> ShardedStore::coverers_of(SubscriptionId id) const {
   return shard ? shard->coverers_of(id) : std::vector<SubscriptionId>{};
 }
 
+void ShardedStore::match(const Publication& pub,
+                         std::vector<SubscriptionId>& out) const {
+  // Sequential shard-id-major append: each shard's out-parameter overload
+  // writes straight into the shared buffer, so the merged result needs no
+  // per-shard intermediates.
+  for (const auto& shard : shards_) shard.match(pub, out);
+}
+
 std::vector<SubscriptionId> ShardedStore::match(const Publication& pub) const {
   std::vector<SubscriptionId> out;
-  for (const auto& shard : shards_) {
-    const auto ids = shard.match(pub);
-    out.insert(out.end(), ids.begin(), ids.end());
-  }
+  match(pub, out);
   return out;
+}
+
+void ShardedStore::match_active(const Publication& pub,
+                                std::vector<SubscriptionId>& out) const {
+  for (const auto& shard : shards_) shard.match_active(pub, out);
 }
 
 std::vector<SubscriptionId> ShardedStore::match_active(
     const Publication& pub) const {
   std::vector<SubscriptionId> out;
-  for (const auto& shard : shards_) {
-    const auto ids = shard.match_active(pub);
-    out.insert(out.end(), ids.begin(), ids.end());
-  }
+  match_active(pub, out);
   return out;
 }
 
@@ -129,45 +136,61 @@ std::vector<store::InsertResult> ShardedStore::insert_batch(
   return insert_batch(std::span<const Subscription* const>(pointers), pool);
 }
 
-std::vector<std::vector<SubscriptionId>> ShardedStore::run_match_batch(
-    std::span<const Publication> pubs, ThreadPool* pool,
-    bool active_only) const {
+void ShardedStore::run_match_batch(
+    std::span<const Publication> pubs, ThreadPool* pool, bool active_only,
+    std::vector<std::vector<SubscriptionId>>& out) const {
   // Shard-major fan-out: one lane per shard walks the whole batch, because
   // a shard's store owns mutable query scratch and must stay single-lane.
-  std::vector<std::vector<std::vector<SubscriptionId>>> partial(
-      shards_.size());
+  // Intermediates live in batch_scratch_ and are cleared (capacity kept)
+  // instead of reallocated, so a steady-state batch reuses every buffer.
+  batch_scratch_.resize(shards_.size());
   ThreadPool::run(pool, shards_.size(), [&](std::size_t s) {
-    auto& mine = partial[s];
-    mine.resize(pubs.size());
+    auto& mine = batch_scratch_[s];
+    if (mine.size() < pubs.size()) mine.resize(pubs.size());
     for (std::size_t p = 0; p < pubs.size(); ++p) {
-      mine[p] = active_only ? shards_[s].match_active(pubs[p])
-                            : shards_[s].match(pubs[p]);
+      mine[p].clear();
+      if (active_only) {
+        shards_[s].match_active(pubs[p], mine[p]);
+      } else {
+        shards_[s].match(pubs[p], mine[p]);
+      }
     }
   });
 
-  std::vector<std::vector<SubscriptionId>> results(pubs.size());
+  out.resize(pubs.size());
   for (std::size_t p = 0; p < pubs.size(); ++p) {
+    auto& merged = out[p];
+    merged.clear();
     std::size_t total = 0;
     for (std::size_t s = 0; s < shards_.size(); ++s) {
-      total += partial[s][p].size();
+      total += batch_scratch_[s][p].size();
     }
-    results[p].reserve(total);
+    merged.reserve(total);
     for (std::size_t s = 0; s < shards_.size(); ++s) {
-      results[p].insert(results[p].end(), partial[s][p].begin(),
-                        partial[s][p].end());
+      merged.insert(merged.end(), batch_scratch_[s][p].begin(),
+                    batch_scratch_[s][p].end());
     }
   }
-  return results;
 }
 
 std::vector<std::vector<SubscriptionId>> ShardedStore::match_batch(
     std::span<const Publication> pubs, ThreadPool* pool) const {
-  return run_match_batch(pubs, pool, /*active_only=*/false);
+  std::vector<std::vector<SubscriptionId>> out;
+  run_match_batch(pubs, pool, /*active_only=*/false, out);
+  return out;
 }
 
 std::vector<std::vector<SubscriptionId>> ShardedStore::match_active_batch(
     std::span<const Publication> pubs, ThreadPool* pool) const {
-  return run_match_batch(pubs, pool, /*active_only=*/true);
+  std::vector<std::vector<SubscriptionId>> out;
+  run_match_batch(pubs, pool, /*active_only=*/true, out);
+  return out;
+}
+
+void ShardedStore::match_active_batch(
+    std::span<const Publication> pubs,
+    std::vector<std::vector<SubscriptionId>>& out, ThreadPool* pool) const {
+  run_match_batch(pubs, pool, /*active_only=*/true, out);
 }
 
 }  // namespace psc::exec

@@ -99,6 +99,15 @@ class ShardedStore {
   [[nodiscard]] std::vector<core::SubscriptionId> match_active(
       const core::Publication& pub) const;
 
+  /// Out-parameter forms: APPEND the same ids to `out`. With a warm
+  /// caller-owned buffer a steady-state call performs zero heap
+  /// allocations (the broker publish path's contract — see
+  /// tests/publish_alloc_test.cpp).
+  void match(const core::Publication& pub,
+             std::vector<core::SubscriptionId>& out) const;
+  void match_active(const core::Publication& pub,
+                    std::vector<core::SubscriptionId>& out) const;
+
   [[nodiscard]] std::size_t active_count() const noexcept;
   [[nodiscard]] std::size_t covered_count() const noexcept;
   [[nodiscard]] std::size_t total_count() const noexcept;
@@ -129,9 +138,23 @@ class ShardedStore {
   match_active_batch(std::span<const core::Publication> pubs,
                      ThreadPool* pool = nullptr) const;
 
+  /// Out-parameter form of match_active_batch: `out` is resized to
+  /// pubs.size() and out[p] is overwritten (cleared, capacity kept) with
+  /// the shard-id-major match_active ids of pubs[p]. Reusing one `out`
+  /// across calls keeps the steady-state batch free of per-publication
+  /// vector churn; the per-shard intermediates live in instance scratch.
+  void match_active_batch(std::span<const core::Publication> pubs,
+                          std::vector<std::vector<core::SubscriptionId>>& out,
+                          ThreadPool* pool = nullptr) const;
+
  private:
   ShardConfig config_;
   std::vector<store::SubscriptionStore> shards_;
+  /// Per-shard, per-publication batch intermediates, reused across batch
+  /// calls (batch entry points are exclusive per instance, so the mutable
+  /// scratch is single-writer by contract).
+  mutable std::vector<std::vector<std::vector<core::SubscriptionId>>>
+      batch_scratch_;
 
   store::SubscriptionStore& owning_shard(core::SubscriptionId id) {
     return shards_[shard_of(id)];
@@ -139,9 +162,9 @@ class ShardedStore {
   [[nodiscard]] const store::SubscriptionStore* shard_holding(
       core::SubscriptionId id) const;
 
-  [[nodiscard]] std::vector<std::vector<core::SubscriptionId>> run_match_batch(
-      std::span<const core::Publication> pubs, ThreadPool* pool,
-      bool active_only) const;
+  void run_match_batch(std::span<const core::Publication> pubs,
+                       ThreadPool* pool, bool active_only,
+                       std::vector<std::vector<core::SubscriptionId>>& out) const;
 };
 
 }  // namespace psc::exec

@@ -12,14 +12,28 @@ using core::Subscription;
 using core::SubscriptionId;
 using core::Value;
 
+namespace {
+
+struct EndpointLess {
+  template <typename Endpoint>
+  bool operator()(const Endpoint& a, const Endpoint& b) const {
+    return a.value < b.value;
+  }
+};
+
+}  // namespace
+
 IntervalIndex::IntervalIndex(std::size_t attribute_count, IndexConfig config)
     : m_(attribute_count), config_(config), lows_(attribute_count),
-      highs_(attribute_count) {
+      highs_(attribute_count), selective_count_(attribute_count, 0) {
   if (!(config_.domain_lo < config_.domain_hi)) {
     throw std::invalid_argument("IndexConfig: domain_lo must be < domain_hi");
   }
   if (config_.bucket_count == 0) {
     throw std::invalid_argument("IndexConfig: bucket_count must be > 0");
+  }
+  if (config_.compaction_slack < 0.0) {
+    throw std::invalid_argument("IndexConfig: compaction_slack must be >= 0");
   }
 }
 
@@ -38,6 +52,12 @@ std::size_t IntervalIndex::bucket_of(Value v) const noexcept {
       static_cast<std::size_t>(fraction * static_cast<double>(config_.bucket_count));
   if (bucket >= config_.bucket_count) bucket = config_.bucket_count - 1;
   return bucket;
+}
+
+std::size_t IntervalIndex::compaction_threshold() const noexcept {
+  const auto slack = static_cast<std::size_t>(
+      config_.compaction_slack * static_cast<double>(size_));
+  return std::max<std::size_t>(std::max(config_.compaction_min, slack), 1);
 }
 
 void IntervalIndex::grow_bitmaps() {
@@ -75,6 +95,24 @@ void IntervalIndex::write_mask_bits(std::size_t attribute, std::uint32_t slot,
   }
 }
 
+void IntervalIndex::restore_mask_bits(std::uint32_t slot) {
+  const Interval* slot_ranges = ranges_.data() + slot * m_;
+  for (std::size_t j = 0; j < m_; ++j) {
+    if (is_wide(slot_ranges[j])) continue;  // never written: still all-ones
+    write_mask_bits(j, slot, slot_ranges[j], /*erase_restore=*/true);
+  }
+}
+
+void IntervalIndex::release_slot(std::uint32_t slot) {
+  ids_[slot] = core::kInvalidSubscriptionId;
+  required_[slot] = 0;
+  semantic_attrs_[slot] = 0;
+  wide_attrs_[slot] = 0;
+  delta_pos_[slot] = kNoPos;
+  unselective_pos_[slot] = kNoPos;
+  free_slots_.push_back(slot);
+}
+
 void IntervalIndex::insert(const Subscription& sub) {
   if (sub.attribute_count() != m_) {
     throw std::invalid_argument("IntervalIndex::insert: schema mismatch");
@@ -82,7 +120,7 @@ void IntervalIndex::insert(const Subscription& sub) {
   if (sub.id() == core::kInvalidSubscriptionId) {
     throw std::invalid_argument("IntervalIndex::insert: id must be non-zero");
   }
-  if (slot_of_.count(sub.id()) > 0) {
+  if (slot_of_.contains(sub.id())) {
     throw std::invalid_argument("IntervalIndex::insert: duplicate id " +
                                 std::to_string(sub.id()));
   }
@@ -98,20 +136,19 @@ void IntervalIndex::insert(const Subscription& sub) {
     ranges_.resize(ranges_.size() + m_, Interval::everything());
     semantic_attrs_.push_back(0);
     wide_attrs_.push_back(0);
+    delta_pos_.push_back(kNoPos);
+    unselective_pos_.push_back(kNoPos);
     counts_.push_back(0);
     epochs_.push_back(0);
     if (slot >= slot_capacity_) grow_bitmaps();
   }
 
   ids_[slot] = sub.id();
-  slot_of_.emplace(sub.id(), slot);
+  (void)slot_of_.try_emplace(sub.id(), slot);
 
   std::uint32_t required = 0;
   std::uint64_t semantic_mask = 0;
   std::uint64_t wide_mask = 0;
-  auto by_value = [](const Endpoint& a, const Endpoint& b) {
-    return a.value < b.value;
-  };
   for (std::size_t j = 0; j < m_; ++j) {
     const Interval& iv = sub.range(j);
     ranges_[slot * m_ + j] = iv;
@@ -122,31 +159,42 @@ void IntervalIndex::insert(const Subscription& sub) {
       continue;
     }
     ++required;
-    auto& lows = lows_[j];
-    lows.insert(std::upper_bound(lows.begin(), lows.end(),
-                                 Endpoint{iv.lo, slot}, by_value),
-                Endpoint{iv.lo, slot});
-    auto& highs = highs_[j];
-    highs.insert(std::upper_bound(highs.begin(), highs.end(),
-                                  Endpoint{iv.hi, slot}, by_value),
-                 Endpoint{iv.hi, slot});
+    ++selective_count_[j];
+    if (!config_.amortize_mutations) {
+      // Eager (pre-tier) path: O(k) sorted insert per selective attribute.
+      auto& lows = lows_[j];
+      lows.insert(std::upper_bound(lows.begin(), lows.end(),
+                                   Endpoint{iv.lo, slot}, EndpointLess{}),
+                  Endpoint{iv.lo, slot});
+      auto& highs = highs_[j];
+      highs.insert(std::upper_bound(highs.begin(), highs.end(),
+                                    Endpoint{iv.hi, slot}, EndpointLess{}),
+                   Endpoint{iv.hi, slot});
+    }
     write_mask_bits(j, slot, iv, /*erase_restore=*/false);
   }
   required_[slot] = required;
   semantic_attrs_[slot] = semantic_mask;
   wide_attrs_[slot] = wide_mask;
-  if (required == 0) unselective_slots_.push_back(slot);
+  if (required == 0) {
+    unselective_pos_[slot] =
+        static_cast<std::uint32_t>(unselective_slots_.size());
+    unselective_slots_.push_back(slot);
+  } else if (config_.amortize_mutations) {
+    // Delta tier: masks are live (stab prunes normally); endpoints wait
+    // for the next compaction.
+    delta_pos_[slot] = static_cast<std::uint32_t>(delta_slots_.size());
+    delta_slots_.push_back(slot);
+  }
   occupied_bits_[slot / kWordBits] |= Word{1} << (slot % kWordBits);
   ++size_;
+  maybe_compact();
 }
 
 void IntervalIndex::remove_endpoint(std::vector<Endpoint>& endpoints,
                                     Value value, std::uint32_t slot) {
-  auto by_value = [](const Endpoint& a, const Endpoint& b) {
-    return a.value < b.value;
-  };
   const auto [first, last] = std::equal_range(
-      endpoints.begin(), endpoints.end(), Endpoint{value, slot}, by_value);
+      endpoints.begin(), endpoints.end(), Endpoint{value, slot}, EndpointLess{});
   for (auto it = first; it != last; ++it) {
     if (it->slot == slot) {
       endpoints.erase(it);
@@ -157,40 +205,113 @@ void IntervalIndex::remove_endpoint(std::vector<Endpoint>& endpoints,
 }
 
 bool IntervalIndex::erase(SubscriptionId id) {
-  const auto it = slot_of_.find(id);
-  if (it == slot_of_.end()) return false;
-  const std::uint32_t slot = it->second;
-  slot_of_.erase(it);
+  const std::uint32_t* found = slot_of_.find(id);
+  if (found == nullptr) return false;
+  const std::uint32_t slot = *found;
+  slot_of_.erase(id);
 
   occupied_bits_[slot / kWordBits] &= ~(Word{1} << (slot % kWordBits));
+  const Interval* slot_ranges = ranges_.data() + slot * m_;
   for (std::size_t j = 0; j < m_; ++j) {
-    const Interval& iv = ranges_[slot * m_ + j];
-    if (is_wide(iv)) continue;
-    remove_endpoint(lows_[j], iv.lo, slot);
-    remove_endpoint(highs_[j], iv.hi, slot);
-    write_mask_bits(j, slot, iv, /*erase_restore=*/true);
+    if (!is_wide(slot_ranges[j])) --selective_count_[j];
   }
+
   if (required_[slot] == 0) {
-    const auto pos = std::find(unselective_slots_.begin(),
-                               unselective_slots_.end(), slot);
-    if (pos != unselective_slots_.end()) {
-      *pos = unselective_slots_.back();
-      unselective_slots_.pop_back();
+    // Unselective slots have no endpoints and untouched (all-ones) masks:
+    // release immediately in O(1) via the position index.
+    const std::uint32_t pos = unselective_pos_[slot];
+    const std::uint32_t moved = unselective_slots_.back();
+    unselective_slots_[pos] = moved;
+    unselective_pos_[moved] = pos;
+    unselective_slots_.pop_back();
+    unselective_pos_[slot] = kNoPos;
+    release_slot(slot);
+  } else if (delta_pos_[slot] != kNoPos) {
+    // Delta-tier slot: no endpoints exist yet; restore its mask rows and
+    // release outright.
+    const std::uint32_t pos = delta_pos_[slot];
+    const std::uint32_t moved = delta_slots_.back();
+    delta_slots_[pos] = moved;
+    delta_pos_[moved] = pos;
+    delta_slots_.pop_back();
+    delta_pos_[slot] = kNoPos;
+    restore_mask_bits(slot);
+    release_slot(slot);
+  } else if (config_.amortize_mutations) {
+    // Tombstoned lazy erase: the occupancy bit already hides the slot from
+    // stab; its stale endpoints are skipped at emission (ids_ == kInvalid)
+    // and reclaimed by the next compaction. ranges_/required_ survive
+    // until then (compaction needs them to restore the mask rows).
+    ids_[slot] = core::kInvalidSubscriptionId;
+    dead_slots_.push_back(slot);
+  } else {
+    // Eager path: O(k) endpoint removal per selective attribute.
+    for (std::size_t j = 0; j < m_; ++j) {
+      const Interval& iv = slot_ranges[j];
+      if (is_wide(iv)) continue;
+      remove_endpoint(lows_[j], iv.lo, slot);
+      remove_endpoint(highs_[j], iv.hi, slot);
+      write_mask_bits(j, slot, iv, /*erase_restore=*/true);
     }
+    release_slot(slot);
   }
-  ids_[slot] = core::kInvalidSubscriptionId;
-  required_[slot] = 0;
-  semantic_attrs_[slot] = 0;
-  wide_attrs_[slot] = 0;
-  free_slots_.push_back(slot);
   --size_;
+  maybe_compact();
   return true;
+}
+
+void IntervalIndex::maybe_compact() {
+  if (!config_.amortize_mutations) return;
+  if (pending_mutations() >= compaction_threshold()) compact();
+}
+
+void IntervalIndex::compact() {
+  if (pending_mutations() == 0) return;
+  ++compactions_;
+
+  // Per attribute: drop endpoints of tombstoned slots in place (they are
+  // exactly the entries whose slot id is kInvalid — dead slots are not
+  // released, so no freed-and-reused slot can alias one), then fold the
+  // delta tier's endpoints in with one sort + merge instead of per-element
+  // memmoves.
+  const auto is_dead = [this](const Endpoint& e) {
+    return ids_[e.slot] == core::kInvalidSubscriptionId;
+  };
+  for (std::size_t j = 0; j < m_; ++j) {
+    auto merge_in = [&](std::vector<Endpoint>& endpoints, bool low_side) {
+      if (!dead_slots_.empty()) {
+        endpoints.erase(
+            std::remove_if(endpoints.begin(), endpoints.end(), is_dead),
+            endpoints.end());
+      }
+      const auto mid = static_cast<std::ptrdiff_t>(endpoints.size());
+      for (const std::uint32_t slot : delta_slots_) {
+        const Interval& iv = ranges_[slot * m_ + j];
+        if (is_wide(iv)) continue;
+        endpoints.push_back(Endpoint{low_side ? iv.lo : iv.hi, slot});
+      }
+      std::sort(endpoints.begin() + mid, endpoints.end(), EndpointLess{});
+      std::inplace_merge(endpoints.begin(), endpoints.begin() + mid,
+                         endpoints.end(), EndpointLess{});
+    };
+    merge_in(lows_[j], /*low_side=*/true);
+    merge_in(highs_[j], /*low_side=*/false);
+  }
+
+  for (const std::uint32_t slot : dead_slots_) {
+    restore_mask_bits(slot);
+    release_slot(slot);
+  }
+  dead_slots_.clear();
+  for (const std::uint32_t slot : delta_slots_) delta_pos_[slot] = kNoPos;
+  delta_slots_.clear();
 }
 
 void IntervalIndex::clear() {
   for (std::size_t j = 0; j < m_; ++j) {
     lows_[j].clear();
     highs_[j].clear();
+    selective_count_[j] = 0;
   }
   ids_.clear();
   required_.clear();
@@ -200,6 +321,10 @@ void IntervalIndex::clear() {
   free_slots_.clear();
   slot_of_.clear();
   unselective_slots_.clear();
+  unselective_pos_.clear();
+  delta_slots_.clear();
+  delta_pos_.clear();
+  dead_slots_.clear();
   counts_.clear();
   epochs_.clear();
   mask_bits_.clear();
@@ -227,14 +352,10 @@ bool IntervalIndex::verify_stab(std::uint32_t slot,
   return true;
 }
 
-bool IntervalIndex::verify_box(std::uint32_t slot,
-                               const Subscription& box) const {
+bool IntervalIndex::verify_box(std::uint32_t slot, const Subscription& box,
+                               std::uint64_t attrs) const {
   const Interval* slot_ranges = ranges_.data() + slot * m_;
   if (m_ <= 64) {
-    // Selective attributes were counted exactly; only the wide ones (full
-    // domain or beyond, but not everything) still need the intersection
-    // check — it can fail only for probes reaching outside the domain.
-    std::uint64_t attrs = wide_attrs_[slot];
     while (attrs != 0) {
       const std::size_t j = static_cast<std::size_t>(std::countr_zero(attrs));
       attrs &= attrs - 1;
@@ -261,13 +382,17 @@ void IntervalIndex::stab(std::span<const Value> point,
   const std::size_t words = words_in_use();
 
   // Fused word-parallel sweep: start from the live slots and AND in each
-  // attribute's candidate-mask row for the probe's bucket. Attributes with
-  // no selective interval anywhere are all-ones rows — skipped outright.
+  // attribute's candidate-mask row for the probe's bucket. Delta-tier
+  // slots participate like main-tier ones (their mask bits are written at
+  // insert time); tombstoned slots are excluded by the occupancy row.
+  // Attributes nobody (live) constrains selectively are skipped outright:
+  // their rows can carry stale zero-bits of dead slots, but ANDing them
+  // would only re-clear already-dead candidates.
   acc_scratch_.assign(occupied_bits_.begin(),
                       occupied_bits_.begin() + static_cast<std::ptrdiff_t>(words));
   Word* acc = acc_scratch_.data();
   for (std::size_t j = 0; j < m_; ++j) {
-    if (lows_[j].empty()) continue;
+    if (selective_count_[j] == 0) continue;
     const Word* row = mask_row(j, bucket_of(point[j]));
     for (std::size_t w = 0; w < words; ++w) acc[w] &= row[w];
     cost += words;
@@ -313,6 +438,8 @@ void IntervalIndex::box_intersect(const Subscription& box,
   // decrements precede every increment, so phase 2's running count is
   // monotone and crossing required_[slot] certifies that every selective
   // attribute intersects. Wide attributes are re-checked on emission.
+  // Tombstoned slots may still be counted through their stale endpoints;
+  // the liveness test at emission drops them.
   for (std::size_t j = 0; j < m_; ++j) {
     const Value qlo = box.range(j).lo;
     for (const Endpoint& e : highs_[j]) {
@@ -327,17 +454,30 @@ void IntervalIndex::box_intersect(const Subscription& box,
     for (const Endpoint& e : lows_[j]) {
       if (e.value > qhi) break;
       touch(e.slot);
-      if (static_cast<std::uint32_t>(++counts_[e.slot]) == required_[e.slot]) {
+      if (static_cast<std::uint32_t>(++counts_[e.slot]) == required_[e.slot] &&
+          ids_[e.slot] != core::kInvalidSubscriptionId) {
         ++cost;
-        if (verify_box(e.slot, box)) out.push_back(ids_[e.slot]);
+        if (verify_box(e.slot, box, wide_attrs_[e.slot])) {
+          out.push_back(ids_[e.slot]);
+        }
       }
       ++cost;
     }
   }
 
+  // Delta tier: endpoints not merged yet, so these slots are checked
+  // exactly, against every semantically constrained attribute (the
+  // counting pass certified nothing for them).
+  for (const std::uint32_t slot : delta_slots_) {
+    ++cost;
+    if (verify_box(slot, box, semantic_attrs_[slot])) {
+      out.push_back(ids_[slot]);
+    }
+  }
+
   for (const std::uint32_t slot : unselective_slots_) {
     ++cost;
-    if (verify_box(slot, box)) out.push_back(ids_[slot]);
+    if (verify_box(slot, box, wide_attrs_[slot])) out.push_back(ids_[slot]);
   }
   last_query_cost_ = cost;
 }

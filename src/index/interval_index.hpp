@@ -51,48 +51,86 @@
 //    word ops — leaving a small bucket-granularity superset that is
 //    verified exactly (each slot stores a bitmask of its semantically
 //    constrained attributes, so only real predicates are re-checked).
-//    stab runs here: publication matching is the hot path (millions of
-//    publications against a slowly-churning subscription set), and the
-//    fused bitmap sweep beats both the flat scan's early-exit walk and
-//    endpoint counting by a wide margin at 10k actives. Values outside
-//    the configured domain clamp to the edge buckets: only pruning power
-//    degrades, never correctness.
+//    stab runs here. Values outside the configured domain clamp to the
+//    edge buckets: only pruning power degrades, never correctness.
+//
+// CHURN AMORTIZATION (two-tier mutation model). Endpoint arrays are cheap
+// to query but O(k) to mutate (one memmove per selective attribute), which
+// made sustained subscribe/unsubscribe churn dominate end-to-end cost at
+// 100k+ actives. Mutations are therefore tiered:
+//
+//   * insert appends the slot to a small DELTA TIER: its candidate-mask
+//     bits and occupancy bit are written immediately (O(bucket_count) per
+//     selective attribute — so stab needs no special delta handling and
+//     keeps full bitmap pruning), but its endpoints are NOT merged into
+//     the sorted arrays yet. box_intersect flat-scans the delta tier after
+//     the counting pass (the delta is bounded by the compaction
+//     threshold).
+//   * erase of a main-tier slot TOMBSTONES it: the occupancy bit is
+//     cleared (stab exact immediately) and the slot is marked dead; its
+//     stale endpoints stay in the sorted arrays until the next compaction
+//     and are ignored at emission via an O(1) liveness check. Erase of a
+//     delta-tier slot restores its mask bits and frees it outright.
+//   * when delta + tombstones exceed the compaction threshold (see
+//     IndexConfig), COMPACTION merges the delta endpoints into the sorted
+//     arrays (one filter + sorted merge per attribute, no per-element
+//     memmove) and releases tombstoned slots — O(k + d log d) for d
+//     pending mutations, so mutation cost is amortized O(log k) while
+//     both query paths stay decision-for-decision identical to the eager
+//     index (property-tested over churn traces in
+//     tests/tiered_index_test.cpp).
+//
+// IndexConfig::amortize_mutations = false restores the eager pre-tier
+// behavior (sorted-insert + immediate endpoint removal) — kept as the
+// measured ablation baseline for bench/perf_gate.
 //
 // Both query paths are exact (closed-interval semantics identical to
-// Subscription::contains_point / Subscription::intersects). Mutation cost
-// is O(m log k) search + O(k) memmove on the endpoint arrays plus
-// O(bucket_count) bitmap updates per selective attribute — fine for
-// subscription churn, which is orders of magnitude rarer than matching in
-// pub/sub workloads. Queries mutate only epoch/scratch state and are
-// const, but not safe to run concurrently on one instance.
+// Subscription::contains_point / Subscription::intersects). Queries mutate
+// only epoch/scratch state and are const, but not safe to run concurrently
+// on one instance.
 #pragma once
 
 #include <cstdint>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "core/subscription.hpp"
+#include "util/flat_map.hpp"
 
 namespace psc::index {
 
-/// Bucketing parameters for the stab-acceleration bitmaps. The domain is a
+/// Bucketing and churn-amortization parameters. The domain is a
 /// performance hint, not a constraint: out-of-domain values clamp to the
-/// edge buckets and are resolved by the exact verification pass.
+/// edge buckets and are resolved by the exact verification pass. Query
+/// RESULTS never depend on any of these knobs — only the work performed
+/// does (see docs/TUNING.md for measured effects).
 struct IndexConfig {
   core::Value domain_lo = 0.0;
   core::Value domain_hi = 1000.0;
   std::size_t bucket_count = 128;
+
+  /// Two-tier mutation model (delta tier + tombstones + compaction). Off =
+  /// the eager pre-tier path: O(k) sorted-insert / erase per mutation,
+  /// kept as the perf-gate ablation baseline.
+  bool amortize_mutations = true;
+  /// Compaction fires when pending mutations (delta inserts + tombstones)
+  /// exceed max(compaction_min, compaction_slack * live size). The
+  /// threshold bounds both the box_intersect delta scan and the stale
+  /// endpoints a query may skip, so it trades mutation amortization
+  /// against query-time overhead.
+  std::size_t compaction_min = 256;
+  double compaction_slack = 0.02;
 };
 
 /// Incremental candidate index over one fixed attribute schema (see file
-/// comment for the data structures and query algorithms).
+/// comment for the data structures, query algorithms, and the two-tier
+/// churn-amortized mutation model).
 ///
 /// Thread-safety: externally single-threaded. stab/box_intersect are
 /// const but advance epoch counters and reuse scratch buffers, so two
 /// queries must not run concurrently on one instance; one index per
 /// thread (or per shard) is the supported model. Query results never
-/// depend on IndexConfig — only pruning power does.
+/// depend on IndexConfig — only pruning power and mutation cost do.
 class IntervalIndex {
  public:
   /// Index over a fixed schema of `attribute_count` attributes.
@@ -102,10 +140,13 @@ class IntervalIndex {
 
   /// Indexes `sub` under its id. Throws std::invalid_argument on a schema
   /// mismatch, a duplicate id, or the invalid id 0; the index is
-  /// unchanged when it throws.
+  /// unchanged when it throws. Amortized O(log k): the slot lands in the
+  /// delta tier and endpoint merging is deferred to compaction.
   void insert(const core::Subscription& sub);
 
   /// Removes the subscription stored under `id`; false if unknown.
+  /// Amortized O(1) plus its share of the next compaction (tombstoned lazy
+  /// erase; see file comment).
   bool erase(core::SubscriptionId id);
 
   void clear();
@@ -115,7 +156,7 @@ class IntervalIndex {
   [[nodiscard]] std::size_t attribute_count() const noexcept { return m_; }
   [[nodiscard]] const IndexConfig& config() const noexcept { return config_; }
   [[nodiscard]] bool contains(core::SubscriptionId id) const {
-    return slot_of_.count(id) > 0;
+    return slot_of_.contains(id);
   }
 
   /// Appends to `out` the ids of all subscriptions whose box contains
@@ -138,11 +179,30 @@ class IntervalIndex {
       const core::Subscription& box) const;
 
   /// Work performed by the most recent query (bitmap words + verification
-  /// probes for stab; endpoint passes for box_intersect) — comparable
-  /// against the k subscriptions a flat scan would examine.
+  /// probes for stab; endpoint passes + delta probes for box_intersect) —
+  /// comparable against the k subscriptions a flat scan would examine.
   [[nodiscard]] std::uint64_t last_query_cost() const noexcept {
     return last_query_cost_;
   }
+
+  // --- two-tier introspection (tests, benches, tuning) -----------------
+
+  /// Live slots whose endpoints are not yet merged into the sorted arrays.
+  [[nodiscard]] std::size_t delta_size() const noexcept {
+    return delta_slots_.size();
+  }
+  /// Erased main-tier slots whose endpoints are still awaiting compaction.
+  [[nodiscard]] std::size_t tombstone_count() const noexcept {
+    return dead_slots_.size();
+  }
+  /// Compactions performed so far (threshold-triggered + forced).
+  [[nodiscard]] std::uint64_t compactions() const noexcept {
+    return compactions_;
+  }
+  /// Forces an immediate compaction (merges the delta tier, releases
+  /// tombstones). Queries before and after return identical results; only
+  /// the work distribution changes. No-op when nothing is pending.
+  void compact();
 
  private:
   struct Endpoint {
@@ -151,19 +211,26 @@ class IntervalIndex {
   };
   using Word = std::uint64_t;
   static constexpr std::size_t kWordBits = 64;
+  static constexpr std::uint32_t kNoPos = 0xffffffffU;
 
   std::size_t m_;
   IndexConfig config_;
   std::size_t size_ = 0;
 
   /// Per attribute: lower/upper endpoints of SELECTIVE intervals, sorted
-  /// by value (ties in arbitrary order; slot disambiguates on erase).
+  /// by value (ties in arbitrary order). Entries may reference tombstoned
+  /// slots between compactions; emission checks liveness.
   std::vector<std::vector<Endpoint>> lows_;
   std::vector<std::vector<Endpoint>> highs_;
+  /// Live slots (either tier) with a selective interval on attribute j —
+  /// the stab sweep's skip test (endpoint-array emptiness no longer works:
+  /// the delta tier has mask bits but no endpoints).
+  std::vector<std::uint32_t> selective_count_;
 
   /// Slot-indexed state. Slots are stable across erasures (free list), so
-  /// endpoint entries and bitmap bits never need renumbering.
-  std::vector<core::SubscriptionId> ids_;      ///< kInvalid for free slots
+  /// endpoint entries and bitmap bits never need renumbering. A tombstoned
+  /// slot keeps its ranges_/required_ until compaction releases it.
+  std::vector<core::SubscriptionId> ids_;      ///< kInvalid for free/dead slots
   std::vector<std::uint32_t> required_;        ///< selective attributes
   std::vector<core::Interval> ranges_;         ///< slot-major, m_ per slot
   /// Per-slot attribute bitmasks (bit j = attribute j; only meaningful for
@@ -175,12 +242,22 @@ class IntervalIndex {
   std::vector<std::uint64_t> semantic_attrs_;
   std::vector<std::uint64_t> wide_attrs_;
   std::vector<std::uint32_t> free_slots_;
-  std::unordered_map<core::SubscriptionId, std::uint32_t> slot_of_;
+  util::FlatMap<core::SubscriptionId, std::uint32_t> slot_of_;
 
   /// Slots with no selective attribute bypass the counting pass of
   /// box_intersect entirely (they are emitted subject to wide-attribute
-  /// verification only).
+  /// verification only). unselective_pos_[slot] is the slot's position in
+  /// unselective_slots_ (kNoPos otherwise) so erase is O(1).
   std::vector<std::uint32_t> unselective_slots_;
+  std::vector<std::uint32_t> unselective_pos_;
+
+  /// Delta tier: live slots whose endpoints await the next compaction.
+  /// delta_pos_[slot] is the slot's position in delta_slots_ (kNoPos for
+  /// main-tier slots); dead_slots_ are tombstoned main-tier slots.
+  std::vector<std::uint32_t> delta_slots_;
+  std::vector<std::uint32_t> delta_pos_;
+  std::vector<std::uint32_t> dead_slots_;
+  std::uint64_t compactions_ = 0;
 
   /// Candidate-mask rows, m_ * bucket_count of them, words_ words each;
   /// free and wide/unconstrained slots carry 1-bits (see file comment).
@@ -212,12 +289,11 @@ class IntervalIndex {
     return mask_bits_.data() + (attribute * config_.bucket_count + bucket) * words_;
   }
   /// True iff the slot's box contains the point / intersects the box,
-  /// checking only the attributes the corresponding query path left
-  /// unverified (used on bucket-granularity survivors).
+  /// checking only the attributes in `attrs` (m_ <= 64) or all of them.
   [[nodiscard]] bool verify_stab(std::uint32_t slot,
                                  std::span<const core::Value> point) const;
-  [[nodiscard]] bool verify_box(std::uint32_t slot,
-                                const core::Subscription& box) const;
+  [[nodiscard]] bool verify_box(std::uint32_t slot, const core::Subscription& box,
+                                std::uint64_t attrs) const;
   /// Writes the slot's mask bits for one selective attribute: 1 in the
   /// buckets its interval overlaps (all of them on erase), 0 elsewhere.
   void write_mask_bits(std::size_t attribute, std::uint32_t slot,
@@ -225,6 +301,17 @@ class IntervalIndex {
   void grow_bitmaps();
   void remove_endpoint(std::vector<Endpoint>& endpoints, core::Value value,
                        std::uint32_t slot);
+  /// Restores a slot's mask rows to the free-slot all-ones state.
+  void restore_mask_bits(std::uint32_t slot);
+  /// Resets per-slot state and returns the slot to the free list. The
+  /// caller must already have removed its endpoints and restored its mask.
+  void release_slot(std::uint32_t slot);
+  /// Pending mutations that the next compaction will fold in.
+  [[nodiscard]] std::size_t pending_mutations() const noexcept {
+    return delta_slots_.size() + dead_slots_.size();
+  }
+  [[nodiscard]] std::size_t compaction_threshold() const noexcept;
+  void maybe_compact();
 };
 
 }  // namespace psc::index

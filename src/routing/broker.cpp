@@ -82,8 +82,11 @@ std::vector<BrokerId> Broker::handle_subscription(const Subscription& sub,
                                                   std::uint64_t* suppressed_out) {
   // Duplicate flood suppression: if we already route this subscription,
   // do not re-forward (cycles in the overlay graph are cut here).
-  if (routing_table_.count(sub.id()) > 0) return {};
-  routing_table_.emplace(sub.id(), RouteEntry{sub, origin});
+  // try_emplace forwards the pieces, so a suppressed duplicate costs a
+  // probe — no RouteEntry (and no subscription copy) is built for it.
+  if (!routing_table_.try_emplace(sub.id(), sub, origin).second) {
+    return {};
+  }
   (void)routed_.insert(sub);
 
   std::vector<BrokerId> forward_to;
@@ -108,17 +111,19 @@ std::vector<std::vector<BrokerId>> Broker::insert_batch(
   // Phase 1 (sequential): routing-table admission. Order matters — a
   // duplicate id later in the batch must be dropped exactly as a second
   // handle_subscription call would drop it. Downstream phases reference
-  // the routing-table copies (stable in the unordered_map) instead of
-  // copying each subscription again.
+  // the routing-table copies instead of copying each subscription again;
+  // the reserve keeps the flat map rehash-free for the whole batch, so
+  // those pointers stay stable.
+  routing_table_.reserve(routing_table_.size() + subs.size());
   std::vector<std::size_t> accepted;
   accepted.reserve(subs.size());
   std::vector<const Subscription*> accepted_subs;
   for (std::size_t i = 0; i < subs.size(); ++i) {
-    if (routing_table_.count(subs[i].id()) > 0) continue;
-    const auto entry =
-        routing_table_.emplace(subs[i].id(), RouteEntry{subs[i], origin}).first;
+    const auto [entry, inserted] =
+        routing_table_.try_emplace(subs[i].id(), subs[i], origin);
+    if (!inserted) continue;
     accepted.push_back(i);
-    accepted_subs.push_back(&entry->second.sub);
+    accepted_subs.push_back(&entry->sub);
   }
 
   // Phase 2 (parallel over the match-index shards): mirror the accepted
@@ -164,9 +169,7 @@ std::vector<std::vector<BrokerId>> Broker::insert_batch(
 Broker::UnsubscriptionOutcome Broker::handle_unsubscription(
     SubscriptionId id, const Origin& origin) {
   UnsubscriptionOutcome outcome;
-  const auto it = routing_table_.find(id);
-  if (it == routing_table_.end()) return outcome;
-  routing_table_.erase(it);
+  if (!routing_table_.erase(id)) return outcome;
   (void)routed_.erase(id);
 
   for (const BrokerId neighbor : neighbors_) {
@@ -182,56 +185,74 @@ Broker::UnsubscriptionOutcome Broker::handle_unsubscription(
     const auto erased = store_it->second->erase_reporting(id);
     if (was_active) outcome.forward_to.push_back(neighbor);
     for (const SubscriptionId promoted_id : erased.promoted) {
-      const auto route = routing_table_.find(promoted_id);
-      if (route == routing_table_.end()) continue;  // also being removed
-      outcome.reannounce.emplace_back(neighbor, route->second.sub);
+      const RouteEntry* route = routing_table_.find(promoted_id);
+      if (route == nullptr) continue;  // also being removed
+      outcome.reannounce.emplace_back(neighbor, route->sub);
     }
   }
   return outcome;
 }
 
-Broker::PublicationRoute Broker::route_matches(std::vector<SubscriptionId> ids,
-                                               const Origin& origin) const {
+void Broker::route_matches_into(std::vector<SubscriptionId>& ids,
+                                const Origin& origin,
+                                PublicationRoute& route) const {
   // Shard-merged ids arrive shard-major; sort so downstream order is
   // independent of the shard count.
   std::sort(ids.begin(), ids.end());
-  PublicationRoute route;
+  route.local_matches.clear();
+  route.destinations.clear();
   for (const SubscriptionId sid : ids) {
-    const auto entry = routing_table_.find(sid);
-    if (entry == routing_table_.end()) continue;
-    if (entry->second.origin.local) {
+    const RouteEntry* entry = routing_table_.find(sid);
+    if (entry == nullptr) continue;
+    if (entry->origin.local) {
       route.local_matches.push_back(sid);
       continue;
     }
-    if (!origin.local && entry->second.origin.neighbor == origin.neighbor) {
+    if (!origin.local && entry->origin.neighbor == origin.neighbor) {
       continue;  // never send a publication back where it came from
     }
     if (std::find(route.destinations.begin(), route.destinations.end(),
-                  entry->second.origin.neighbor) == route.destinations.end()) {
-      route.destinations.push_back(entry->second.origin.neighbor);
+                  entry->origin.neighbor) == route.destinations.end()) {
+      route.destinations.push_back(entry->origin.neighbor);
     }
   }
-  return route;
+}
+
+const Broker::PublicationRoute& Broker::handle_publication(
+    const Publication& pub, const Origin& origin,
+    PublishScratch& scratch) const {
+  scratch.ids.clear();
+  routed_.match_active(pub, scratch.ids);
+  route_matches_into(scratch.ids, origin, scratch.route);
+  return scratch.route;
 }
 
 std::vector<BrokerId> Broker::handle_publication(
     const Publication& pub, const Origin& origin,
-    std::vector<SubscriptionId>& local_matches) {
-  PublicationRoute route = route_matches(routed_.match_active(pub), origin);
+    std::vector<SubscriptionId>& local_matches) const {
+  PublishScratch scratch;
+  const PublicationRoute& route = handle_publication(pub, origin, scratch);
   local_matches.insert(local_matches.end(), route.local_matches.begin(),
                        route.local_matches.end());
-  return std::move(route.destinations);
+  return std::move(scratch.route.destinations);
+}
+
+void Broker::match_batch(std::span<const Publication> pubs,
+                         const Origin& origin,
+                         std::vector<PublicationRoute>& out,
+                         exec::ThreadPool* pool) const {
+  routed_.match_active_batch(pubs, batch_ids_scratch_, pool);
+  out.resize(pubs.size());
+  for (std::size_t p = 0; p < pubs.size(); ++p) {
+    route_matches_into(batch_ids_scratch_[p], origin, out[p]);
+  }
 }
 
 std::vector<Broker::PublicationRoute> Broker::match_batch(
     std::span<const Publication> pubs, const Origin& origin,
     exec::ThreadPool* pool) const {
-  auto matched = routed_.match_active_batch(pubs, pool);
   std::vector<PublicationRoute> routes;
-  routes.reserve(pubs.size());
-  for (auto& ids : matched) {
-    routes.push_back(route_matches(std::move(ids), origin));
-  }
+  match_batch(pubs, origin, routes, pool);
   return routes;
 }
 
@@ -247,9 +268,9 @@ std::vector<std::pair<BrokerId, Subscription>> Broker::handle_expiry(
 
 std::vector<SubscriptionId> Broker::subscriptions_from(const Origin& origin) const {
   std::vector<SubscriptionId> ids;
-  for (const auto& [sid, entry] : routing_table_) {
+  routing_table_.for_each([&](SubscriptionId sid, const RouteEntry& entry) {
     if (entry.origin == origin) ids.push_back(sid);
-  }
+  });
   return ids;
 }
 

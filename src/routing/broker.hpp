@@ -36,6 +36,7 @@
 #include "exec/thread_pool.hpp"
 #include "sim/metrics.hpp"
 #include "store/subscription_store.hpp"
+#include "util/flat_map.hpp"
 
 namespace psc::routing {
 
@@ -117,13 +118,31 @@ class Broker {
   /// deterministic and independent of the shard count.
   [[nodiscard]] std::vector<BrokerId> handle_publication(
       const core::Publication& pub, const Origin& origin,
-      std::vector<core::SubscriptionId>& local_matches);
+      std::vector<core::SubscriptionId>& local_matches) const;
 
   /// Where one publication of a batch must travel.
   struct PublicationRoute {
     std::vector<core::SubscriptionId> local_matches;  ///< sorted by id
     std::vector<BrokerId> destinations;  ///< first-match order, deduplicated
   };
+
+  /// Caller-owned scratch for the zero-allocation publish path: the match
+  /// buffer and route vectors are reused across calls, so once warm a
+  /// steady-state publish performs no heap allocations end to end
+  /// (pinned by tests/publish_alloc_test.cpp). One scratch per calling
+  /// thread; its contents are valid until the next call that uses it.
+  struct PublishScratch {
+    std::vector<core::SubscriptionId> ids;
+    PublicationRoute route;
+  };
+
+  /// Scratch form of handle_publication: matches `pub` against the local
+  /// index into `scratch` and returns the routed result (a reference into
+  /// `scratch.route`). Identical decisions and ordering to the
+  /// vector-returning overload.
+  const PublicationRoute& handle_publication(const core::Publication& pub,
+                                             const Origin& origin,
+                                             PublishScratch& scratch) const;
 
   /// Batch form of handle_publication: all of `pubs` arrive from `origin`.
   /// Matching fans out across the local index's shards on `pool` (nullptr
@@ -132,6 +151,14 @@ class Broker {
   [[nodiscard]] std::vector<PublicationRoute> match_batch(
       std::span<const core::Publication> pubs, const Origin& origin,
       exec::ThreadPool* pool = nullptr) const;
+
+  /// Out-parameter form of match_batch: `out` is resized to pubs.size()
+  /// and each route's vectors are overwritten in place (capacity kept), so
+  /// a caller reusing one `out` across steady-state batches avoids the
+  /// per-publication vector churn of the returning overload.
+  void match_batch(std::span<const core::Publication> pubs,
+                   const Origin& origin, std::vector<PublicationRoute>& out,
+                   exec::ThreadPool* pool = nullptr) const;
 
   /// Duplicate suppression for publications on cyclic overlays: marks the
   /// (network-assigned) token as seen and reports whether it was new.
@@ -168,7 +195,12 @@ class Broker {
     core::Subscription sub;
     Origin origin;
   };
-  std::unordered_map<core::SubscriptionId, RouteEntry> routing_table_;
+  /// Open-addressing flat map (util::FlatMap): the publication hot path
+  /// looks every matched id up here, and under churn the table itself
+  /// mutates constantly — both want contiguous probes and no node churn.
+  /// insert_batch reserves ahead of admission so RouteEntry pointers stay
+  /// stable for the duration of a batch.
+  util::FlatMap<core::SubscriptionId, RouteEntry> routing_table_;
 
   /// Sharded mirror of the routed subscriptions (coverage-free, exact).
   exec::ShardedStore routed_;
@@ -179,12 +211,18 @@ class Broker {
   /// Publication tokens already processed (cycle suppression).
   std::unordered_set<std::uint64_t> seen_publications_;
 
+  /// Per-publication id buffers for the out-parameter match_batch, reused
+  /// across batches (batch calls are exclusive per broker by contract).
+  mutable std::vector<std::vector<core::SubscriptionId>> batch_ids_scratch_;
+
   store::SubscriptionStore& forwarded_mutable(BrokerId neighbor);
 
-  /// Maps matching subscription ids (sorted) to a PublicationRoute via the
-  /// routing table, honouring the never-send-back rule for `origin`.
-  [[nodiscard]] PublicationRoute route_matches(
-      std::vector<core::SubscriptionId> ids, const Origin& origin) const;
+  /// Maps matching subscription ids (sorted in place) to a
+  /// PublicationRoute via the routing table, honouring the never-send-back
+  /// rule for `origin`. `route`'s vectors are cleared (capacity kept) and
+  /// refilled — the zero-allocation workhorse behind both overloads.
+  void route_matches_into(std::vector<core::SubscriptionId>& ids,
+                          const Origin& origin, PublicationRoute& route) const;
 };
 
 }  // namespace psc::routing

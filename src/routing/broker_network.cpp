@@ -223,13 +223,16 @@ void BrokerNetwork::deliver_publication(BrokerId at, Publication pub,
                                         std::vector<SubscriptionId>* sink) {
   // Cycle suppression: each broker processes one publication token once.
   if (!brokers_.at(at)->mark_publication_seen(token)) return;
-  std::vector<SubscriptionId> local;
-  const std::vector<BrokerId> forward_to =
-      brokers_.at(at)->handle_publication(pub, origin, local);
+  // The returned route lives in publish_scratch_ and is consumed before
+  // this frame returns; scheduled hops copy what they need into their
+  // handlers, so the next hop reusing the scratch is safe.
+  const Broker::PublicationRoute& route =
+      brokers_.at(at)->handle_publication(pub, origin, publish_scratch_);
   if (sink) {
-    sink->insert(sink->end(), local.begin(), local.end());
+    sink->insert(sink->end(), route.local_matches.begin(),
+                 route.local_matches.end());
   }
-  for (const BrokerId next : forward_to) {
+  for (const BrokerId next : route.destinations) {
     ++metrics_.publication_messages;
     queue_.schedule_in(config_.link_latency, [this, next, at, pub, token, sink]() {
       deliver_publication(next, pub, Origin{false, at}, token, sink);

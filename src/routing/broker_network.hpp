@@ -136,6 +136,11 @@ class BrokerNetwork {
   std::unordered_map<core::SubscriptionId, LocalSub> local_subs_;
   sim::Metrics metrics_;
   std::uint64_t publication_token_ = 0;
+  /// Shared publish scratch for deliver_publication: the cascade is
+  /// single-threaded and each hop finishes with the route before the next
+  /// handler runs, so one network-wide scratch keeps every broker hop
+  /// allocation-free once warm.
+  Broker::PublishScratch publish_scratch_;
 
   void deliver_subscription(BrokerId at, core::Subscription sub, Origin origin,
                             std::optional<sim::SimTime> expiry = std::nullopt);

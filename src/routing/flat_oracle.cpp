@@ -1,6 +1,5 @@
 #include "routing/flat_oracle.hpp"
 
-#include <algorithm>
 #include <stdexcept>
 
 namespace psc::routing {
@@ -9,14 +8,32 @@ using core::Publication;
 using core::Subscription;
 using core::SubscriptionId;
 
+namespace {
+
+store::StoreConfig oracle_store_config() {
+  // Ground-truth configuration: no coverage (every subscription stays
+  // individually matchable) and no interval index — matching must stay a
+  // direct flat box scan, independent of the structures under test.
+  store::StoreConfig config;
+  config.policy = store::CoveragePolicy::kNone;
+  config.demote_covered_actives = false;
+  config.use_index = false;
+  return config;
+}
+
+}  // namespace
+
+FlatOracle::FlatOracle() : store_(oracle_store_config(), /*seed=*/0) {}
+
 void FlatOracle::subscribe(BrokerId broker, const Subscription& sub) {
   if (sub.id() == core::kInvalidSubscriptionId) {
     throw std::invalid_argument("FlatOracle::subscribe: id must be non-zero");
   }
-  if (subs_.count(sub.id()) > 0) {
+  if (meta_.count(sub.id()) > 0) {
     throw std::invalid_argument("FlatOracle::subscribe: duplicate id");
   }
-  subs_.emplace(sub.id(), Entry{broker, sub, std::nullopt});
+  meta_.emplace(sub.id(), Meta{broker, std::nullopt});
+  (void)store_.insert(sub);
 }
 
 void FlatOracle::subscribe_with_ttl(BrokerId broker, const Subscription& sub,
@@ -24,27 +41,30 @@ void FlatOracle::subscribe_with_ttl(BrokerId broker, const Subscription& sub,
   if (sub.id() == core::kInvalidSubscriptionId) {
     throw std::invalid_argument("FlatOracle::subscribe_with_ttl: bad id");
   }
-  if (subs_.count(sub.id()) > 0) {
+  if (meta_.count(sub.id()) > 0) {
     throw std::invalid_argument("FlatOracle::subscribe_with_ttl: duplicate id");
   }
   if (!(ttl > 0)) {
     throw std::invalid_argument("FlatOracle::subscribe_with_ttl: ttl <= 0");
   }
-  subs_.emplace(sub.id(), Entry{broker, sub, now_ + ttl});
+  meta_.emplace(sub.id(), Meta{broker, now_ + ttl});
+  (void)store_.insert(sub);
 }
 
 void FlatOracle::unsubscribe(BrokerId broker, SubscriptionId id) {
-  const auto it = subs_.find(id);
-  if (it == subs_.end() || it->second.home != broker) {
+  const auto it = meta_.find(id);
+  if (it == meta_.end() || it->second.home != broker) {
     throw std::invalid_argument("FlatOracle::unsubscribe: unknown id");
   }
-  subs_.erase(it);
+  meta_.erase(it);
+  (void)store_.erase(id);
 }
 
 void FlatOracle::expire_due() {
-  for (auto it = subs_.begin(); it != subs_.end();) {
+  for (auto it = meta_.begin(); it != meta_.end();) {
     if (it->second.expiry && *it->second.expiry <= now_) {
-      it = subs_.erase(it);
+      (void)store_.erase(it->first);
+      it = meta_.erase(it);
     } else {
       ++it;
     }
@@ -56,12 +76,17 @@ void FlatOracle::advance_time(sim::SimTime horizon) {
   expire_due();
 }
 
+void FlatOracle::publish(const Publication& pub,
+                         std::vector<SubscriptionId>& out) {
+  out.clear();
+  // kNone keeps every subscription active, so match_active is the full
+  // delivered set; the store appends sorted ascending.
+  store_.match_active(pub, out);
+}
+
 std::vector<SubscriptionId> FlatOracle::publish(const Publication& pub) {
   std::vector<SubscriptionId> delivered;
-  for (const auto& [id, entry] : subs_) {
-    if (pub.matches(entry.sub)) delivered.push_back(id);
-  }
-  std::sort(delivered.begin(), delivered.end());
+  publish(pub, delivered);
   return delivered;
 }
 

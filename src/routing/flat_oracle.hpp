@@ -3,10 +3,13 @@
 // Replays the same client-visible op sequence (subscribe /
 // subscribe_with_ttl / unsubscribe / publish / advance_time) against one
 // flat subscription table with no overlay, no links, and no coverage
-// pruning. Matching is direct box evaluation, so its delivered set is
-// correct by construction; any divergence from the network is a routing
-// bug (or, under the probabilistic kGroup policy, the paper's bounded
-// false-suppression error).
+// pruning. Matching runs through a coverage-free SubscriptionStore
+// configured WITHOUT the interval index (use_index = false): direct box
+// evaluation over a flat active set, so its delivered set is correct by
+// construction and stays independent of the index implementation the
+// network under test relies on; any divergence from the network is a
+// routing bug (or, under the probabilistic kGroup policy, the paper's
+// bounded false-suppression error).
 //
 // Time contract: the oracle mirrors the network's TTL semantics — a
 // subscription with expiry E is live while now < E and dies once time
@@ -20,19 +23,22 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "core/publication.hpp"
 #include "core/subscription.hpp"
 #include "routing/broker.hpp"
 #include "sim/event_queue.hpp"
+#include "store/subscription_store.hpp"
 
 namespace psc::routing {
 
 class FlatOracle {
  public:
+  FlatOracle();
+
   /// Mirrors BrokerNetwork::subscribe preconditions: non-zero id not
   /// already live; violations throw std::invalid_argument.
   void subscribe(BrokerId broker, const core::Subscription& sub);
@@ -55,16 +61,23 @@ class FlatOracle {
   [[nodiscard]] std::vector<core::SubscriptionId> publish(
       const core::Publication& pub);
 
+  /// Out-parameter form: `out` is cleared and refilled (capacity kept), so
+  /// a driver replaying millions of publishes reuses one buffer.
+  void publish(const core::Publication& pub,
+               std::vector<core::SubscriptionId>& out);
+
   [[nodiscard]] sim::SimTime now() const noexcept { return now_; }
-  [[nodiscard]] std::size_t live_count() const noexcept { return subs_.size(); }
+  [[nodiscard]] std::size_t live_count() const noexcept { return meta_.size(); }
 
  private:
-  struct Entry {
+  struct Meta {
     BrokerId home;
-    core::Subscription sub;
     std::optional<sim::SimTime> expiry;
   };
-  std::unordered_map<core::SubscriptionId, Entry> subs_;
+  /// Home/expiry bookkeeping; the subscriptions themselves live in store_.
+  std::unordered_map<core::SubscriptionId, Meta> meta_;
+  /// Flat-scan match table (kNone coverage, no index, every sub active).
+  store::SubscriptionStore store_;
   sim::SimTime now_ = 0.0;
 
   void expire_due();

@@ -45,6 +45,7 @@ ChurnReport ChurnDriver::run(BrokerNetwork& net, const ChurnTrace& trace,
 
   ChurnReport report;
   FlatOracle oracle;
+  std::vector<core::SubscriptionId> oracle_delivered;  // reused per publish
 
   const double epoch_length = trace.config.epoch_length;
   Metrics at_epoch_start;  // metrics totals when the current epoch began
@@ -105,8 +106,9 @@ ChurnReport ChurnDriver::run(BrokerNetwork& net, const ChurnTrace& trace,
         ++epoch.publishes;
         ++report.publishes;
         const auto delivered = net.publish(op.broker, op.pub);
-        if (options.differential && delivered != oracle.publish(op.pub)) {
-          ++epoch.mismatched_publishes;
+        if (options.differential) {
+          oracle.publish(op.pub, oracle_delivered);
+          if (delivered != oracle_delivered) ++epoch.mismatched_publishes;
         }
         break;
       }

@@ -320,15 +320,15 @@ const Subscription* SubscriptionStore::find(SubscriptionId id) const {
   return nullptr;
 }
 
-std::vector<SubscriptionId> SubscriptionStore::match_active(
-    const Publication& pub) const {
-  // Both paths return ids in ascending order: deterministic for callers
+void SubscriptionStore::match_active(const Publication& pub,
+                                     std::vector<SubscriptionId>& out) const {
+  // Both paths append ids in ascending order: deterministic for callers
   // and bit-identical between the index and flat implementations (the
   // equivalence property tests rely on this).
-  std::vector<SubscriptionId> ids;
+  const auto start = static_cast<std::ptrdiff_t>(out.size());
   if (index_enabled() &&
       pub.attribute_count() == interval_index_->attribute_count()) {
-    interval_index_->stab(pub.values(), ids);
+    interval_index_->stab(pub.values(), out);
     last_active_examined_ = interval_index_->last_query_cost();
   } else if (index_enabled()) {
     // Wrong-arity publication: no subscription can match it (the flat
@@ -338,27 +338,35 @@ std::vector<SubscriptionId> SubscriptionStore::match_active(
   } else {
     last_active_examined_ = active_.size();
     for (const auto& sub : active_) {
-      if (pub.matches(sub)) ids.push_back(sub.id());
+      if (pub.matches(sub)) out.push_back(sub.id());
     }
   }
-  std::sort(ids.begin(), ids.end());
+  std::sort(out.begin() + start, out.end());
+}
+
+std::vector<SubscriptionId> SubscriptionStore::match_active(
+    const Publication& pub) const {
+  std::vector<SubscriptionId> ids;
+  match_active(pub, ids);
   return ids;
 }
 
-std::vector<SubscriptionId> SubscriptionStore::match(const Publication& pub) const {
+void SubscriptionStore::match(const Publication& pub,
+                              std::vector<SubscriptionId>& out) const {
   // Algorithm 5: actives first; covered subscriptions are only examined
   // when at least one active matched (no active match => no covered match
   // is possible, because every covered subscription lies inside the union
   // of actives that covered it).
-  std::vector<SubscriptionId> ids = match_active(pub);
-  if (ids.empty()) return ids;
+  const std::size_t start = out.size();
+  match_active(pub, out);
+  if (out.size() == start) return;
 
   if (!config_.hierarchical_match) {
     for (const auto& [cid, entry] : covered_) {
       ++covered_examined_;
-      if (pub.matches(entry.sub)) ids.push_back(cid);
+      if (pub.matches(entry.sub)) out.push_back(cid);
     }
-    return ids;
+    return;
   }
 
   // Section 4.4 multi-level descent: a covered subscription lies inside
@@ -370,7 +378,7 @@ std::vector<SubscriptionId> SubscriptionStore::match(const Publication& pub) con
   // is reused — no allocations or extra hashing on the hot path.
   const std::uint64_t epoch = ++match_epoch_;
   auto& frontier = frontier_scratch_;
-  frontier.assign(ids.begin(), ids.end());
+  frontier.assign(out.begin() + static_cast<std::ptrdiff_t>(start), out.end());
   while (!frontier.empty()) {
     const SubscriptionId parent = frontier.back();
     frontier.pop_back();
@@ -383,7 +391,7 @@ std::vector<SubscriptionId> SubscriptionStore::match(const Publication& pub) con
       entry->second.seen_epoch = epoch;
       ++covered_examined_;
       if (pub.matches(entry->second.sub)) {
-        ids.push_back(child);
+        out.push_back(child);
         frontier.push_back(child);
       }
       // A non-matching child is not descended below: publications inside
@@ -392,6 +400,11 @@ std::vector<SubscriptionId> SubscriptionStore::match(const Publication& pub) con
       // whichever of them matched.
     }
   }
+}
+
+std::vector<SubscriptionId> SubscriptionStore::match(const Publication& pub) const {
+  std::vector<SubscriptionId> ids;
+  match(pub, ids);
   return ids;
 }
 

@@ -145,10 +145,23 @@ class SubscriptionStore {
   [[nodiscard]] std::vector<core::SubscriptionId> match(
       const core::Publication& pub) const;
 
+  /// Out-parameter form: APPENDS the same ids to `out` (existing contents
+  /// are kept, so shard merges can share one buffer). With a warm
+  /// caller-owned buffer a steady-state call performs zero heap
+  /// allocations — the publish path's contract, pinned by
+  /// tests/publish_alloc_test.cpp.
+  void match(const core::Publication& pub,
+             std::vector<core::SubscriptionId>& out) const;
+
   /// Matching ids among actives only (what a broker forwards on), sorted
   /// ascending. Same arity and concurrency contract as match().
   [[nodiscard]] std::vector<core::SubscriptionId> match_active(
       const core::Publication& pub) const;
+
+  /// Out-parameter form: appends, sorted ascending within the appended
+  /// range; zero allocations once `out` is warm.
+  void match_active(const core::Publication& pub,
+                    std::vector<core::SubscriptionId>& out) const;
 
   [[nodiscard]] std::size_t active_count() const noexcept { return active_.size(); }
   [[nodiscard]] std::size_t covered_count() const noexcept { return covered_.size(); }

@@ -1,0 +1,199 @@
+// Tests for util::FlatMap: API contract, backward-shift deletion under
+// collision-heavy churn, reserve-based pointer stability, non-trivial value
+// lifetime, and randomized differential equivalence with std::unordered_map.
+#include "util/flat_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace psc::util {
+namespace {
+
+TEST(FlatMap, BasicInsertFindErase) {
+  FlatMap<std::uint64_t, int> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(1), nullptr);
+  EXPECT_FALSE(map.erase(1));
+
+  auto [value, inserted] = map.try_emplace(1, 10);
+  ASSERT_TRUE(inserted);
+  EXPECT_EQ(*value, 10);
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_TRUE(map.contains(1));
+
+  // Duplicate insert leaves the existing value untouched.
+  auto [again, inserted_again] = map.try_emplace(1, 99);
+  EXPECT_FALSE(inserted_again);
+  EXPECT_EQ(*again, 10);
+  EXPECT_EQ(map.size(), 1u);
+
+  EXPECT_TRUE(map.erase(1));
+  EXPECT_FALSE(map.contains(1));
+  EXPECT_TRUE(map.empty());
+}
+
+TEST(FlatMap, KeyZeroIsReserved) {
+  FlatMap<std::uint64_t, int> map;
+  EXPECT_THROW((void)map.try_emplace(0, 1), std::invalid_argument);
+  EXPECT_EQ(map.find(0), nullptr);
+  EXPECT_FALSE(map.erase(0));
+}
+
+TEST(FlatMap, ReserveKeepsPointersStable) {
+  FlatMap<std::uint64_t, std::uint64_t> map;
+  const std::size_t n = 500;
+  map.reserve(n);
+  std::vector<std::uint64_t*> pointers;
+  for (std::uint64_t key = 1; key <= n; ++key) {
+    pointers.push_back(map.try_emplace(key, key * 3).first);
+  }
+  // No rehash happened below the reserved size, so every pointer is live.
+  for (std::uint64_t key = 1; key <= n; ++key) {
+    EXPECT_EQ(map.find(key), pointers[key - 1]);
+    EXPECT_EQ(*pointers[key - 1], key * 3);
+  }
+}
+
+TEST(FlatMap, DuplicateInsertAtMaxLoadDoesNotRehash) {
+  // A no-op duplicate insert must never grow the table: growth would
+  // invalidate every outstanding value pointer without inserting anything.
+  FlatMap<std::uint64_t, std::uint64_t> map;
+  (void)map.try_emplace(1, 100);
+  while (map.size() < map.capacity()) {
+    (void)map.try_emplace(map.size() + 1, map.size());
+  }
+  std::uint64_t* pinned = map.find(1);
+  ASSERT_NE(pinned, nullptr);
+  const auto [dup, inserted] = map.try_emplace(1, 999);
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(dup, pinned) << "duplicate insert at max load must not rehash";
+  EXPECT_EQ(*pinned, 100u);
+}
+
+TEST(FlatMap, NonTrivialValueLifetime) {
+  // shared_ptr use-counts expose double-destroy or leaked copies across
+  // rehash (growth) and backward-shift moves (erase).
+  auto tracker = std::make_shared<int>(42);
+  {
+    FlatMap<std::uint64_t, std::shared_ptr<int>> map;
+    for (std::uint64_t key = 1; key <= 200; ++key) {
+      (void)map.try_emplace(key, tracker);
+    }
+    EXPECT_EQ(tracker.use_count(), 201);
+    for (std::uint64_t key = 1; key <= 100; ++key) {
+      EXPECT_TRUE(map.erase(key));
+    }
+    EXPECT_EQ(tracker.use_count(), 101);
+    map.clear();
+    EXPECT_EQ(tracker.use_count(), 1);
+    (void)map.try_emplace(7, tracker);
+  }  // destructor releases the last copy
+  EXPECT_EQ(tracker.use_count(), 1);
+}
+
+TEST(FlatMap, MoveTransfersContents) {
+  FlatMap<std::uint64_t, std::string> map;
+  (void)map.try_emplace(5, "five");
+  (void)map.try_emplace(9, "nine");
+  FlatMap<std::uint64_t, std::string> moved(std::move(map));
+  ASSERT_NE(moved.find(5), nullptr);
+  EXPECT_EQ(*moved.find(5), "five");
+  EXPECT_EQ(moved.size(), 2u);
+
+  FlatMap<std::uint64_t, std::string> assigned;
+  (void)assigned.try_emplace(1, "stale");
+  assigned = std::move(moved);
+  EXPECT_EQ(assigned.size(), 2u);
+  EXPECT_EQ(assigned.find(1), nullptr);
+  EXPECT_EQ(*assigned.find(9), "nine");
+}
+
+TEST(FlatMap, ForEachVisitsEveryEntry) {
+  FlatMap<std::uint64_t, std::uint64_t> map;
+  for (std::uint64_t key = 1; key <= 50; ++key) {
+    (void)map.try_emplace(key, key);
+  }
+  std::uint64_t key_sum = 0, value_sum = 0;
+  map.for_each([&](std::uint64_t key, const std::uint64_t& value) {
+    key_sum += key;
+    value_sum += value;
+  });
+  EXPECT_EQ(key_sum, 50u * 51u / 2u);
+  EXPECT_EQ(value_sum, key_sum);
+
+  // Mutating visit.
+  map.for_each([](std::uint64_t, std::uint64_t& value) { value *= 2; });
+  EXPECT_EQ(*map.find(10), 20u);
+}
+
+TEST(FlatMap, BackwardShiftPreservesCollisionChains) {
+  // Dense sequential keys at small table sizes force long probe chains;
+  // erasing from the middle of a chain must keep every survivor findable.
+  FlatMap<std::uint64_t, std::uint64_t> map;
+  for (std::uint64_t key = 1; key <= 64; ++key) {
+    (void)map.try_emplace(key, key);
+  }
+  for (std::uint64_t key = 2; key <= 64; key += 2) {
+    ASSERT_TRUE(map.erase(key));
+  }
+  for (std::uint64_t key = 1; key <= 64; ++key) {
+    if (key % 2 == 1) {
+      ASSERT_NE(map.find(key), nullptr) << key;
+      EXPECT_EQ(*map.find(key), key);
+    } else {
+      EXPECT_EQ(map.find(key), nullptr) << key;
+    }
+  }
+}
+
+TEST(FlatMap, RandomizedDifferentialAgainstUnorderedMap) {
+  FlatMap<std::uint64_t, std::uint64_t> map;
+  std::unordered_map<std::uint64_t, std::uint64_t> reference;
+  util::Rng rng(20260730);
+
+  for (int step = 0; step < 20'000; ++step) {
+    const std::uint64_t key = 1 + rng.next_below(700);  // dense => collisions
+    switch (rng.next_below(3)) {
+      case 0: {
+        const std::uint64_t value = rng();
+        const auto [ptr, inserted] = map.try_emplace(key, value);
+        const auto [it, ref_inserted] = reference.try_emplace(key, value);
+        ASSERT_EQ(inserted, ref_inserted) << step;
+        ASSERT_EQ(*ptr, it->second) << step;
+        break;
+      }
+      case 1:
+        ASSERT_EQ(map.erase(key), reference.erase(key) > 0) << step;
+        break;
+      default: {
+        const auto* ptr = map.find(key);
+        const auto it = reference.find(key);
+        ASSERT_EQ(ptr != nullptr, it != reference.end()) << step;
+        if (ptr != nullptr) {
+          ASSERT_EQ(*ptr, it->second) << step;
+        }
+      }
+    }
+    ASSERT_EQ(map.size(), reference.size()) << step;
+  }
+
+  // Full-content sweep at the end.
+  std::size_t visited = 0;
+  map.for_each([&](std::uint64_t key, const std::uint64_t& value) {
+    ++visited;
+    const auto it = reference.find(key);
+    ASSERT_NE(it, reference.end()) << key;
+    EXPECT_EQ(value, it->second);
+  });
+  EXPECT_EQ(visited, reference.size());
+}
+
+}  // namespace
+}  // namespace psc::util

@@ -149,6 +149,55 @@ TEST(IndexEquivalence, PrefilterDisabledStillIdentical) {
   EXPECT_EQ(indexed.active_count(), flat.active_count());
 }
 
+TEST_P(IndexEquivalence, AmortizedTiersIdenticalToEagerIndexUnderChurn) {
+  // The two-tier churn-amortized index (delta tier + tombstones +
+  // compaction) must be decision-for-decision identical to the eager
+  // pre-tier index AND to the flat scans, through the full store: same
+  // InsertResults, promotions, and match outputs at every step. Tiny
+  // compaction thresholds make compactions fire mid-trace.
+  const CoveragePolicy policy = GetParam();
+  const std::uint64_t seed = 0xadd5ULL;
+  StoreConfig amortized_config = make_config(policy, true);
+  amortized_config.index.compaction_min = 8;
+  amortized_config.index.compaction_slack = 0.0;
+  StoreConfig eager_config = make_config(policy, true);
+  eager_config.index.amortize_mutations = false;
+  SubscriptionStore amortized(amortized_config, seed);
+  SubscriptionStore eager(eager_config, seed);
+  SubscriptionStore flat(make_config(policy, false), seed);
+
+  workload::ComparisonConfig stream_config;
+  stream_config.attribute_count = 6;
+  workload::ComparisonStream stream(stream_config, 314);
+  util::Rng rng(15);
+  std::vector<SubscriptionId> live;
+
+  for (int step = 0; step < 300; ++step) {
+    if (!live.empty() && rng.bernoulli(0.3)) {
+      const SubscriptionId victim = live[rng.next_below(live.size())];
+      const auto erased_amortized = amortized.erase_reporting(victim);
+      const auto erased_eager = eager.erase_reporting(victim);
+      const auto erased_flat = flat.erase_reporting(victim);
+      EXPECT_EQ(erased_amortized.promoted, erased_eager.promoted) << step;
+      EXPECT_EQ(erased_amortized.promoted, erased_flat.promoted) << step;
+      live.erase(std::find(live.begin(), live.end(), victim));
+    } else {
+      const Subscription sub = stream.next();
+      const auto inserted_amortized = amortized.insert(sub);
+      const auto inserted_eager = eager.insert(sub);
+      expect_same_insert(inserted_amortized, inserted_eager, step);
+      expect_same_insert(inserted_amortized, flat.insert(sub), step);
+      live.push_back(sub.id());
+    }
+    const Publication pub = workload::uniform_publication(
+        stream_config.attribute_count, 0.0, 1000.0, rng);
+    const auto expected = flat.match(pub);
+    EXPECT_EQ(amortized.match(pub), expected) << step;
+    EXPECT_EQ(eager.match(pub), expected) << step;
+    EXPECT_EQ(amortized.match_active(pub), eager.match_active(pub)) << step;
+  }
+}
+
 TEST(IndexEquivalenceScenario, ScenarioInstancesAgreeOnVerdicts) {
   // Paper scenario generators stress the group policy with known ground
   // truth: both paths must agree with each other on every insert verdict.

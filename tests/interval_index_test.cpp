@@ -170,8 +170,14 @@ TEST(IntervalIndex, QueryCostIsReported) {
   EXPECT_GE(index.last_query_cost(), 50u);
   EXPECT_LT(cheap, index.last_query_cost());
 
-  // box_intersect reports endpoint passes: a probe below every interval
-  // passes nothing, a full-domain probe passes every endpoint.
+  // box_intersect reports endpoint passes plus delta-tier probes. With the
+  // delta tier pending, a probe below every interval still pays one probe
+  // per delta slot; after compaction it passes nothing. A full-domain
+  // probe passes every endpoint either way.
+  (void)index.box_intersect(Subscription({Interval{-100.0, -50.0}}, 999));
+  EXPECT_EQ(index.last_query_cost(), index.delta_size());
+  index.compact();
+  EXPECT_EQ(index.delta_size(), 0u);
   (void)index.box_intersect(Subscription({Interval{-100.0, -50.0}}, 999));
   EXPECT_EQ(index.last_query_cost(), 0u);
   (void)index.box_intersect(Subscription({Interval{-100.0, 2000.0}}, 999));

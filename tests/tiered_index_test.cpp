@@ -1,0 +1,274 @@
+// Property tests for the two-tier churn-amortized IntervalIndex: across
+// delta-only, tombstone-heavy, and just-compacted states, both query kinds
+// must return exactly the id set of (a) a flat scan over the live
+// subscriptions and (b) a freshly built index — i.e. the tier machinery is
+// invisible to every consumer. Also replays deterministic churn-workload
+// traces (workload::generate_churn_trace) with TTL expiries against
+// amortized, eager, and flat references in lockstep.
+#include "index/interval_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "workload/churn_workload.hpp"
+#include "workload/comparison_stream.hpp"
+#include "workload/publications.hpp"
+#include "workload/scenarios.hpp"
+
+namespace psc::index {
+namespace {
+
+using core::Publication;
+using core::Subscription;
+using core::SubscriptionId;
+using core::Value;
+
+std::vector<SubscriptionId> sorted(std::vector<SubscriptionId> ids) {
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+/// Checks stab and box_intersect of `index` against a flat scan over
+/// `live` and against a freshly built index over the same set, on several
+/// random probes.
+void expect_equivalent_queries(const IntervalIndex& index,
+                               const std::vector<Subscription>& live,
+                               std::size_t attribute_count, util::Rng& rng,
+                               int probes, const char* state) {
+  IntervalIndex fresh(attribute_count, index.config());
+  for (const Subscription& sub : live) fresh.insert(sub);
+
+  for (int probe = 0; probe < probes; ++probe) {
+    const Publication pub =
+        workload::uniform_publication(attribute_count, -100.0, 1100.0, rng);
+    std::vector<SubscriptionId> expected_stab;
+    for (const Subscription& sub : live) {
+      if (pub.matches(sub)) expected_stab.push_back(sub.id());
+    }
+    EXPECT_EQ(sorted(index.stab(pub.values())), sorted(expected_stab))
+        << state << " probe " << probe;
+    EXPECT_EQ(sorted(fresh.stab(pub.values())), sorted(expected_stab))
+        << state << " probe " << probe;
+
+    workload::ScenarioConfig box_config;
+    box_config.attribute_count = attribute_count;
+    const Subscription box = workload::random_box(box_config, 0.05, 0.5, rng);
+    std::vector<SubscriptionId> expected_box;
+    for (const Subscription& sub : live) {
+      if (sub.intersects(box)) expected_box.push_back(sub.id());
+    }
+    EXPECT_EQ(sorted(index.box_intersect(box)), sorted(expected_box))
+        << state << " probe " << probe;
+    EXPECT_EQ(sorted(fresh.box_intersect(box)), sorted(expected_box))
+        << state << " probe " << probe;
+  }
+}
+
+TEST(TieredIndex, DeltaOnlyTombstoneHeavyAndJustCompactedStates) {
+  const std::size_t attrs = 5;
+  workload::ComparisonConfig stream_config;
+  stream_config.attribute_count = attrs;
+  workload::ComparisonStream stream(stream_config, 404);
+  util::Rng rng(11);
+
+  // Thresholds high enough that nothing compacts until forced: the test
+  // drives the index through each tier state explicitly.
+  IndexConfig config;
+  config.compaction_min = 1'000'000;
+  IntervalIndex index(attrs, config);
+  std::vector<Subscription> live;
+
+  // --- State 1: delta-only (every insert pending, no tombstones).
+  for (int i = 0; i < 120; ++i) {
+    Subscription sub = stream.next();
+    index.insert(sub);
+    live.push_back(std::move(sub));
+  }
+  ASSERT_GT(index.delta_size(), 0u);
+  ASSERT_EQ(index.tombstone_count(), 0u);
+  ASSERT_EQ(index.compactions(), 0u);
+  expect_equivalent_queries(index, live, attrs, rng, 20, "delta-only");
+
+  // --- State 2: just-compacted (forced; everything in the main tier).
+  index.compact();
+  ASSERT_EQ(index.delta_size(), 0u);
+  ASSERT_EQ(index.compactions(), 1u);
+  expect_equivalent_queries(index, live, attrs, rng, 20, "just-compacted");
+
+  // --- State 3: tombstone-heavy (erase half of the main tier) plus a
+  // fresh sprinkling of delta inserts on top.
+  for (int i = 0; i < 60; ++i) {
+    const std::size_t victim = rng.next_below(live.size());
+    ASSERT_TRUE(index.erase(live[victim].id()));
+    live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+  }
+  for (int i = 0; i < 25; ++i) {
+    Subscription sub = stream.next();
+    index.insert(sub);
+    live.push_back(std::move(sub));
+  }
+  ASSERT_GT(index.tombstone_count(), 0u);
+  ASSERT_GT(index.delta_size(), 0u);
+  expect_equivalent_queries(index, live, attrs, rng, 20, "tombstone-heavy");
+
+  // --- Back to clean: compaction releases every tombstone and the free
+  // slots are reusable.
+  index.compact();
+  EXPECT_EQ(index.tombstone_count(), 0u);
+  EXPECT_EQ(index.delta_size(), 0u);
+  expect_equivalent_queries(index, live, attrs, rng, 10, "recompacted");
+  EXPECT_EQ(index.size(), live.size());
+}
+
+TEST(TieredIndex, ErasedDeltaSlotLeavesNoTrace) {
+  // Insert-then-erase within one delta window must fully restore the
+  // slot's mask rows (a stale zero-bit would wrongly prune a reused slot).
+  IndexConfig config;
+  config.compaction_min = 1'000'000;
+  IntervalIndex index(2, config);
+  index.insert(Subscription({core::Interval{0, 10}, core::Interval{0, 10}}, 1));
+  ASSERT_EQ(index.delta_size(), 1u);
+  ASSERT_TRUE(index.erase(1));
+  ASSERT_EQ(index.delta_size(), 0u);
+  ASSERT_EQ(index.tombstone_count(), 0u);
+
+  // The freed slot is reused by a subscription constraining a DIFFERENT
+  // region; probes into both regions must answer exactly.
+  index.insert(Subscription({core::Interval{500, 600}, core::Interval{500, 600}}, 2));
+  EXPECT_TRUE(index.stab(std::vector<Value>{5.0, 5.0}).empty());
+  EXPECT_EQ(index.stab(std::vector<Value>{550.0, 550.0}),
+            (std::vector<SubscriptionId>{2}));
+}
+
+TEST(TieredIndex, TombstonedSlotIsNotResurrectedByStaleEndpoints) {
+  IndexConfig config;
+  config.compaction_min = 1'000'000;
+  IntervalIndex index(1, config);
+  index.insert(Subscription({core::Interval{0, 10}}, 1));
+  index.insert(Subscription({core::Interval{5, 15}}, 2));
+  index.compact();  // both in the main tier
+  ASSERT_TRUE(index.erase(1));
+  ASSERT_EQ(index.tombstone_count(), 1u);
+
+  // Stale endpoints of #1 are still in the sorted arrays; neither query
+  // may emit it.
+  EXPECT_EQ(index.stab(std::vector<Value>{7.0}),
+            (std::vector<SubscriptionId>{2}));
+  EXPECT_EQ(index.box_intersect(Subscription({core::Interval{0, 20}}, 99)),
+            (std::vector<SubscriptionId>{2}));
+  EXPECT_FALSE(index.contains(1));
+  EXPECT_EQ(index.size(), 1u);
+}
+
+TEST(TieredIndex, ThresholdTriggersCompactionAutomatically) {
+  IndexConfig config;
+  config.compaction_min = 32;
+  config.compaction_slack = 0.0;
+  IntervalIndex index(2, config);
+  workload::ComparisonConfig stream_config;
+  stream_config.attribute_count = 2;
+  stream_config.max_constrained = 2;
+  workload::ComparisonStream stream(stream_config, 7);
+  for (int i = 0; i < 200; ++i) index.insert(stream.next());
+  EXPECT_GT(index.compactions(), 0u);
+  // Pending mutations never exceed the threshold after a mutation settles.
+  EXPECT_LT(index.delta_size() + index.tombstone_count(), 32u + 1u);
+}
+
+/// Replays the subscribe/unsubscribe/TTL-expiry/publish sequence of a
+/// churn-workload trace against three replicas — amortized (production
+/// thresholds), eager (pre-tier ablation), and a flat live map — checking
+/// every publish as a stab probe on all of them.
+void replay_trace(const workload::ChurnTrace& trace, IndexConfig amortized_cfg) {
+  IndexConfig eager_cfg = amortized_cfg;
+  eager_cfg.amortize_mutations = false;
+
+  const std::size_t attrs = trace.config.attribute_count;
+  IntervalIndex amortized(attrs, amortized_cfg);
+  IntervalIndex eager(attrs, eager_cfg);
+  std::unordered_map<SubscriptionId, Subscription> live;
+  std::vector<std::pair<sim::SimTime, SubscriptionId>> expiries;
+
+  const auto expire_due = [&](sim::SimTime now) {
+    for (std::size_t i = 0; i < expiries.size();) {
+      if (expiries[i].first <= now) {
+        const SubscriptionId id = expiries[i].second;
+        if (live.erase(id) > 0) {
+          ASSERT_TRUE(amortized.erase(id));
+          ASSERT_TRUE(eager.erase(id));
+        }
+        expiries[i] = expiries.back();
+        expiries.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  };
+
+  std::size_t checked_publishes = 0;
+  for (const workload::ChurnOp& op : trace.ops) {
+    expire_due(op.time);
+    switch (op.kind) {
+      case workload::ChurnOpKind::kSubscribe:
+        amortized.insert(op.sub);
+        eager.insert(op.sub);
+        live.emplace(op.sub.id(), op.sub);
+        break;
+      case workload::ChurnOpKind::kSubscribeTtl:
+        amortized.insert(op.sub);
+        eager.insert(op.sub);
+        live.emplace(op.sub.id(), op.sub);
+        expiries.emplace_back(op.time + op.ttl, op.sub.id());
+        break;
+      case workload::ChurnOpKind::kUnsubscribe:
+        if (live.erase(op.id) > 0) {
+          ASSERT_TRUE(amortized.erase(op.id));
+          ASSERT_TRUE(eager.erase(op.id));
+        }
+        break;
+      case workload::ChurnOpKind::kPublish: {
+        std::vector<SubscriptionId> expected;
+        for (const auto& [id, sub] : live) {
+          if (op.pub.matches(sub)) expected.push_back(id);
+        }
+        const auto expected_sorted = sorted(std::move(expected));
+        ASSERT_EQ(sorted(amortized.stab(op.pub.values())), expected_sorted);
+        ASSERT_EQ(sorted(eager.stab(op.pub.values())), expected_sorted);
+        ++checked_publishes;
+        break;
+      }
+      case workload::ChurnOpKind::kAdvance:
+        break;
+    }
+    ASSERT_EQ(amortized.size(), live.size());
+    ASSERT_EQ(eager.size(), live.size());
+  }
+  ASSERT_GT(checked_publishes, 0u);
+}
+
+TEST(TieredIndex, ChurnTraceReplayMatchesEagerAndFlat) {
+  workload::ChurnConfig config;
+  config.duration = 40.0;
+  config.subscription_rate = 3.0;
+  config.publication_rate = 4.0;
+  config.mean_lifetime = 5.0;
+
+  for (const std::uint64_t seed : {1ull, 2006ull, 0xfeedull}) {
+    const auto trace = workload::generate_churn_trace(config, 4, seed);
+    // Tiny thresholds: compaction fires constantly mid-trace.
+    IndexConfig tight;
+    tight.compaction_min = 8;
+    tight.compaction_slack = 0.0;
+    replay_trace(trace, tight);
+    // Huge thresholds: the whole trace lives in the delta/tombstone state.
+    IndexConfig loose;
+    loose.compaction_min = 1'000'000;
+    replay_trace(trace, loose);
+  }
+}
+
+}  // namespace
+}  // namespace psc::index
