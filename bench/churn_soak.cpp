@@ -139,8 +139,9 @@ int main(int argc, char** argv) {
     result.trace = workload::generate_churn_trace(config, topology.brokers, seed);
     auto net = topology.build(net_config);
     const util::Timer timer;
-    result.report = sim::ChurnDriver::run(net, result.trace,
-                                          {.differential = differential});
+    sim::ChurnDriver::Options driver_options;
+    driver_options.differential = differential;
+    result.report = sim::ChurnDriver::run(net, result.trace, driver_options);
     result.elapsed_seconds = timer.elapsed_seconds();
 
     const sim::ChurnReport& report = result.report;

@@ -349,8 +349,9 @@ int main(int argc, char** argv) {
           workload::generate_churn_trace(churn_config, topology.brokers, seed);
       auto net = topology.build(net_config);
       const util::Timer timer;
-      const auto report =
-          sim::ChurnDriver::run(net, trace, {.differential = true});
+      sim::ChurnDriver::Options driver_options;
+      driver_options.differential = true;
+      const auto report = sim::ChurnDriver::run(net, trace, driver_options);
       const double elapsed = timer.elapsed_seconds();
       SoakRow row;
       row.name = topology.name;

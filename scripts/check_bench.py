@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Perf regression gate: compare a fresh perf_gate JSON against the
+committed BENCH_core.json baseline.
+
+Usage:
+    check_bench.py CURRENT.json [--baseline BENCH_core.json]
+                   [--threshold 0.30] [--sections stab,box_intersect,...]
+
+Fails (exit 1) when any gated section's ops_per_sec drops more than
+--threshold below the baseline. Two noise-tolerance mechanisms keep CI
+honest without flaking:
+
+  * jitter widening via the recorded p50/p99 latency fields: a section
+    whose baseline p99/p50 ratio is large is inherently noisy (allocator
+    spikes, cache effects at the measured size), so its allowed drop is
+    widened proportionally (capped at +20 percentage points);
+  * scale awareness: the committed baseline is a FULL-size run while the
+    CI smoke runs --small. When the config sizes differ the comparison is
+    one-sided sanity only — the small run must not be SLOWER than the
+    full-size baseline (smaller working sets are strictly faster on every
+    gated path, so dropping below the full-size number means a real,
+    catastrophic regression) — and the report says so.
+
+The gates.oracle_divergences field must be 0 in both files regardless of
+timing (correctness is never noise).
+"""
+
+import argparse
+import json
+import math
+import sys
+
+DEFAULT_SECTIONS = [
+    "stab",
+    "box_intersect",
+    "insert_erase_churn_amortized",
+    "broker_publish",
+]
+JITTER_CAP = 0.20  # max extra allowance from latency jitter, absolute
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        sys.exit(f"check_bench: cannot read {path}: {error}")
+
+
+def jitter_allowance(section):
+    """Extra allowed drop derived from the baseline's own latency spread."""
+    p50 = section.get("p50_ns", 0.0)
+    p99 = section.get("p99_ns", 0.0)
+    if p50 <= 0 or p99 <= p50:
+        return 0.0
+    # p99/p50 of 2 -> ~3pp, 4 -> ~6pp, 32 -> capped 20pp.
+    return min(JITTER_CAP, 0.03 * math.log2(p99 / p50) / math.log2(2.0))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="fresh perf_gate JSON")
+    parser.add_argument("--baseline", default="BENCH_core.json")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="max fractional ops/sec drop (default 0.30)")
+    parser.add_argument("--sections", default=",".join(DEFAULT_SECTIONS),
+                        help="comma-separated gated section names")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    failures = []
+    for name, blob in (("baseline", baseline), ("current", current)):
+        divergences = blob.get("gates", {}).get("oracle_divergences")
+        if divergences is None:
+            failures.append(f"{name}: missing gates.oracle_divergences")
+        elif divergences != 0:
+            failures.append(f"{name}: {divergences} oracle divergences")
+
+    base_config = baseline.get("config", {})
+    cur_config = current.get("config", {})
+    same_scale = all(
+        base_config.get(key) == cur_config.get(key)
+        for key in ("actives", "attributes", "queries", "churn_ops")
+    )
+    if not same_scale:
+        print("check_bench: config sizes differ "
+              f"(baseline actives={base_config.get('actives')}, "
+              f"current actives={cur_config.get('actives')}); "
+              "applying one-sided scale-aware comparison")
+
+    base_sections = baseline.get("sections", {})
+    cur_sections = current.get("sections", {})
+    gated = [name for name in args.sections.split(",") if name]
+    rows = []
+    for name in gated:
+        base = base_sections.get(name)
+        cur = cur_sections.get(name)
+        if base is None or cur is None:
+            failures.append(f"section {name}: missing from "
+                            f"{'baseline' if base is None else 'current'}")
+            continue
+        base_ops = base.get("ops_per_sec", 0.0)
+        cur_ops = cur.get("ops_per_sec", 0.0)
+        if base_ops <= 0:
+            failures.append(f"section {name}: baseline ops_per_sec is {base_ops}")
+            continue
+        if same_scale:
+            allowed = args.threshold + jitter_allowance(base)
+        else:
+            # One-sided cross-scale mode: the smaller run must not be
+            # slower than the full-size baseline AT ALL — its working set
+            # is strictly smaller, so even matching the baseline already
+            # signals a large real regression. No threshold slack here.
+            allowed = 0.0
+        floor = base_ops * (1.0 - allowed)
+        ratio = cur_ops / base_ops
+        verdict = "ok" if cur_ops >= floor else "REGRESSION"
+        rows.append((name, base_ops, cur_ops, ratio, allowed, verdict))
+        if cur_ops < floor:
+            failures.append(
+                f"section {name}: {cur_ops:.1f} ops/sec is "
+                f"{(1.0 - ratio) * 100.0:.1f}% below baseline "
+                f"{base_ops:.1f} (allowed {allowed * 100.0:.0f}%)")
+
+    width = max((len(r[0]) for r in rows), default=10)
+    print(f"{'section':<{width}}  {'baseline':>14}  {'current':>14}  "
+          f"{'ratio':>6}  {'allowed_drop':>12}  verdict")
+    for name, base_ops, cur_ops, ratio, allowed, verdict in rows:
+        print(f"{name:<{width}}  {base_ops:>14.1f}  {cur_ops:>14.1f}  "
+              f"{ratio:>6.2f}  {allowed * 100.0:>11.0f}%  {verdict}")
+
+    if failures:
+        print("\ncheck_bench: FAIL")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\ncheck_bench: OK — no gated metric regressed beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

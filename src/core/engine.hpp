@@ -138,8 +138,10 @@ class SubsumptionEngine {
   [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
   void set_config(const EngineConfig& config);
 
-  /// Direct access to the RNG (tests inject known streams).
+  /// Direct access to the RNG (tests inject known streams; the store
+  /// snapshot captures/restores the stream for replay-identical restore).
   [[nodiscard]] util::Rng& rng() noexcept { return rng_; }
+  [[nodiscard]] const util::Rng& rng() const noexcept { return rng_; }
 
  private:
   EngineConfig config_;

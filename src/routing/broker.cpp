@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "util/rng.hpp"
+#include "wire/snapshot.hpp"
 
 namespace psc::routing {
 
@@ -272,6 +273,82 @@ std::vector<SubscriptionId> Broker::subscriptions_from(const Origin& origin) con
     if (entry.origin == origin) ids.push_back(sid);
   });
   return ids;
+}
+
+Broker::Snapshot Broker::export_snapshot() const {
+  Snapshot snapshot;
+  snapshot.id = id_;
+  snapshot.routes.reserve(routing_table_.size());
+  routing_table_.for_each([&](SubscriptionId, const RouteEntry& entry) {
+    snapshot.routes.push_back({entry.sub, entry.origin});
+  });
+  // FlatMap iteration order is a hash artifact; canonicalize by id so two
+  // snapshots of identical logical state are byte-identical.
+  std::sort(snapshot.routes.begin(), snapshot.routes.end(),
+            [](const Snapshot::RouteRecord& a, const Snapshot::RouteRecord& b) {
+              return a.sub.id() < b.sub.id();
+            });
+  for (const BrokerId neighbor : neighbors_) {
+    const auto it = forwarded_.find(neighbor);
+    if (it == forwarded_.end()) continue;
+    snapshot.links.emplace_back(neighbor, it->second->export_snapshot());
+  }
+  snapshot.seen_tokens.assign(seen_publications_.begin(),
+                              seen_publications_.end());
+  std::sort(snapshot.seen_tokens.begin(), snapshot.seen_tokens.end());
+  return snapshot;
+}
+
+void Broker::import_snapshot(const Snapshot& snapshot) {
+  if (snapshot.id != id_) {
+    throw std::invalid_argument(
+        "Broker::import_snapshot: snapshot belongs to another broker id");
+  }
+  if (routing_table_.size() != 0 || !forwarded_.empty() ||
+      !seen_publications_.empty()) {
+    throw std::logic_error("Broker::import_snapshot: broker is not empty");
+  }
+  routing_table_.reserve(snapshot.routes.size());
+  for (const Snapshot::RouteRecord& record : snapshot.routes) {
+    if (!routing_table_.try_emplace(record.sub.id(), record.sub, record.origin)
+             .second) {
+      throw std::invalid_argument(
+          "Broker::import_snapshot: duplicate routing-table id");
+    }
+    // Rebuild the derived match index; it is coverage-free (kNone) and
+    // sorts matches by id, so rebuild order is decision-neutral.
+    (void)routed_.insert(record.sub);
+  }
+  for (const auto& [neighbor, store_snapshot] : snapshot.links) {
+    if (std::find(neighbors_.begin(), neighbors_.end(), neighbor) ==
+        neighbors_.end()) {
+      throw std::invalid_argument(
+          "Broker::import_snapshot: link snapshot for unknown neighbour");
+    }
+    // forwarded_mutable builds the store with this broker's per-link
+    // config and seed; the snapshot then overwrites its decision state
+    // (incl. the engine RNG stream captured at export).
+    forwarded_mutable(neighbor).import_snapshot(store_snapshot);
+  }
+  seen_publications_.insert(snapshot.seen_tokens.begin(),
+                            snapshot.seen_tokens.end());
+}
+
+std::vector<std::uint8_t> Broker::snapshot() const {
+  wire::ByteWriter out;
+  wire::write_frame_header(out, wire::kBrokerSnapshotMagic);
+  wire::write_broker_snapshot(out, export_snapshot());
+  return out.take();
+}
+
+void Broker::restore(std::span<const std::uint8_t> bytes) {
+  wire::ByteReader in(bytes);
+  wire::read_frame_header(in, wire::kBrokerSnapshotMagic, "broker");
+  const Snapshot snapshot = wire::read_broker_snapshot(in);
+  if (!in.at_end()) {
+    throw wire::DecodeError("wire: trailing bytes after broker snapshot");
+  }
+  import_snapshot(snapshot);
 }
 
 }  // namespace psc::routing

@@ -176,6 +176,13 @@ class Broker {
     return routing_table_.size();
   }
 
+  /// True iff this broker's routing table holds `id` (the network layer
+  /// uses this to re-derive per-broker TTL timers when restoring a
+  /// snapshot — only brokers that route a subscription armed one).
+  [[nodiscard]] bool routes(core::SubscriptionId id) const {
+    return routing_table_.find(id) != nullptr;
+  }
+
   /// Forwarded-store of a neighbour link (tests introspect coverage state).
   [[nodiscard]] const store::SubscriptionStore* forwarded_store(
       BrokerId neighbor) const;
@@ -184,6 +191,46 @@ class Broker {
   [[nodiscard]] const exec::ShardedStore& match_index() const noexcept {
     return routed_;
   }
+
+  /// Complete serializable state of a broker: the routing table (with
+  /// reverse-path origins), every per-link forwarded store (full coverage
+  /// state incl. engine RNG — see store::SubscriptionStore::Snapshot), and
+  /// the publication dedup tokens. The local match index (`routed_`) is
+  /// derived state and is rebuilt on import. Binary codec:
+  /// wire/snapshot.hpp; framed convenience forms: snapshot()/restore().
+  struct Snapshot {
+    BrokerId id = kInvalidBroker;
+    struct RouteRecord {
+      core::Subscription sub;  ///< id rides inside
+      Origin origin;
+    };
+    /// Routing-table entries sorted by subscription id (table order is a
+    /// hash artifact; matching sorts ids before routing, so rebuild order
+    /// is decision-neutral).
+    std::vector<RouteRecord> routes;
+    /// Per-link coverage state, in neighbour order. Links that never
+    /// forwarded anything have no entry.
+    std::vector<std::pair<BrokerId, store::SubscriptionStore::Snapshot>> links;
+    /// Publication tokens already processed, sorted ascending.
+    std::vector<std::uint64_t> seen_tokens;
+  };
+
+  [[nodiscard]] Snapshot export_snapshot() const;
+
+  /// Rebuilds this broker from `snapshot`. Preconditions: the broker holds
+  /// no routing state (freshly constructed, or after a crash wiped it),
+  /// was constructed with the same (id, config, seed, shards) as the
+  /// exporter, and already has its neighbour links attached (topology is
+  /// owned by the network layer and is not part of broker state).
+  /// Violations throw std::invalid_argument / std::logic_error. Afterwards
+  /// the broker is decision-for-decision identical to the exporter.
+  void import_snapshot(const Snapshot& snapshot);
+
+  /// Framed byte forms of export/import: a self-describing buffer with
+  /// magic + format version (wire/snapshot.hpp), so a future cross-process
+  /// transport can hand these to a peer verbatim.
+  [[nodiscard]] std::vector<std::uint8_t> snapshot() const;
+  void restore(std::span<const std::uint8_t> bytes);
 
  private:
   BrokerId id_;

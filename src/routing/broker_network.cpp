@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "util/rng.hpp"
+#include "wire/codec.hpp"
+#include "wire/snapshot.hpp"
 
 namespace psc::routing {
 
@@ -347,6 +349,145 @@ std::vector<std::vector<SubscriptionId>> BrokerNetwork::publish_batch(
     }
   }
   return delivered;
+}
+
+std::vector<std::uint8_t> BrokerNetwork::snapshot_all() const {
+  wire::ByteWriter out;
+  wire::write_frame_header(out, wire::kNetworkSnapshotMagic);
+  wire::write_network_config(out, config_);
+
+  // Topology: per-broker neighbour lists in their live order. Neighbour
+  // ORDER is semantic — forwarding fans out in list order, which fixes
+  // event-queue tie-breaks — so it is restored verbatim, not re-derived.
+  out.varint(brokers_.size());
+  for (const auto& broker : brokers_) {
+    out.varint(broker->neighbors().size());
+    for (const BrokerId neighbor : broker->neighbors()) out.varint(neighbor);
+  }
+
+  out.f64(queue_.now());
+  out.varint(publication_token_);
+
+  // Client subscription registry (canonical id order), with TTL expiries:
+  // the only state the armed timers carry that is not derivable from the
+  // brokers themselves.
+  std::vector<SubscriptionId> ids;
+  ids.reserve(local_subs_.size());
+  for (const auto& [sid, local] : local_subs_) ids.push_back(sid);
+  std::sort(ids.begin(), ids.end());
+  out.varint(ids.size());
+  for (const SubscriptionId sid : ids) {
+    const LocalSub& local = local_subs_.at(sid);
+    out.varint(local.home);
+    wire::write_subscription(out, local.sub);
+    out.u8(local.expiry.has_value() ? 1 : 0);
+    if (local.expiry) out.f64(*local.expiry);
+  }
+
+  for (const auto& broker : brokers_) {
+    wire::write_broker_snapshot(out, broker->export_snapshot());
+  }
+  return out.take();
+}
+
+void BrokerNetwork::restore_all(std::span<const std::uint8_t> bytes) {
+  wire::ByteReader in(bytes);
+  wire::read_frame_header(in, wire::kNetworkSnapshotMagic, "network");
+  config_ = wire::read_network_config(in);
+
+  // Wipe this incarnation. Pending events (TTL timers of the old state)
+  // die with the old queue; metrics restart at zero.
+  brokers_.clear();
+  local_subs_.clear();
+  queue_ = sim::EventQueue{};
+  metrics_.reset();
+  publication_token_ = 0;
+  publish_scratch_ = Broker::PublishScratch{};
+
+  // Brokers are rebuilt through add_broker so per-broker seeds re-derive
+  // from the serialized config exactly as original construction did.
+  const std::size_t broker_count = in.count();
+  std::vector<std::vector<BrokerId>> neighbor_lists(broker_count);
+  for (std::size_t b = 0; b < broker_count; ++b) {
+    const std::size_t degree = in.count();
+    neighbor_lists[b].reserve(degree);
+    for (std::size_t k = 0; k < degree; ++k) {
+      const auto neighbor = static_cast<BrokerId>(in.varint());
+      if (neighbor >= broker_count) {
+        throw wire::DecodeError("wire: neighbour id out of range");
+      }
+      neighbor_lists[b].push_back(neighbor);
+    }
+  }
+  for (std::size_t b = 0; b < broker_count; ++b) (void)add_broker();
+  for (std::size_t b = 0; b < broker_count; ++b) {
+    for (const BrokerId neighbor : neighbor_lists[b]) {
+      brokers_[b]->add_neighbor(neighbor);
+    }
+  }
+
+  const sim::SimTime now = in.f64();
+  publication_token_ = in.varint();
+
+  const std::size_t sub_count = in.count();
+  std::vector<SubscriptionId> restored_ids;
+  restored_ids.reserve(sub_count);
+  for (std::size_t i = 0; i < sub_count; ++i) {
+    LocalSub local;
+    local.home = static_cast<BrokerId>(in.varint());
+    if (local.home >= broker_count) {
+      throw wire::DecodeError("wire: subscription home out of range");
+    }
+    local.sub = wire::read_subscription(in);
+    const std::uint8_t has_expiry = in.u8();
+    if (has_expiry > 1) throw wire::DecodeError("wire: bad expiry flag");
+    if (has_expiry) local.expiry = in.f64();
+    const SubscriptionId sid = local.sub.id();
+    if (!local_subs_.emplace(sid, std::move(local)).second) {
+      throw wire::DecodeError("wire: duplicate client subscription id");
+    }
+    restored_ids.push_back(sid);
+  }
+
+  for (std::size_t b = 0; b < broker_count; ++b) {
+    brokers_[b]->import_snapshot(wire::read_broker_snapshot(in));
+  }
+  if (!in.at_end()) {
+    throw wire::DecodeError("wire: trailing bytes after network snapshot");
+  }
+
+  // Clock: an empty-queue run_until is a pure time set.
+  queue_.run_until(now);
+
+  // Re-arm TTL expiry timers — derived state, not serialized. Per
+  // subscription (canonical id order): the home broker's timer, the
+  // registry-erase timer, then the other routing brokers ascending — the
+  // same relative order subscribe_with_ttl + the flood produced for a
+  // single subscription. Cross-subscription interleaving at an identical
+  // expiry instant may differ from the original arm order; on the
+  // spanning-tree overlays this is delivery-invariant (each broker's
+  // expiry handling is local, and a re-announcement of a promoted
+  // subscription has exactly one possible source link).
+  for (const SubscriptionId sid : restored_ids) {
+    const LocalSub& local = local_subs_.at(sid);
+    if (!local.expiry) continue;
+    const sim::SimTime expiry = *local.expiry;
+    const auto arm = [this, expiry, sid](BrokerId at) {
+      queue_.schedule_at(expiry, [this, at, sid]() {
+        const auto reannounce = brokers_.at(at)->handle_expiry(sid);
+        for (const auto& [next, promoted] : reannounce) {
+          schedule_reannounce(at, next, promoted);
+        }
+      });
+    };
+    arm(local.home);
+    queue_.schedule_at(expiry, [this, sid]() { local_subs_.erase(sid); });
+    for (std::size_t b = 0; b < broker_count; ++b) {
+      const auto id = static_cast<BrokerId>(b);
+      if (id == local.home) continue;
+      if (brokers_[b]->routes(sid)) arm(id);
+    }
+  }
 }
 
 std::vector<SubscriptionId> BrokerNetwork::expected_recipients(

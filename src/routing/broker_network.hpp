@@ -14,6 +14,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -119,6 +120,34 @@ class BrokerNetwork {
   /// Ground truth: ids of local subscriptions (anywhere) matching `pub`.
   [[nodiscard]] std::vector<core::SubscriptionId> expected_recipients(
       const core::Publication& pub) const;
+
+  /// Serializes the WHOLE overlay — configuration, topology (per-broker
+  /// neighbour lists in their original order), every broker's state
+  /// (routing tables, link coverage stores incl. engine RNG streams,
+  /// publication dedup tokens), client subscription registry with TTL
+  /// expiries, the simulation clock, and the publication token counter —
+  /// into one self-describing buffer ("PSCN" magic + format version; see
+  /// docs/ARCHITECTURE.md, "Wire format").
+  ///
+  /// Precondition: the network is QUIESCENT — between client ops, with no
+  /// cascade in flight (every public entry point runs its cascade to
+  /// completion before returning, so this is the normal state). Pending
+  /// events are then exactly the armed TTL expiry timers, which are
+  /// derived state (local_subs_ expiries x routing tables) and are
+  /// re-armed on restore rather than serialized.
+  [[nodiscard]] std::vector<std::uint8_t> snapshot_all() const;
+
+  /// Rebuilds this network IN PLACE from a snapshot_all buffer: existing
+  /// state (brokers, links, subscriptions, clock, pending events, metrics)
+  /// is discarded and replaced wholesale. Throws wire::DecodeError on a
+  /// malformed buffer, leaving the network in an unspecified but
+  /// destructible state (callers recover by restoring a good snapshot or
+  /// rebuilding from scratch). After a successful restore the network is
+  /// decision-for-decision identical to the snapshotted one: replaying the
+  /// same client ops yields the same delivered sets, messages, and
+  /// suppression decisions. Metrics restart from zero (the churn driver
+  /// splices them across the boundary).
+  void restore_all(std::span<const std::uint8_t> bytes);
 
  private:
   NetworkConfig config_;

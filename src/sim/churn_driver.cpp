@@ -28,6 +28,30 @@ void snapshot_state(const BrokerNetwork& net, ChurnEpoch& epoch) {
   }
 }
 
+/// Applies one trace op to `net` alone — the WAL replay path after a
+/// restore (the oracle already consumed the op in its first life).
+/// Returns the delivered set for publishes (empty otherwise).
+std::vector<core::SubscriptionId> replay_op(BrokerNetwork& net,
+                                            const ChurnOp& op) {
+  net.advance_time(op.time);
+  switch (op.kind) {
+    case ChurnOpKind::kSubscribe:
+      net.subscribe(op.broker, op.sub);
+      break;
+    case ChurnOpKind::kSubscribeTtl:
+      net.subscribe_with_ttl(op.broker, op.sub, op.ttl);
+      break;
+    case ChurnOpKind::kUnsubscribe:
+      net.unsubscribe(op.broker, op.id);
+      break;
+    case ChurnOpKind::kPublish:
+      return net.publish(op.broker, op.pub);
+    case ChurnOpKind::kAdvance:
+      break;
+  }
+  return {};
+}
+
 }  // namespace
 
 ChurnReport ChurnDriver::run(BrokerNetwork& net, const ChurnTrace& trace,
@@ -41,6 +65,19 @@ ChurnReport ChurnDriver::run(BrokerNetwork& net, const ChurnTrace& trace,
   if (!(trace.config.epoch_length > 0)) {
     throw std::invalid_argument("ChurnDriver::run: epoch_length must be > 0");
   }
+  const FailureInjection& failure = options.failure;
+  double snapshot_every = failure.snapshot_every;
+  if (failure.enabled) {
+    if (snapshot_every == 0.0) snapshot_every = trace.config.epoch_length;
+    if (!(snapshot_every > 0)) {
+      throw std::invalid_argument(
+          "ChurnDriver::run: snapshot_every must be >= 0");
+    }
+    if (!(failure.kill_time > 0)) {
+      throw std::invalid_argument(
+          "ChurnDriver::run: failure kill_time must be > 0");
+    }
+  }
   net.reset_metrics();
 
   ChurnReport report;
@@ -49,6 +86,11 @@ ChurnReport ChurnDriver::run(BrokerNetwork& net, const ChurnTrace& trace,
 
   const double epoch_length = trace.config.epoch_length;
   Metrics at_epoch_start;  // metrics totals when the current epoch began
+  // Crash splice state: epoch/run deltas accumulated in incarnations that
+  // died mid-interval (Metrics restart at zero after restore_all).
+  Metrics epoch_accum;
+  Metrics run_accum;
+  Metrics run_base;
   ChurnEpoch epoch;
   double epoch_end = epoch_length;
 
@@ -57,36 +99,100 @@ ChurnReport ChurnDriver::run(BrokerNetwork& net, const ChurnTrace& trace,
     net.advance_time(epoch_end);
     if (options.differential) oracle.advance_time(epoch_end);
     epoch.end_time = epoch_end;
-    const Metrics& m = net.metrics();
-    epoch.delivered = m.notifications_delivered - at_epoch_start.notifications_delivered;
-    epoch.lost = m.notifications_lost - at_epoch_start.notifications_lost;
-    epoch.subscription_messages =
-        m.subscription_messages - at_epoch_start.subscription_messages;
-    epoch.unsubscription_messages =
-        m.unsubscription_messages - at_epoch_start.unsubscription_messages;
-    epoch.publication_messages =
-        m.publication_messages - at_epoch_start.publication_messages;
-    epoch.suppressed =
-        m.subscriptions_suppressed - at_epoch_start.subscriptions_suppressed;
+    const Metrics delta = epoch_accum + (net.metrics() - at_epoch_start);
+    epoch.delivered = delta.notifications_delivered;
+    epoch.lost = delta.notifications_lost;
+    epoch.subscription_messages = delta.subscription_messages;
+    epoch.unsubscription_messages = delta.unsubscription_messages;
+    epoch.publication_messages = delta.publication_messages;
+    epoch.suppressed = delta.subscriptions_suppressed;
     snapshot_state(net, epoch);
     report.peak_routing_entries =
         std::max(report.peak_routing_entries, epoch.routing_entries);
     report.mismatched_publishes += epoch.mismatched_publishes;
     report.epochs.push_back(epoch);
-    at_epoch_start = m;
+    at_epoch_start = net.metrics();
+    epoch_accum = Metrics{};
     epoch = ChurnEpoch{};
     epoch_end += epoch_length;
   };
 
-  for (const ChurnOp& op : trace.ops) {
-    // Close every epoch the trace has moved past. Boundaries are slot
-    // multiples, so they never collide with mid-slot expiry instants.
-    while (op.time > epoch_end) close_epoch();
+  // Failure-injection state: newest snapshot + the WAL since it.
+  std::vector<std::uint8_t> snapshot_bytes;
+  double snapshot_time = 0.0;
+  double next_snapshot = snapshot_every;
+  std::vector<std::size_t> gap_ops;  // indices into trace.ops
+  std::vector<std::vector<core::SubscriptionId>> gap_oracle_sets;
+  bool crashed = false;
+
+  const auto take_snapshot = [&](double at) {
+    net.advance_time(at);
+    if (options.differential) oracle.advance_time(at);
+    snapshot_bytes = net.snapshot_all();
+    snapshot_time = at;
+    gap_ops.clear();
+    gap_oracle_sets.clear();
+    ++report.recovery.snapshots;
+    report.recovery.snapshot_bytes = snapshot_bytes.size();
+  };
+
+  if (failure.enabled) take_snapshot(0.0);  // boot image: a kill before the
+                                            // first cadence point recovers too
+
+  for (std::size_t op_index = 0; op_index < trace.ops.size(); ++op_index) {
+    const ChurnOp& op = trace.ops[op_index];
+    // Interleave epoch closes and snapshot points in time order before
+    // processing the op. Epoch boundaries are slot multiples, so neither
+    // collides with mid-slot expiry instants.
+    while (true) {
+      const bool epoch_due = op.time > epoch_end;
+      const bool snap_due = failure.enabled && next_snapshot <= op.time;
+      if (epoch_due && (!snap_due || epoch_end <= next_snapshot)) {
+        close_epoch();
+      } else if (snap_due) {
+        take_snapshot(next_snapshot);
+        next_snapshot += snapshot_every;
+      } else {
+        break;
+      }
+    }
+
+    // Crash point: wipe the live network, restore the newest snapshot,
+    // replay the WAL gap, then fall through to normal processing of this
+    // op against the recovered state.
+    if (failure.enabled && !crashed && op.time >= failure.kill_time) {
+      crashed = true;
+      ++report.recovery.crashes;
+      report.recovery.recovery_sim_gap = op.time - snapshot_time;
+      const Metrics pre = net.metrics();
+      epoch_accum = epoch_accum + (pre - at_epoch_start);
+      run_accum = run_accum + (pre - run_base);
+      net.restore_all(snapshot_bytes);
+      std::size_t publish_cursor = 0;
+      for (const std::size_t gap_index : gap_ops) {
+        const ChurnOp& gap_op = trace.ops[gap_index];
+        const auto delivered = replay_op(net, gap_op);
+        ++report.recovery.gap_ops_replayed;
+        if (gap_op.kind == ChurnOpKind::kPublish) {
+          ++report.recovery.gap_publishes_replayed;
+          if (options.differential) {
+            if (delivered != gap_oracle_sets.at(publish_cursor)) {
+              ++report.recovery.replay_mismatches;
+            }
+            ++publish_cursor;
+          }
+        }
+      }
+      // Replay traffic re-derives state; exclude it from epochs/totals.
+      at_epoch_start = net.metrics();
+      run_base = net.metrics();
+    }
 
     net.advance_time(op.time);
     if (options.differential) oracle.advance_time(op.time);
     ++epoch.ops;
     ++report.ops;
+    if (failure.enabled) gap_ops.push_back(op_index);
     switch (op.kind) {
       case ChurnOpKind::kSubscribe:
         net.subscribe(op.broker, op.sub);
@@ -109,6 +215,7 @@ ChurnReport ChurnDriver::run(BrokerNetwork& net, const ChurnTrace& trace,
         if (options.differential) {
           oracle.publish(op.pub, oracle_delivered);
           if (delivered != oracle_delivered) ++epoch.mismatched_publishes;
+          if (failure.enabled) gap_oracle_sets.push_back(oracle_delivered);
         }
         break;
       }
@@ -119,7 +226,7 @@ ChurnReport ChurnDriver::run(BrokerNetwork& net, const ChurnTrace& trace,
   // Close the trailing (possibly partial) epoch at its natural boundary.
   close_epoch();
 
-  report.totals = net.metrics();
+  report.totals = run_accum + (net.metrics() - run_base);
   report.final_live_subscriptions = net.local_subscription_count();
   return report;
 }

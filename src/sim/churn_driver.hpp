@@ -55,6 +55,21 @@ struct ChurnEpoch {
   }
 };
 
+/// Crash/recovery bookkeeping of a failure-injection run (all zero when
+/// failure injection is off).
+struct RecoveryStats {
+  std::size_t snapshots = 0;        ///< snapshots taken (incl. the boot image)
+  std::size_t snapshot_bytes = 0;   ///< size of the most recent snapshot
+  std::size_t crashes = 0;          ///< kill+restore cycles executed (0 or 1)
+  std::size_t gap_ops_replayed = 0; ///< WAL ops replayed after restore
+  std::size_t gap_publishes_replayed = 0;
+  /// Replayed publications whose delivered set differed from the oracle
+  /// set recorded when the op first ran — any nonzero value means restore
+  /// was not decision-identical (counted only with differential on).
+  std::uint64_t replay_mismatches = 0;
+  double recovery_sim_gap = 0.0;    ///< sim-seconds between snapshot and kill
+};
+
 /// Whole-run result: the epoch series plus totals.
 struct ChurnReport {
   std::vector<ChurnEpoch> epochs;
@@ -64,14 +79,44 @@ struct ChurnReport {
   std::uint64_t mismatched_publishes = 0;  ///< 0 unless differential found drift
   std::size_t peak_routing_entries = 0;
   std::size_t final_live_subscriptions = 0;
+  RecoveryStats recovery;
 };
 
 class ChurnDriver {
  public:
+  /// Failure-injection mode: the broker process is killed mid-churn and
+  /// recovered from its last snapshot plus a WAL-style replay of the
+  /// client ops issued since (the standard snapshot + op-log recovery
+  /// discipline). Concretely the driver
+  ///   1. takes a BrokerNetwork::snapshot_all boot image at t=0 and a new
+  ///      snapshot every `snapshot_every` sim-seconds, remembering the
+  ///      client ops (and, with differential on, the oracle delivered set
+  ///      of every publish) issued since the newest snapshot;
+  ///   2. at the first op at or after `kill_time`, discards the entire
+  ///      live network state ("crash"), rebuilds it in place from the
+  ///      newest snapshot, and replays the remembered gap ops — checking
+  ///      each replayed publish against its recorded oracle set;
+  ///   3. resumes the trace. Post-recovery publishes keep being checked
+  ///      against the live oracle, so zero loss / zero ghost routes after
+  ///      recovery is exactly `mismatched_publishes == 0 &&
+  ///      recovery.replay_mismatches == 0 && totals.notifications_lost == 0`.
+  /// Replayed traffic is excluded from epochs and totals (it re-derives
+  /// state, it is not client-visible delivery); RecoveryStats counts it.
+  struct FailureInjection {
+    bool enabled = false;
+    /// Snapshot cadence in sim-seconds; 0 uses the trace's epoch_length.
+    /// See docs/TUNING.md for the cadence / replay-cost trade-off.
+    double snapshot_every = 0.0;
+    /// Sim time of the crash; must be > 0 and < the trace duration to
+    /// actually fire (the first op at or after it triggers the kill).
+    double kill_time = 0.0;
+  };
+
   struct Options {
     /// Replay the trace against a FlatOracle in lockstep and count
     /// publications whose delivered set diverges from the network's.
     bool differential = false;
+    FailureInjection failure;
   };
 
   /// Replays `trace` against `net`. The network must have

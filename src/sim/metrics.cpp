@@ -20,6 +20,17 @@ Metrics operator+(const Metrics& a, const Metrics& b) noexcept {
   return sum;
 }
 
+Metrics operator-(const Metrics& a, const Metrics& b) noexcept {
+  Metrics diff = a;
+  diff.subscription_messages -= b.subscription_messages;
+  diff.unsubscription_messages -= b.unsubscription_messages;
+  diff.publication_messages -= b.publication_messages;
+  diff.notifications_delivered -= b.notifications_delivered;
+  diff.notifications_lost -= b.notifications_lost;
+  diff.subscriptions_suppressed -= b.subscriptions_suppressed;
+  return diff;
+}
+
 std::ostream& operator<<(std::ostream& out, const Metrics& m) {
   return out << "sub_msgs=" << m.subscription_messages
              << " unsub_msgs=" << m.unsubscription_messages

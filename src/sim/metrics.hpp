@@ -27,6 +27,12 @@ struct Metrics {
 
 Metrics operator+(const Metrics& a, const Metrics& b) noexcept;
 
+/// Componentwise difference. Caller guarantees a >= b componentwise (the
+/// counters are monotone within one network incarnation, so "later minus
+/// earlier" always qualifies); used by the churn driver to splice epoch
+/// deltas across a crash/restore boundary.
+Metrics operator-(const Metrics& a, const Metrics& b) noexcept;
+
 std::ostream& operator<<(std::ostream& out, const Metrics& m);
 
 }  // namespace psc::sim

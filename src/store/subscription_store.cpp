@@ -412,6 +412,78 @@ std::vector<Subscription> SubscriptionStore::active_snapshot() const {
   return active_;
 }
 
+SubscriptionStore::Snapshot SubscriptionStore::export_snapshot() const {
+  Snapshot snapshot;
+  snapshot.actives = active_;  // slot order preserved by construction
+  snapshot.covered.reserve(covered_.size());
+  for (const auto& [id, entry] : covered_) {
+    snapshot.covered.push_back({id, entry.sub, entry.coverers});
+  }
+  std::sort(snapshot.covered.begin(), snapshot.covered.end(),
+            [](const auto& a, const auto& b) { return a.id < b.id; });
+  snapshot.children.reserve(children_.size());
+  for (const auto& [coverer, kids] : children_) {
+    snapshot.children.push_back({coverer, kids});
+  }
+  std::sort(snapshot.children.begin(), snapshot.children.end(),
+            [](const auto& a, const auto& b) { return a.coverer < b.coverer; });
+  snapshot.group_checks = group_checks_;
+  snapshot.engine_rng_state = engine_.rng().state();
+  snapshot.use_index = config_.use_index;
+  return snapshot;
+}
+
+void SubscriptionStore::import_snapshot(const Snapshot& snapshot) {
+  if (!active_.empty() || !covered_.empty()) {
+    throw std::logic_error(
+        "SubscriptionStore::import_snapshot: store is not empty");
+  }
+  // The runtime use_index flag travels with the state: a store that
+  // dropped its index on a mixed-arity stream must stay on the flat scans.
+  config_.use_index = snapshot.use_index;
+  interval_index_.reset();
+
+  active_ = snapshot.actives;
+  active_index_.reserve(active_.size());
+  for (std::size_t slot = 0; slot < active_.size(); ++slot) {
+    const SubscriptionId id = active_[slot].id();
+    if (id == core::kInvalidSubscriptionId || !active_index_.emplace(id, slot).second) {
+      throw std::invalid_argument(
+          "SubscriptionStore::import_snapshot: invalid or duplicate active id");
+    }
+    // Rebuild the index in slot order; the store normalizes candidate
+    // emission to slot order anyway, so the index's internal tiering state
+    // never influences decisions (property-tested in tiered_index_test).
+    index_insert_active(active_[slot]);
+  }
+  for (const Snapshot::CoveredRecord& record : snapshot.covered) {
+    if (record.id == core::kInvalidSubscriptionId ||
+        active_index_.count(record.id) > 0) {
+      throw std::invalid_argument(
+          "SubscriptionStore::import_snapshot: invalid covered id");
+    }
+    if (!covered_.emplace(record.id, CoveredEntry{record.sub, record.coverers})
+             .second) {
+      throw std::invalid_argument(
+          "SubscriptionStore::import_snapshot: duplicate covered id");
+    }
+  }
+  children_.reserve(snapshot.children.size());
+  for (const Snapshot::DagRecord& record : snapshot.children) {
+    if (!children_.emplace(record.coverer, record.covered_ids).second) {
+      throw std::invalid_argument(
+          "SubscriptionStore::import_snapshot: duplicate DAG coverer");
+    }
+  }
+  group_checks_ = snapshot.group_checks;
+  engine_.rng().set_state(snapshot.engine_rng_state);
+  // Scratch/epoch state restarts from zero: covered entries were rebuilt
+  // with seen_epoch = 0 and match_epoch_ is already 0 relative to them.
+  match_epoch_ = 0;
+  covered_examined_ = 0;
+  last_active_examined_ = 0;
+}
+
 bool SubscriptionStore::contains(SubscriptionId id) const {
   return active_index_.count(id) > 0 || covered_.count(id) > 0;
 }

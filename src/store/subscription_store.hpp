@@ -19,6 +19,7 @@
 // coverage for each promoted candidate.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -172,6 +173,49 @@ class SubscriptionStore {
   [[nodiscard]] std::vector<core::Subscription> active_snapshot() const;
   [[nodiscard]] bool contains(core::SubscriptionId id) const;
   [[nodiscard]] bool is_active(core::SubscriptionId id) const;
+
+  /// Complete serializable state of a store: everything a fresh store of
+  /// the same (config, seed) needs to continue DECISION-FOR-DECISION
+  /// identically to the original — active slot order (coverage policies
+  /// iterate candidates in slot order), the covered set with its coverer
+  /// lists, the cover-DAG adjacency in its original per-coverer order
+  /// (promotion on erase walks it in order), the engine RNG state (group
+  /// checks consume the stream), and the live use_index flag (mixed-arity
+  /// streams may have dropped the index at runtime). Derived structures
+  /// (slot map, interval index) are rebuilt on import, not serialized.
+  /// The binary codec for this struct lives in wire/snapshot.hpp.
+  struct Snapshot {
+    /// Actives in slot order (ids ride inside the subscriptions).
+    std::vector<core::Subscription> actives;
+    struct CoveredRecord {
+      core::SubscriptionId id = 0;
+      core::Subscription sub;
+      std::vector<core::SubscriptionId> coverers;  ///< original order
+    };
+    /// Covered set, sorted by id (map order is not meaningful).
+    std::vector<CoveredRecord> covered;
+    struct DagRecord {
+      core::SubscriptionId coverer = 0;
+      std::vector<core::SubscriptionId> covered_ids;  ///< original order
+    };
+    /// Cover-DAG adjacency, sorted by coverer id; each list keeps its
+    /// original order because erase-time promotion replays it in order.
+    std::vector<DagRecord> children;
+    std::uint64_t group_checks = 0;
+    std::array<std::uint64_t, 4> engine_rng_state{};
+    bool use_index = true;
+  };
+
+  /// Captures the current state (const; does not disturb decisions).
+  [[nodiscard]] Snapshot export_snapshot() const;
+
+  /// Rebuilds this store from `snapshot`. Precondition: the store is empty
+  /// and was constructed with the same (config, seed) as the exporting
+  /// store — violations throw std::logic_error / std::invalid_argument.
+  /// Afterwards every future decision (insert coverage verdicts, erase
+  /// promotions, match outputs and their order) is identical to the
+  /// original store's.
+  void import_snapshot(const Snapshot& snapshot);
 
   [[nodiscard]] const StoreConfig& config() const noexcept { return config_; }
 

@@ -7,6 +7,7 @@
 // simulation randomness.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 
@@ -78,6 +79,18 @@ class Rng {
   [[nodiscard]] Rng split() noexcept {
     std::uint64_t s = (*this)();
     return Rng(splitmix64(s));
+  }
+
+  /// Full 256-bit generator state, for checkpoint/restore: a generator
+  /// restored via set_state continues the exact output stream of the one
+  /// captured via state() (the broker snapshot format relies on this to
+  /// keep probabilistic coverage decisions replay-identical).
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const noexcept {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+
+  void set_state(const std::array<std::uint64_t, 4>& state) noexcept {
+    for (std::size_t i = 0; i < 4; ++i) state_[i] = state[i];
   }
 
  private:

@@ -1,0 +1,202 @@
+// ByteWriter / ByteReader — the allocation-conscious binary buffer layer
+// every wire codec in src/wire/ builds on.
+//
+// Encoding primitives (all little-endian, platform-independent):
+//   * fixed-width u8 / u32 / u64 for fields whose size never varies
+//     (format versions, RNG state words, IEEE doubles);
+//   * LEB128 varints for counts, ids, and enum tags — the dominant field
+//     classes in subscription/publication traffic, where small values are
+//     overwhelmingly common (a 64-bit id below 128 costs one byte);
+//   * f64 as the IEEE-754 bit pattern in a fixed u64 (NaN/inf preserved
+//     bit-exactly, which the Interval codec relies on for the unbounded
+//     [-inf, +inf] "everything" predicate).
+//
+// Error model: ByteReader NEVER reads past the span it was handed. Every
+// truncated, overlong, or otherwise malformed read throws wire::DecodeError
+// (derived from std::runtime_error) and leaves the reader positioned where
+// the failure was detected — no partial object escapes, no UB on hostile
+// input (property-tested under ASan/UBSan in tests/wire_test.cpp).
+//
+// Allocation model: ByteWriter appends to one caller-visible
+// std::vector<std::uint8_t>; reserve() up front and a steady-state encode
+// performs no further allocations. ByteReader is a non-owning view.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace psc::wire {
+
+/// Thrown on any malformed/truncated decode. Catching this (and only this)
+/// is the supported way to reject a corrupt buffer.
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Append-only encoder over a growable byte vector.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void reserve(std::size_t bytes) { bytes_.reserve(bytes_.size() + bytes); }
+
+  void u8(std::uint8_t value) { bytes_.push_back(value); }
+
+  void u32(std::uint32_t value) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      bytes_.push_back(static_cast<std::uint8_t>(value >> shift));
+    }
+  }
+
+  void u64(std::uint64_t value) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      bytes_.push_back(static_cast<std::uint8_t>(value >> shift));
+    }
+  }
+
+  /// LEB128: 7 value bits per byte, high bit = continuation. At most 10
+  /// bytes for a 64-bit value; values < 128 cost one byte.
+  void varint(std::uint64_t value) {
+    while (value >= 0x80) {
+      bytes_.push_back(static_cast<std::uint8_t>(value) | 0x80);
+      value >>= 7;
+    }
+    bytes_.push_back(static_cast<std::uint8_t>(value));
+  }
+
+  /// IEEE-754 bit pattern as fixed u64 (bit-exact round trip incl. ±inf).
+  void f64(double value) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    u64(bits);
+  }
+
+  /// Length-prefixed raw bytes (varint count + payload).
+  void bytes(std::span<const std::uint8_t> payload) {
+    varint(payload.size());
+    bytes_.insert(bytes_.end(), payload.begin(), payload.end());
+  }
+
+  /// Length-prefixed UTF-8 string.
+  void string(std::string_view text) {
+    varint(text.size());
+    bytes_.insert(bytes_.end(), text.begin(), text.end());
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& buffer() const noexcept {
+    return bytes_;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() noexcept {
+    return std::move(bytes_);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return bytes_.size(); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Bounds-checked decoder over a non-owning byte span.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  [[nodiscard]] bool at_end() const noexcept { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+
+  [[nodiscard]] std::uint8_t u8() {
+    need(1, "u8");
+    return data_[pos_++];
+  }
+
+  [[nodiscard]] std::uint32_t u32() {
+    need(4, "u32");
+    std::uint32_t value = 0;
+    for (int shift = 0; shift < 32; shift += 8) {
+      value |= static_cast<std::uint32_t>(data_[pos_++]) << shift;
+    }
+    return value;
+  }
+
+  [[nodiscard]] std::uint64_t u64() {
+    need(8, "u64");
+    std::uint64_t value = 0;
+    for (int shift = 0; shift < 64; shift += 8) {
+      value |= static_cast<std::uint64_t>(data_[pos_++]) << shift;
+    }
+    return value;
+  }
+
+  /// Rejects both truncation and non-canonical over-long encodings (more
+  /// than 10 bytes, or bits beyond the 64th) — a fuzzer favourite.
+  [[nodiscard]] std::uint64_t varint() {
+    std::uint64_t value = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      need(1, "varint");
+      const std::uint8_t byte = data_[pos_++];
+      if (shift == 63 && (byte & 0xfe) != 0) {
+        throw DecodeError("wire: varint overflows 64 bits");
+      }
+      value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) return value;
+    }
+    throw DecodeError("wire: varint longer than 10 bytes");
+  }
+
+  [[nodiscard]] double f64() {
+    const std::uint64_t bits = u64();
+    double value;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+  }
+
+  /// Length-prefixed raw bytes; the returned span aliases the input.
+  [[nodiscard]] std::span<const std::uint8_t> bytes() {
+    const std::uint64_t count = varint();
+    need(count, "bytes payload");
+    const auto view = data_.subspan(pos_, count);
+    pos_ += count;
+    return view;
+  }
+
+  [[nodiscard]] std::string string() {
+    const auto view = bytes();
+    return std::string(reinterpret_cast<const char*>(view.data()), view.size());
+  }
+
+  /// Decodes a count that prefixes `per_element` (>= 1) bytes per element
+  /// and rejects counts the remaining buffer cannot possibly satisfy —
+  /// the guard that keeps a corrupted length byte from turning into a
+  /// multi-gigabyte reserve() before the per-element reads would fail.
+  [[nodiscard]] std::size_t count(std::size_t per_element = 1) {
+    const std::uint64_t n = varint();
+    if (per_element == 0) per_element = 1;
+    if (n > remaining() / per_element) {
+      throw DecodeError("wire: element count exceeds remaining buffer");
+    }
+    return static_cast<std::size_t>(n);
+  }
+
+  /// Throws unless the next `bytes` bytes exist.
+  void need(std::size_t bytes, const char* what) const {
+    if (bytes > remaining()) {
+      throw DecodeError(std::string("wire: truncated ") + what + " at offset " +
+                        std::to_string(pos_));
+    }
+  }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace psc::wire

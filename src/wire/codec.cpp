@@ -1,0 +1,261 @@
+#include "wire/codec.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace psc::wire {
+
+using core::Interval;
+using core::Publication;
+using core::Subscription;
+using workload::ChurnConfig;
+using workload::ChurnOp;
+using workload::ChurnOpKind;
+using workload::ChurnTrace;
+
+// --- core geometry ----------------------------------------------------
+
+void write_interval(ByteWriter& out, const Interval& iv) {
+  out.f64(iv.lo);
+  out.f64(iv.hi);
+}
+
+Interval read_interval(ByteReader& in) {
+  const double lo = in.f64();
+  const double hi = in.f64();
+  // A stored predicate is never empty and never NaN; both states only
+  // arise from corruption (or an empty-marker leaking across the wire).
+  if (std::isnan(lo) || std::isnan(hi) || lo > hi) {
+    throw DecodeError("wire: interval with NaN or inverted bounds");
+  }
+  return Interval{lo, hi};
+}
+
+void write_subscription(ByteWriter& out, const Subscription& sub) {
+  out.varint(sub.id());
+  out.varint(sub.attribute_count());
+  for (const Interval& iv : sub.ranges()) write_interval(out, iv);
+}
+
+Subscription read_subscription(ByteReader& in) {
+  const auto id = in.varint();
+  const std::size_t arity = in.count(16);  // two f64 per interval
+  std::vector<Interval> ranges;
+  ranges.reserve(arity);
+  for (std::size_t i = 0; i < arity; ++i) ranges.push_back(read_interval(in));
+  try {
+    return Subscription(std::move(ranges), id);
+  } catch (const std::invalid_argument& error) {
+    // Constructor-level validation (empty range) becomes a decode error:
+    // the bytes, not the caller, are at fault.
+    throw DecodeError(std::string("wire: invalid subscription: ") + error.what());
+  }
+}
+
+void write_publication(ByteWriter& out, const Publication& pub) {
+  out.varint(pub.id());
+  out.varint(pub.attribute_count());
+  for (const core::Value value : pub.values()) out.f64(value);
+}
+
+Publication read_publication(ByteReader& in) {
+  const auto id = in.varint();
+  const std::size_t arity = in.count(8);  // one f64 per attribute
+  std::vector<core::Value> values;
+  values.reserve(arity);
+  for (std::size_t i = 0; i < arity; ++i) {
+    const double value = in.f64();
+    if (std::isnan(value)) {
+      throw DecodeError("wire: publication with NaN attribute value");
+    }
+    values.push_back(value);
+  }
+  return Publication(std::move(values), id);
+}
+
+// --- routing announcements --------------------------------------------
+
+void write_announcement(ByteWriter& out, const Announcement& msg) {
+  out.u8(static_cast<std::uint8_t>(msg.kind));
+  out.varint(msg.from);
+  switch (msg.kind) {
+    case Announcement::Kind::kSubscribe:
+      write_subscription(out, msg.sub);
+      out.u8(msg.expiry.has_value() ? 1 : 0);
+      if (msg.expiry) out.f64(*msg.expiry);
+      break;
+    case Announcement::Kind::kUnsubscribe:
+      out.varint(msg.id);
+      break;
+    case Announcement::Kind::kPublication:
+      write_publication(out, msg.pub);
+      out.varint(msg.token);
+      break;
+  }
+}
+
+Announcement read_announcement(ByteReader& in) {
+  Announcement msg;
+  const std::uint8_t kind = in.u8();
+  if (kind < 1 || kind > 3) {
+    throw DecodeError("wire: unknown announcement kind " + std::to_string(kind));
+  }
+  msg.kind = static_cast<Announcement::Kind>(kind);
+  msg.from = static_cast<std::uint32_t>(in.varint());
+  switch (msg.kind) {
+    case Announcement::Kind::kSubscribe: {
+      msg.sub = read_subscription(in);
+      const std::uint8_t has_expiry = in.u8();
+      if (has_expiry > 1) throw DecodeError("wire: bad expiry flag");
+      if (has_expiry) msg.expiry = in.f64();
+      break;
+    }
+    case Announcement::Kind::kUnsubscribe:
+      msg.id = in.varint();
+      break;
+    case Announcement::Kind::kPublication:
+      msg.pub = read_publication(in);
+      msg.token = in.varint();
+      break;
+  }
+  return msg;
+}
+
+// --- churn-trace records ----------------------------------------------
+
+void write_churn_op(ByteWriter& out, const ChurnOp& op) {
+  out.u8(static_cast<std::uint8_t>(op.kind));
+  out.f64(op.time);
+  out.varint(op.broker);
+  switch (op.kind) {
+    case ChurnOpKind::kSubscribe:
+      write_subscription(out, op.sub);
+      break;
+    case ChurnOpKind::kSubscribeTtl:
+      write_subscription(out, op.sub);
+      out.f64(op.ttl);
+      break;
+    case ChurnOpKind::kUnsubscribe:
+      out.varint(op.id);
+      break;
+    case ChurnOpKind::kPublish:
+      write_publication(out, op.pub);
+      break;
+    case ChurnOpKind::kAdvance:
+      break;
+  }
+}
+
+ChurnOp read_churn_op(ByteReader& in) {
+  ChurnOp op;
+  const std::uint8_t kind = in.u8();
+  if (kind > static_cast<std::uint8_t>(ChurnOpKind::kAdvance)) {
+    throw DecodeError("wire: unknown churn op kind " + std::to_string(kind));
+  }
+  op.kind = static_cast<ChurnOpKind>(kind);
+  op.time = in.f64();
+  if (std::isnan(op.time)) throw DecodeError("wire: NaN op time");
+  op.broker = static_cast<routing::BrokerId>(in.varint());
+  switch (op.kind) {
+    case ChurnOpKind::kSubscribe:
+      op.sub = read_subscription(in);
+      break;
+    case ChurnOpKind::kSubscribeTtl:
+      op.sub = read_subscription(in);
+      op.ttl = in.f64();
+      if (!(op.ttl > 0)) throw DecodeError("wire: non-positive TTL");
+      break;
+    case ChurnOpKind::kUnsubscribe:
+      op.id = in.varint();
+      break;
+    case ChurnOpKind::kPublish:
+      op.pub = read_publication(in);
+      break;
+    case ChurnOpKind::kAdvance:
+      break;
+  }
+  return op;
+}
+
+namespace {
+
+void write_churn_config(ByteWriter& out, const ChurnConfig& config) {
+  out.varint(config.attribute_count);
+  out.f64(config.domain_lo);
+  out.f64(config.domain_hi);
+  out.f64(config.subscription_rate);
+  out.f64(config.publication_rate);
+  out.f64(config.ttl_fraction);
+  out.f64(config.immortal_fraction);
+  out.f64(config.mean_lifetime);
+  out.varint(config.hotspot_count);
+  out.f64(config.zipf_skew);
+  out.f64(config.hotspot_radius_fraction);
+  out.f64(config.width_fraction_lo);
+  out.f64(config.width_fraction_hi);
+  out.f64(config.duration);
+  out.f64(config.slot);
+  out.f64(config.link_latency);
+  out.f64(config.epoch_length);
+}
+
+ChurnConfig read_churn_config(ByteReader& in) {
+  ChurnConfig config;
+  config.attribute_count = static_cast<std::size_t>(in.varint());
+  config.domain_lo = in.f64();
+  config.domain_hi = in.f64();
+  config.subscription_rate = in.f64();
+  config.publication_rate = in.f64();
+  config.ttl_fraction = in.f64();
+  config.immortal_fraction = in.f64();
+  config.mean_lifetime = in.f64();
+  config.hotspot_count = static_cast<std::size_t>(in.varint());
+  config.zipf_skew = in.f64();
+  config.hotspot_radius_fraction = in.f64();
+  config.width_fraction_lo = in.f64();
+  config.width_fraction_hi = in.f64();
+  config.duration = in.f64();
+  config.slot = in.f64();
+  config.link_latency = in.f64();
+  config.epoch_length = in.f64();
+  return config;
+}
+
+}  // namespace
+
+void write_churn_trace(ByteWriter& out, const ChurnTrace& trace) {
+  out.u32(kTraceMagic);
+  out.u32(kCodecVersion);
+  write_churn_config(out, trace.config);
+  out.varint(trace.broker_count);
+  out.u64(trace.seed);
+  out.varint(trace.publish_count);
+  out.varint(trace.subscribe_count);
+  out.varint(trace.ops.size());
+  for (const ChurnOp& op : trace.ops) write_churn_op(out, op);
+}
+
+ChurnTrace read_churn_trace(ByteReader& in) {
+  if (in.u32() != kTraceMagic) {
+    throw DecodeError("wire: not a churn trace (bad magic)");
+  }
+  const std::uint32_t version = in.u32();
+  if (version != kCodecVersion) {
+    throw DecodeError("wire: unsupported trace version " +
+                      std::to_string(version));
+  }
+  ChurnTrace trace;
+  trace.config = read_churn_config(in);
+  trace.broker_count = static_cast<std::size_t>(in.varint());
+  trace.seed = in.u64();
+  trace.publish_count = static_cast<std::size_t>(in.varint());
+  trace.subscribe_count = static_cast<std::size_t>(in.varint());
+  const std::size_t op_count = in.count(10);  // kind + time + broker floor
+  trace.ops.reserve(op_count);
+  for (std::size_t i = 0; i < op_count; ++i) {
+    trace.ops.push_back(read_churn_op(in));
+  }
+  return trace;
+}
+
+}  // namespace psc::wire

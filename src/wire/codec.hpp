@@ -1,0 +1,106 @@
+// Wire codecs — versioned binary round trips for the repo's message-level
+// vocabulary: Interval, Subscription, Publication, routing announcements,
+// and churn-trace records. This is the wire representation a future
+// cross-process/socket transport speaks; today it feeds the broker
+// snapshot format (wire/snapshot.hpp) and the trace artifacts the nightly
+// soaks archive.
+//
+// Conventions (see docs/ARCHITECTURE.md, "Wire format" for the full
+// layout and compatibility rules):
+//   * ids, counts, arities, and enum tags are varints; interval bounds and
+//     publication values are IEEE-754 bit patterns (f64) — ±inf round-trips
+//     bit-exactly, which the unbounded "everything" predicate needs;
+//   * every read_* validates semantic invariants, not just framing: an
+//     empty interval inside a subscription, an unknown enum tag, or a
+//     count the buffer cannot hold all throw wire::DecodeError (never UB —
+//     property-tested under ASan/UBSan);
+//   * self-contained streams (traces, snapshots) carry a magic + format
+//     version header; the element codecs below are headerless building
+//     blocks and version with their enclosing stream.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+
+#include "core/publication.hpp"
+#include "core/subscription.hpp"
+#include "wire/byte_buffer.hpp"
+#include "workload/churn_workload.hpp"
+
+namespace psc::wire {
+
+/// Format version of the headerless element codecs in this file. Bumped on
+/// any layout change; embedded by the stream-level headers (trace,
+/// snapshot) so readers can reject encodings they do not speak.
+inline constexpr std::uint32_t kCodecVersion = 1;
+
+/// Magic prefix of a serialized churn trace ("PSCT" little-endian).
+inline constexpr std::uint32_t kTraceMagic = 0x54435350U;
+
+// --- core geometry ----------------------------------------------------
+
+void write_interval(ByteWriter& out, const core::Interval& iv);
+/// Accepts any lo <= hi (incl. ±inf); throws DecodeError on NaN bounds or
+/// an empty (lo > hi) interval — no stored predicate is ever either.
+[[nodiscard]] core::Interval read_interval(ByteReader& in);
+
+void write_subscription(ByteWriter& out, const core::Subscription& sub);
+[[nodiscard]] core::Subscription read_subscription(ByteReader& in);
+
+void write_publication(ByteWriter& out, const core::Publication& pub);
+[[nodiscard]] core::Publication read_publication(ByteReader& in);
+
+// --- routing announcements --------------------------------------------
+
+/// One link-level routing message — the unit a cross-process transport
+/// would frame per hop. Mirrors what BrokerNetwork moves over its logical
+/// links: subscription floods (with optional TTL expiry, carried so the
+/// receiver arms its own timer), unsubscription floods, and publication
+/// forwards (with the network-assigned cycle-suppression token).
+struct Announcement {
+  enum class Kind : std::uint8_t {
+    kSubscribe = 1,    ///< sub (+ optional absolute expiry)
+    kUnsubscribe = 2,  ///< id only
+    kPublication = 3,  ///< pub + token
+  };
+
+  Kind kind = Kind::kSubscribe;
+  std::uint32_t from = 0;  ///< sending broker (routing::BrokerId)
+  core::Subscription sub;                 ///< kSubscribe payload
+  std::optional<double> expiry;           ///< kSubscribe TTL expiry, absolute
+  core::SubscriptionId id = 0;            ///< kUnsubscribe target
+  core::Publication pub;                  ///< kPublication payload
+  std::uint64_t token = 0;                ///< kPublication dedup token
+
+  friend bool operator==(const Announcement& a, const Announcement& b) {
+    if (a.kind != b.kind || a.from != b.from) return false;
+    switch (a.kind) {
+      case Kind::kSubscribe:
+        return a.sub == b.sub && a.sub.id() == b.sub.id() && a.expiry == b.expiry;
+      case Kind::kUnsubscribe:
+        return a.id == b.id;
+      case Kind::kPublication:
+        return a.pub.id() == b.pub.id() && a.token == b.token &&
+               std::equal(a.pub.values().begin(), a.pub.values().end(),
+                          b.pub.values().begin(), b.pub.values().end());
+    }
+    return false;
+  }
+};
+
+void write_announcement(ByteWriter& out, const Announcement& msg);
+[[nodiscard]] Announcement read_announcement(ByteReader& in);
+
+// --- churn-trace records ----------------------------------------------
+
+void write_churn_op(ByteWriter& out, const workload::ChurnOp& op);
+[[nodiscard]] workload::ChurnOp read_churn_op(ByteReader& in);
+
+/// Self-describing trace stream: magic, version, the generating config,
+/// then the op records. Round-trips everything ChurnDriver consumes, so an
+/// archived nightly trace replays bit-identically.
+void write_churn_trace(ByteWriter& out, const workload::ChurnTrace& trace);
+[[nodiscard]] workload::ChurnTrace read_churn_trace(ByteReader& in);
+
+}  // namespace psc::wire

@@ -127,8 +127,10 @@ TEST(ChurnDriver, ReplayIsDeterministic) {
   const ChurnTrace trace = generate_churn_trace(config, 9, 11);
   auto net_a = BrokerNetwork::figure1_topology();
   auto net_b = BrokerNetwork::figure1_topology();
-  const ChurnReport a = ChurnDriver::run(net_a, trace, {.differential = true});
-  const ChurnReport b = ChurnDriver::run(net_b, trace, {.differential = true});
+  ChurnDriver::Options options;
+  options.differential = true;
+  const ChurnReport a = ChurnDriver::run(net_a, trace, options);
+  const ChurnReport b = ChurnDriver::run(net_b, trace, options);
   EXPECT_EQ(a.ops, b.ops);
   EXPECT_EQ(a.publishes, b.publishes);
   EXPECT_EQ(a.totals.total_messages(), b.totals.total_messages());
@@ -184,7 +186,9 @@ TEST(ChurnDriver, ExactPolicySoakIsLossFreeWithLiveChurn) {
   net_config.store.policy = store::CoveragePolicy::kExact;
   const ChurnTrace trace = generate_churn_trace(config, 9, 2006);
   auto net = BrokerNetwork::figure1_topology(net_config);
-  const ChurnReport report = ChurnDriver::run(net, trace, {.differential = true});
+  ChurnDriver::Options options;
+  options.differential = true;
+  const ChurnReport report = ChurnDriver::run(net, trace, options);
   EXPECT_EQ(report.totals.notifications_lost, 0u);
   EXPECT_EQ(report.mismatched_publishes, 0u);
   EXPECT_GT(report.totals.notifications_delivered, 0u);

@@ -39,6 +39,12 @@ std::string policy_name(store::CoveragePolicy policy) {
   return std::string(store::to_string(policy));
 }
 
+sim::ChurnDriver::Options differential_options() {
+  sim::ChurnDriver::Options options;
+  options.differential = true;
+  return options;
+}
+
 /// Exact coverage configurations: every decision is definite, so the
 /// network may never lose a notification on any topology or trace.
 const store::CoveragePolicy kExactPolicies[] = {
@@ -58,7 +64,7 @@ TEST(NetworkDifferential, ChurnTracesMatchOracleOnAllTopologiesAndSeeds) {
         ASSERT_GE(trace.ops.size(), 500u) << topology.name;
         auto net = topology.build(with_policy(policy));
         const sim::ChurnReport report =
-            sim::ChurnDriver::run(net, trace, {.differential = true});
+            sim::ChurnDriver::run(net, trace, differential_options());
         const std::string label = topology.name + "/" + policy_name(policy) +
                                   "/seed" + std::to_string(seed);
         EXPECT_EQ(report.mismatched_publishes, 0u) << label;
@@ -83,7 +89,7 @@ TEST(NetworkDifferential, GroupPolicyStaysOracleCleanOnPinnedSeeds) {
         workload::generate_churn_trace(churn, topology.brokers, 7);
     auto net = topology.build(with_policy(store::CoveragePolicy::kGroup));
     const sim::ChurnReport report =
-        sim::ChurnDriver::run(net, trace, {.differential = true});
+        sim::ChurnDriver::run(net, trace, differential_options());
     EXPECT_EQ(report.mismatched_publishes, 0u) << topology.name;
     EXPECT_EQ(report.totals.notifications_lost, 0u) << topology.name;
   }
