@@ -8,18 +8,67 @@
 // and prints an aligned table with the same rows/series the paper plots.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "util/flags.hpp"
+#include "util/json_writer.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table_writer.hpp"
 #include "util/timer.hpp"
 
 namespace psc::bench {
+
+/// One timed section in the shared regression-gate JSON schema: every
+/// harness that feeds scripts/check_bench.py (perf_gate, index_scaling)
+/// emits sections in exactly this shape.
+struct SectionResult {
+  std::string name;
+  std::uint64_t ops = 0;
+  double ops_per_sec = 0.0;
+  double p50_ns = 0.0;
+  double p99_ns = 0.0;
+};
+
+/// Times `op(i)` for i in [0, ops), returning throughput and latency
+/// percentiles. Per-op timing: the measured operations are microsecond-
+/// scale, so the ~20ns clock overhead is in the noise.
+template <typename Op>
+SectionResult time_section(const std::string& name, std::uint64_t ops, Op&& op) {
+  using clock = std::chrono::steady_clock;
+  util::SampleSet latencies;
+  latencies.reserve(ops);
+  const auto begin = clock::now();
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    const auto t0 = clock::now();
+    op(i);
+    const auto t1 = clock::now();
+    latencies.add(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()));
+  }
+  const double elapsed =
+      std::chrono::duration<double>(clock::now() - begin).count();
+  SectionResult result;
+  result.name = name;
+  result.ops = ops;
+  result.ops_per_sec = elapsed > 0 ? static_cast<double>(ops) / elapsed : 0.0;
+  result.p50_ns = latencies.percentile(50.0);
+  result.p99_ns = latencies.percentile(99.0);
+  return result;
+}
+
+inline void write_section(util::JsonWriter& json, const SectionResult& result) {
+  json.begin_object(result.name);
+  json.member("ops", result.ops);
+  json.member("ops_per_sec", result.ops_per_sec);
+  json.member("p50_ns", result.p50_ns);
+  json.member("p99_ns", result.p99_ns);
+  json.end_object();
+}
 
 struct HarnessArgs {
   std::int64_t runs = 0;       ///< 0 = use the harness default

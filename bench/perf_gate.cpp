@@ -3,30 +3,38 @@
 // Measures ops/sec and p50/p99 latency for the hot paths every PR is
 // judged against, emits machine-readable BENCH_core.json, and GATES on
 // correctness while doing so: every timed section cross-checks its results
-// against a flat-scan oracle, and the five-topology churn soak runs with
-// the differential network oracle on. Any divergence exits non-zero (the
-// CI perf-smoke job relies on this).
+// against a flat-scan oracle, the vectorized and scalar index paths must
+// produce identical result checksums in the same run, and the
+// five-topology churn soak runs with the differential network oracle on.
+// Any divergence exits non-zero (the CI perf-smoke job relies on this).
 //
-//   ./perf_gate [--small] [--json=BENCH_core.json] [--actives=100000]
-//               [--attrs=4] [--queries=N] [--churn-ops=N] [--seed=2006]
-//               [--soak-duration=20]
+//   ./perf_gate [--small] [--json=BENCH_core.json]
+//               [--actives=100000,1000000] [--attrs=4] [--queries=N]
+//               [--churn-ops=N] [--seed=2006] [--soak-duration=20]
+//
+// --actives is a comma-separated list of SCALE TIERS. The first tier is
+// the primary one and runs every section below; later tiers (the 1M-active
+// tier in the default full run) re-measure the index-bound sections only —
+// stab, box_intersect, insert_erase_churn_amortized — and are recorded as
+// separate "scales" blocks in the JSON so scripts/check_bench.py can gate
+// each tier independently.
 //
 // Sections (see docs/PERFORMANCE.md for the methodology):
-//   * stab           — point-stab on the interval index at `actives` size
+//   * stab           — point-stab on the interval index at tier size
 //   * box_intersect  — box-intersect on the same index
 //   * insert_erase_churn — mutation-heavy steady state (erase+insert per
 //     op) on BOTH the churn-amortized tiered index and the eager pre-tier
 //     ablation (IndexConfig::amortize_mutations = false); the ratio is the
-//     PR's headline speedup and is gated >= 3x in full runs
+//     PR 4 headline speedup and is gated >= 3x in full runs (primary tier
+//     only: eager at 1M actives would take hours by construction)
 //   * broker_publish — Broker::handle_publication through PublishScratch
 //     (the zero-allocation publish path) against a routed table
 //   * churn_soak     — sim::ChurnDriver over the five standard topologies
 //     with the differential oracle on (ops/sec per topology)
 //
 // --small shrinks every size for the CI smoke / ctest registration; small
-// runs still gate on correctness but skip the speedup threshold (tiny
-// sizes are all noise).
-#include <chrono>
+// runs still gate on correctness (oracles + checksums) but skip the
+// speedup threshold (tiny sizes are all noise).
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -39,6 +47,7 @@
 #include "routing/topology.hpp"
 #include "sim/churn_driver.hpp"
 #include "util/json_writer.hpp"
+#include "util/simd.hpp"
 #include "workload/churn_workload.hpp"
 #include "workload/comparison_stream.hpp"
 #include "workload/publications.hpp"
@@ -47,53 +56,12 @@
 namespace {
 
 using namespace psc;
+using bench::SectionResult;
+using bench::time_section;
+using bench::write_section;
 using core::Publication;
 using core::Subscription;
 using core::SubscriptionId;
-
-struct SectionResult {
-  std::string name;
-  std::uint64_t ops = 0;
-  double ops_per_sec = 0.0;
-  double p50_ns = 0.0;
-  double p99_ns = 0.0;
-};
-
-/// Times `op(i)` for i in [0, ops), returning throughput and latency
-/// percentiles. Per-op timing: the measured operations are microsecond-
-/// scale, so the ~20ns clock overhead is in the noise.
-template <typename Op>
-SectionResult time_section(const std::string& name, std::uint64_t ops, Op&& op) {
-  using clock = std::chrono::steady_clock;
-  util::SampleSet latencies;
-  latencies.reserve(ops);
-  const auto begin = clock::now();
-  for (std::uint64_t i = 0; i < ops; ++i) {
-    const auto t0 = clock::now();
-    op(i);
-    const auto t1 = clock::now();
-    latencies.add(static_cast<double>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()));
-  }
-  const double elapsed =
-      std::chrono::duration<double>(clock::now() - begin).count();
-  SectionResult result;
-  result.name = name;
-  result.ops = ops;
-  result.ops_per_sec = elapsed > 0 ? static_cast<double>(ops) / elapsed : 0.0;
-  result.p50_ns = latencies.percentile(50.0);
-  result.p99_ns = latencies.percentile(99.0);
-  return result;
-}
-
-void write_section(util::JsonWriter& json, const SectionResult& result) {
-  json.begin_object(result.name);
-  json.member("ops", result.ops);
-  json.member("ops_per_sec", result.ops_per_sec);
-  json.member("p50_ns", result.p50_ns);
-  json.member("p99_ns", result.p99_ns);
-  json.end_object();
-}
 
 std::vector<SubscriptionId> sorted(std::vector<SubscriptionId> ids) {
   std::sort(ids.begin(), ids.end());
@@ -111,14 +79,41 @@ struct GateState {
   }
 };
 
+/// One scale tier's measurements: the index-bound sections plus the
+/// order-independent result checksums of the vectorized and scalar paths
+/// over the same sampled queries (gated equal — the in-run ablation
+/// oracle, and a dead-code-elimination defeat for the SIMD sweeps).
+struct ScaleResult {
+  std::size_t actives = 0;
+  std::uint64_t queries = 0;
+  std::uint64_t churn_ops = 0;
+  SectionResult stab;
+  SectionResult box;
+  SectionResult churn_amortized;
+  std::uint64_t checksum_simd = 0;
+  std::uint64_t checksum_scalar = 0;
+};
+
+std::vector<std::size_t> parse_actives_list(const std::string& csv) {
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    const std::size_t comma = std::min(csv.find(',', pos), csv.size());
+    const std::string item = csv.substr(pos, comma - pos);
+    if (!item.empty()) out.push_back(static_cast<std::size_t>(std::stoull(item)));
+    pos = comma + 1;
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const util::Flags flags(argc, argv);
   const bool small = flags.get_bool("small", false);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 2006));
-  const auto actives = static_cast<std::size_t>(
-      flags.get_int("actives", small ? 2'000 : 100'000));
+  const std::vector<std::size_t> actives_tiers = parse_actives_list(
+      flags.get_string("actives", small ? "2000,6000" : "100000,1000000"));
   const auto attrs =
       static_cast<std::size_t>(flags.get_int("attrs", 4));
   const auto queries = static_cast<std::uint64_t>(
@@ -127,91 +122,35 @@ int main(int argc, char** argv) {
       flags.get_int("churn-ops", small ? 2'000 : 20'000));
   const double soak_duration = flags.get_double("soak-duration", small ? 5.0 : 20.0);
   const std::string json_path = flags.get_string("json", "BENCH_core.json");
+  if (actives_tiers.empty()) {
+    std::cerr << "--actives needs at least one tier\n";
+    return 1;
+  }
+  const std::size_t actives = actives_tiers.front();  // primary tier
 
   util::print_banner(std::cout, "perf_gate",
                      "hot-path throughput/latency trajectory + oracle gates");
+  std::cout << "simd backend: " << simd::backend_name() << "\n\n";
 
   GateState gate;
+  std::uint64_t sink = 0;
   workload::ComparisonConfig stream_config;
   stream_config.attribute_count = attrs;
   stream_config.max_constrained = std::min<std::size_t>(attrs, 3);
 
   // ---------------------------------------------------------------------
-  // Shared fixture: live subscription set at `actives`, mirrored in a flat
-  // vector (the oracle) and in the production tiered index.
-  workload::ComparisonStream stream(stream_config, seed);
-  std::vector<Subscription> live;
-  live.reserve(actives);
-  index::IntervalIndex tiered(attrs);
-  for (std::size_t i = 0; i < actives; ++i) {
-    Subscription sub = stream.next();
-    tiered.insert(sub);
-    live.push_back(std::move(sub));
-  }
-
-  std::uint64_t probe_seed = seed;
-  util::Rng probe_rng(util::splitmix64(probe_seed));
-  std::vector<Publication> probes;
-  probes.reserve(queries);
-  for (std::uint64_t i = 0; i < queries; ++i) {
-    probes.push_back(workload::uniform_publication(attrs, 0.0, 1000.0, probe_rng));
-  }
-  workload::ScenarioConfig box_config;
-  box_config.attribute_count = attrs;
-  std::vector<Subscription> box_probes;
-  box_probes.reserve(queries);
-  for (std::uint64_t i = 0; i < queries; ++i) {
-    box_probes.push_back(workload::random_box(box_config, 0.02, 0.2, probe_rng));
-  }
-
-  // --- Section: stab ---------------------------------------------------
-  std::vector<SubscriptionId> out;
-  std::uint64_t sink = 0;
-  const SectionResult stab =
-      time_section("stab", queries, [&](std::uint64_t i) {
-        out.clear();
-        tiered.stab(probes[i].values(), out);
-        sink += out.size();
-      });
-  // Oracle: flat scan on a sample of probes.
-  for (std::uint64_t i = 0; i < queries; i += std::max<std::uint64_t>(queries / 16, 1)) {
-    std::vector<SubscriptionId> expected;
-    for (const Subscription& sub : live) {
-      if (probes[i].matches(sub)) expected.push_back(sub.id());
-    }
-    gate.check(sorted(tiered.stab(probes[i].values())) == sorted(expected),
-               "stab probe " + std::to_string(i));
-  }
-
-  // --- Section: box_intersect ------------------------------------------
-  const SectionResult box =
-      time_section("box_intersect", queries, [&](std::uint64_t i) {
-        out.clear();
-        tiered.box_intersect(box_probes[i], out);
-        sink += out.size();
-      });
-  for (std::uint64_t i = 0; i < queries; i += std::max<std::uint64_t>(queries / 16, 1)) {
-    std::vector<SubscriptionId> expected;
-    for (const Subscription& sub : live) {
-      if (sub.intersects(box_probes[i])) expected.push_back(sub.id());
-    }
-    gate.check(sorted(tiered.box_intersect(box_probes[i])) == sorted(expected),
-               "box_intersect probe " + std::to_string(i));
-  }
-
-  // --- Section: insert_erase_churn (amortized vs eager ablation) -------
-  // Mutation-heavy steady state at `actives`: each op erases a random live
-  // subscription and inserts a fresh one, the workload PR 3's churn soak
-  // showed dominating end-to-end throughput.
-  const auto run_churn = [&](index::IndexConfig config, std::uint64_t ops,
-                             const std::string& label) {
+  // Churn section runner (own fixture: the mutation mix must not disturb
+  // the query fixtures). Oracle: exact stab equality against a flat scan
+  // over the mirrored live set after the full run — catches both ghost ids
+  // and silently dropped matches.
+  const auto run_churn = [&](index::IndexConfig config, std::size_t fixture,
+                             std::uint64_t ops, const std::string& label,
+                             const std::vector<Publication>& oracle_probes) {
     workload::ComparisonStream churn_stream(stream_config, seed);
     index::IntervalIndex index(attrs, config);
-    // live_subs[i] is the subscription whose id is live at position i —
-    // the exact-oracle mirror of the index's contents.
     std::vector<Subscription> live_subs;
-    live_subs.reserve(actives);
-    for (std::size_t i = 0; i < actives; ++i) {
+    live_subs.reserve(fixture);
+    for (std::size_t i = 0; i < fixture; ++i) {
       Subscription sub = churn_stream.next();
       index.insert(sub);
       live_subs.push_back(std::move(sub));
@@ -226,33 +165,151 @@ int main(int argc, char** argv) {
       index.insert(incoming[i]);
       live_subs[victim] = incoming[i];
     });
-    // Oracle: exact stab equality against a flat scan over the mirrored
-    // live set, after the full churn run — catches both ghost ids and
-    // silently dropped matches.
     gate.check(index.size() == live_subs.size(), label + ": size drift");
-    for (std::uint64_t p = 0; p < queries;
-         p += std::max<std::uint64_t>(queries / 8, 1)) {
+    const std::uint64_t probe_count = oracle_probes.size();
+    for (std::uint64_t p = 0; p < probe_count;
+         p += std::max<std::uint64_t>(probe_count / 8, 1)) {
       std::vector<SubscriptionId> expected;
       for (const Subscription& sub : live_subs) {
-        if (probes[p].matches(sub)) expected.push_back(sub.id());
+        if (oracle_probes[p].matches(sub)) expected.push_back(sub.id());
       }
-      gate.check(sorted(index.stab(probes[p].values())) == sorted(expected),
+      gate.check(sorted(index.stab(oracle_probes[p].values())) == sorted(expected),
                  label + ": post-churn stab drift at probe " + std::to_string(p));
     }
     return result;
   };
 
-  index::IndexConfig amortized_config;
-  const SectionResult churn_amortized =
-      run_churn(amortized_config, churn_ops, "insert_erase_churn_amortized");
-  index::IndexConfig eager_config;
-  eager_config.amortize_mutations = false;
+  // ---------------------------------------------------------------------
+  // One scale tier: query fixture at `tier_actives` mirrored in a flat
+  // vector (the oracle), the production index, and a scalar-path twin
+  // (IndexConfig::use_simd = false) for the in-run checksum ablation.
+  const auto run_scale = [&](std::size_t tier_actives) {
+    ScaleResult scale;
+    scale.actives = tier_actives;
+    scale.queries = queries;
+    scale.churn_ops = churn_ops;
+    const std::string suffix = " @" + std::to_string(tier_actives);
+
+    workload::ComparisonStream stream(stream_config, seed);
+    std::vector<Subscription> live;
+    live.reserve(tier_actives);
+    index::IntervalIndex tiered(attrs);
+    index::IndexConfig scalar_config;
+    scalar_config.use_simd = false;
+    index::IntervalIndex scalar_twin(attrs, scalar_config);
+    for (std::size_t i = 0; i < tier_actives; ++i) {
+      Subscription sub = stream.next();
+      tiered.insert(sub);
+      scalar_twin.insert(sub);
+      live.push_back(std::move(sub));
+    }
+
+    std::uint64_t probe_seed = seed;
+    util::Rng probe_rng(util::splitmix64(probe_seed));
+    std::vector<Publication> probes;
+    probes.reserve(queries);
+    for (std::uint64_t i = 0; i < queries; ++i) {
+      probes.push_back(workload::uniform_publication(attrs, 0.0, 1000.0, probe_rng));
+    }
+    workload::ScenarioConfig box_config;
+    box_config.attribute_count = attrs;
+    std::vector<Subscription> box_probes;
+    box_probes.reserve(queries);
+    for (std::uint64_t i = 0; i < queries; ++i) {
+      box_probes.push_back(workload::random_box(box_config, 0.02, 0.2, probe_rng));
+    }
+
+    // --- stab ----------------------------------------------------------
+    std::vector<SubscriptionId> out;
+    scale.stab = time_section("stab", queries, [&](std::uint64_t i) {
+      out.clear();
+      tiered.stab(probes[i].values(), out);
+      sink += out.size();
+    });
+    for (std::uint64_t i = 0; i < queries;
+         i += std::max<std::uint64_t>(queries / 16, 1)) {
+      std::vector<SubscriptionId> expected;
+      for (const Subscription& sub : live) {
+        if (probes[i].matches(sub)) expected.push_back(sub.id());
+      }
+      gate.check(sorted(tiered.stab(probes[i].values())) == sorted(expected),
+                 "stab probe " + std::to_string(i) + suffix);
+    }
+
+    // --- box_intersect -------------------------------------------------
+    scale.box = time_section("box_intersect", queries, [&](std::uint64_t i) {
+      out.clear();
+      tiered.box_intersect(box_probes[i], out);
+      sink += out.size();
+    });
+    for (std::uint64_t i = 0; i < queries;
+         i += std::max<std::uint64_t>(queries / 16, 1)) {
+      std::vector<SubscriptionId> expected;
+      for (const Subscription& sub : live) {
+        if (sub.intersects(box_probes[i])) expected.push_back(sub.id());
+      }
+      gate.check(sorted(tiered.box_intersect(box_probes[i])) == sorted(expected),
+                 "box_intersect probe " + std::to_string(i) + suffix);
+    }
+
+    // --- scalar/SIMD checksum ablation ---------------------------------
+    // Sampled queries run on both the production index and the scalar
+    // twin; the id-sum fold is order-independent, so equal checksums pin
+    // identical RESULT SETS without sorting. This is also the fold that
+    // keeps the compiler from dead-code-eliminating either sweep.
+    for (std::uint64_t i = 0; i < queries;
+         i += std::max<std::uint64_t>(queries / 64, 1)) {
+      for (const auto* index : {&tiered, &scalar_twin}) {
+        auto& checksum =
+            index == &tiered ? scale.checksum_simd : scale.checksum_scalar;
+        out.clear();
+        index->stab(probes[i].values(), out);
+        for (const SubscriptionId id : out) checksum += id;
+        out.clear();
+        index->box_intersect(box_probes[i], out);
+        for (const SubscriptionId id : out) checksum += id;
+      }
+    }
+    gate.check(scale.checksum_simd == scale.checksum_scalar,
+               "scalar/SIMD checksum mismatch" + suffix);
+    sink += scale.checksum_simd;
+
+    // --- churn (amortized only; the eager ablation runs at the primary
+    // tier, where its quadratic fixture build is still tractable) --------
+    scale.churn_amortized =
+        run_churn(index::IndexConfig{}, tier_actives, churn_ops,
+                  "insert_erase_churn_amortized", probes);
+    return scale;
+  };
+
+  std::vector<ScaleResult> scales;
+  scales.reserve(actives_tiers.size());
+  for (const std::size_t tier : actives_tiers) {
+    scales.push_back(run_scale(tier));
+  }
+  const ScaleResult& primary = scales.front();
+
+  // --- Section: insert_erase_churn_eager (primary tier, full ablation) --
   // The eager path is orders of magnitude slower at 100k actives; cap its
   // op count so the baseline measurement stays tractable.
+  std::vector<Publication> primary_probes;
+  {
+    std::uint64_t probe_seed = seed;
+    util::Rng probe_rng(util::splitmix64(probe_seed));
+    primary_probes.reserve(queries);
+    for (std::uint64_t i = 0; i < queries; ++i) {
+      primary_probes.push_back(
+          workload::uniform_publication(attrs, 0.0, 1000.0, probe_rng));
+    }
+  }
+  index::IndexConfig eager_config;
+  eager_config.amortize_mutations = false;
   const std::uint64_t eager_ops = std::min<std::uint64_t>(
       churn_ops, small ? churn_ops : 4'000);
   const SectionResult churn_eager =
-      run_churn(eager_config, eager_ops, "insert_erase_churn_eager");
+      run_churn(eager_config, actives, eager_ops, "insert_erase_churn_eager",
+                primary_probes);
+  const SectionResult& churn_amortized = primary.churn_amortized;
   const double speedup = churn_eager.ops_per_sec > 0
                              ? churn_amortized.ops_per_sec / churn_eager.ops_per_sec
                              : 0.0;
@@ -263,7 +320,7 @@ int main(int argc, char** argv) {
     const std::size_t n = small ? 300 : 2'000;
     workload::ComparisonStream a_stream(stream_config, seed + 1);
     workload::ComparisonStream b_stream(stream_config, seed + 1);
-    index::IntervalIndex amortized(attrs, amortized_config);
+    index::IntervalIndex amortized(attrs);
     index::IntervalIndex eager(attrs, eager_config);
     std::vector<SubscriptionId> ids;
     util::Rng rng(seed + 2);
@@ -312,15 +369,16 @@ int main(int argc, char** argv) {
   const SectionResult broker_publish =
       time_section("broker_publish", queries, [&](std::uint64_t i) {
         const auto& route =
-            broker.handle_publication(probes[i], publish_origin, scratch);
+            broker.handle_publication(primary_probes[i], publish_origin, scratch);
         sink += route.local_matches.size() + route.destinations.size();
       });
   // Oracle: scratch overload against the legacy vector-returning overload.
   for (std::uint64_t i = 0; i < queries; i += std::max<std::uint64_t>(queries / 8, 1)) {
     std::vector<SubscriptionId> legacy_local;
     const auto legacy_dests =
-        broker.handle_publication(probes[i], publish_origin, legacy_local);
-    const auto& route = broker.handle_publication(probes[i], publish_origin, scratch);
+        broker.handle_publication(primary_probes[i], publish_origin, legacy_local);
+    const auto& route =
+        broker.handle_publication(primary_probes[i], publish_origin, scratch);
     gate.check(route.local_matches == legacy_local &&
                    route.destinations == legacy_dests,
                "broker_publish route drift at probe " + std::to_string(i));
@@ -370,11 +428,20 @@ int main(int argc, char** argv) {
   }
 
   // ---------------------------------------------------------------- table
-  util::TableWriter table({"section", "ops", "ops_per_sec", "p50_ns", "p99_ns"});
-  for (const SectionResult* r :
-       {&stab, &box, &churn_amortized, &churn_eager, &broker_publish}) {
-    table.add_row({r->name, static_cast<long long>(r->ops), r->ops_per_sec,
-                   r->p50_ns, r->p99_ns});
+  util::TableWriter table(
+      {"section", "actives", "ops", "ops_per_sec", "p50_ns", "p99_ns"});
+  for (const ScaleResult& scale : scales) {
+    for (const SectionResult* r :
+         {&scale.stab, &scale.box, &scale.churn_amortized}) {
+      table.add_row({r->name, static_cast<long long>(scale.actives),
+                     static_cast<long long>(r->ops), r->ops_per_sec, r->p50_ns,
+                     r->p99_ns});
+    }
+  }
+  for (const SectionResult* r : {&churn_eager, &broker_publish}) {
+    table.add_row({r->name, static_cast<long long>(actives),
+                   static_cast<long long>(r->ops), r->ops_per_sec, r->p50_ns,
+                   r->p99_ns});
   }
   table.print(std::cout);
   std::cout << "\nchurn speedup (amortized / eager) at " << actives
@@ -386,6 +453,8 @@ int main(int argc, char** argv) {
   }
 
   // ----------------------------------------------------------------- json
+  // Top-level config/sections describe the PRIMARY tier (schema-compatible
+  // with pre-multi-scale consumers); "scales" carries every tier.
   if (!json_path.empty()) {
     std::ofstream out_file(json_path);
     if (!out_file) {
@@ -397,6 +466,10 @@ int main(int argc, char** argv) {
     json.member("bench", "perf_gate");
     json.member("seed", seed);
     json.member("small", small);
+    json.begin_object("simd");
+    json.member("backend", simd::backend_name());
+    json.member("vectorized", simd::vectorized());
+    json.end_object();
     json.begin_object("config");
     json.member("actives", std::uint64_t{actives});
     json.member("attributes", std::uint64_t{attrs});
@@ -405,9 +478,9 @@ int main(int argc, char** argv) {
     json.member("soak_duration", soak_duration);
     json.end_object();
     json.begin_object("sections");
-    write_section(json, stab);
-    write_section(json, box);
-    write_section(json, churn_amortized);
+    write_section(json, primary.stab);
+    write_section(json, primary.box);
+    write_section(json, primary.churn_amortized);
     write_section(json, churn_eager);
     write_section(json, broker_publish);
     json.begin_object("churn_soak");
@@ -426,6 +499,25 @@ int main(int argc, char** argv) {
     json.end_array();
     json.end_object();
     json.end_object();
+    json.begin_array("scales");
+    for (const ScaleResult& scale : scales) {
+      json.begin_object();
+      json.begin_object("config");
+      json.member("actives", std::uint64_t{scale.actives});
+      json.member("attributes", std::uint64_t{attrs});
+      json.member("queries", scale.queries);
+      json.member("churn_ops", scale.churn_ops);
+      json.end_object();
+      json.begin_object("sections");
+      write_section(json, scale.stab);
+      write_section(json, scale.box);
+      write_section(json, scale.churn_amortized);
+      json.end_object();
+      json.member("checksum_simd", scale.checksum_simd);
+      json.member("checksum_scalar", scale.checksum_scalar);
+      json.end_object();
+    }
+    json.end_array();
     json.begin_object("gates");
     json.member("oracle_divergences", gate.divergences);
     json.member("churn_speedup_vs_eager", speedup);

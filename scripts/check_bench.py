@@ -21,8 +21,25 @@ honest without flaking:
     gated path, so dropping below the full-size number means a real,
     catastrophic regression) — and the report says so.
 
-The gates.oracle_divergences field must be 0 in both files regardless of
-timing (correctness is never noise).
+Multi-scale files: both perf_gate and index_scaling emit a "scales" array
+(one block per active-set tier, each with its own config + sections). The
+tiers are paired positionally — tier i of the current run against tier i
+of the baseline — and each pair independently picks two-sided or one-sided
+mode from its own configs, so a --small smoke (tiers 2k/6k) gates cleanly
+against the full baseline (tiers 100k/1M) without tripping the small-scale
+mode for the whole file. Files without "scales" (pre-multi-scale
+baselines) fall back to the top-level sections only.
+
+Absolute ratchets: the vectorized-matching PR is acceptance-gated on
+stab/box_intersect throughput at the reference scale (100k actives, 4
+attributes, 20k queries). Any file containing a tier at exactly that scale
+— in particular the committed full-size baseline — must meet the
+RATCHET_FLOORS, so the trajectory can never silently slide back below the
+3x mark even if both baseline and current regress together.
+
+Correctness is never noise: gates.oracle_divergences must be 0 in both
+files, and every scale block that records scalar/SIMD checksums must have
+them equal.
 """
 
 import argparse
@@ -37,6 +54,15 @@ DEFAULT_SECTIONS = [
     "broker_publish",
 ]
 JITTER_CAP = 0.20  # max extra allowance from latency jitter, absolute
+
+# Minimum ops/sec at REFERENCE_SCALE: 3x the pre-vectorization baseline
+# (stab 3792.8, box_intersect 378.6 — BENCH_core.json as of the tiered-
+# index PR). Ratchet upward only.
+RATCHET_FLOORS = {
+    "stab": 11378.3,
+    "box_intersect": 1135.7,
+}
+REFERENCE_SCALE = {"actives": 100000, "attributes": 4, "queries": 20000}
 
 
 def load(path):
@@ -57,6 +83,83 @@ def jitter_allowance(section):
     return min(JITTER_CAP, 0.03 * math.log2(p99 / p50) / math.log2(2.0))
 
 
+def same_scale_configs(base_config, cur_config):
+    return all(
+        base_config.get(key) == cur_config.get(key)
+        for key in ("actives", "attributes", "queries", "churn_ops")
+    )
+
+
+def compare_sections(base_config, base_sections, cur_config, cur_sections,
+                     gated, threshold, label, rows, failures):
+    """Gates `gated` section names of one (baseline, current) config pair;
+    missing sections only fail when absent from the CURRENT side of a
+    same-name pair (harness sets may legitimately differ per tier)."""
+    same_scale = same_scale_configs(base_config, cur_config)
+    if not same_scale:
+        print(f"check_bench: config sizes differ at {label} "
+              f"(baseline actives={base_config.get('actives')}, "
+              f"current actives={cur_config.get('actives')}); "
+              "applying one-sided scale-aware comparison")
+    for name in gated:
+        base = base_sections.get(name)
+        cur = cur_sections.get(name)
+        if base is None or cur is None:
+            failures.append(f"{label} section {name}: missing from "
+                            f"{'baseline' if base is None else 'current'}")
+            continue
+        base_ops = base.get("ops_per_sec", 0.0)
+        cur_ops = cur.get("ops_per_sec", 0.0)
+        if base_ops <= 0:
+            failures.append(
+                f"{label} section {name}: baseline ops_per_sec is {base_ops}")
+            continue
+        if same_scale:
+            allowed = threshold + jitter_allowance(base)
+        else:
+            # One-sided cross-scale mode: the smaller run must not be
+            # slower than the full-size baseline AT ALL — its working set
+            # is strictly smaller, so even matching the baseline already
+            # signals a large real regression. No threshold slack here.
+            allowed = 0.0
+        floor = base_ops * (1.0 - allowed)
+        ratio = cur_ops / base_ops
+        verdict = "ok" if cur_ops >= floor else "REGRESSION"
+        rows.append((f"{name} {label}", base_ops, cur_ops, ratio, allowed,
+                     verdict))
+        if cur_ops < floor:
+            failures.append(
+                f"{label} section {name}: {cur_ops:.1f} ops/sec is "
+                f"{(1.0 - ratio) * 100.0:.1f}% below baseline "
+                f"{base_ops:.1f} (allowed {allowed * 100.0:.0f}%)")
+
+
+def check_ratchet(config, sections, label, failures):
+    """Absolute floors, applied to every tier at exactly REFERENCE_SCALE."""
+    if not all(config.get(k) == v for k, v in REFERENCE_SCALE.items()):
+        return
+    for name, floor in RATCHET_FLOORS.items():
+        ops = sections.get(name, {}).get("ops_per_sec", 0.0)
+        if ops < floor:
+            failures.append(
+                f"{label} section {name}: {ops:.1f} ops/sec is below the "
+                f"absolute ratchet floor {floor:.1f} at the reference scale")
+
+
+def check_checksums(blob, name, failures):
+    """scalar/SIMD result checksums recorded per scale block must agree."""
+    for scale in blob.get("scales", []):
+        if "checksum_simd" not in scale and "checksum_scalar" not in scale:
+            continue
+        simd = scale.get("checksum_simd")
+        scalar = scale.get("checksum_scalar")
+        if simd != scalar:
+            actives = scale.get("config", {}).get("actives")
+            failures.append(
+                f"{name} @{actives}: scalar/SIMD checksum mismatch "
+                f"({simd} vs {scalar})")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("current", help="fresh perf_gate JSON")
@@ -64,7 +167,8 @@ def main():
     parser.add_argument("--threshold", type=float, default=0.30,
                         help="max fractional ops/sec drop (default 0.30)")
     parser.add_argument("--sections", default=",".join(DEFAULT_SECTIONS),
-                        help="comma-separated gated section names")
+                        help="comma-separated gated section names "
+                             "(top-level sections block)")
     args = parser.parse_args()
 
     baseline = load(args.baseline)
@@ -77,52 +181,43 @@ def main():
             failures.append(f"{name}: missing gates.oracle_divergences")
         elif divergences != 0:
             failures.append(f"{name}: {divergences} oracle divergences")
+        check_checksums(blob, name, failures)
 
-    base_config = baseline.get("config", {})
-    cur_config = current.get("config", {})
-    same_scale = all(
-        base_config.get(key) == cur_config.get(key)
-        for key in ("actives", "attributes", "queries", "churn_ops")
-    )
-    if not same_scale:
-        print("check_bench: config sizes differ "
-              f"(baseline actives={base_config.get('actives')}, "
-              f"current actives={cur_config.get('actives')}); "
-              "applying one-sided scale-aware comparison")
-
-    base_sections = baseline.get("sections", {})
-    cur_sections = current.get("sections", {})
-    gated = [name for name in args.sections.split(",") if name]
     rows = []
-    for name in gated:
-        base = base_sections.get(name)
-        cur = cur_sections.get(name)
-        if base is None or cur is None:
-            failures.append(f"section {name}: missing from "
-                            f"{'baseline' if base is None else 'current'}")
+    gated = [name for name in args.sections.split(",") if name]
+    compare_sections(baseline.get("config", {}), baseline.get("sections", {}),
+                     current.get("config", {}), current.get("sections", {}),
+                     gated, args.threshold, "(primary)", rows, failures)
+
+    # Scale tiers, paired positionally. Gate every section the paired
+    # blocks share: perf_gate tiers carry stab/box_intersect/churn, an
+    # index_scaling file carries its match_active sections — both flow
+    # through the same comparison.
+    base_scales = baseline.get("scales", [])
+    cur_scales = current.get("scales", [])
+    if base_scales and cur_scales and len(base_scales) != len(cur_scales):
+        print(f"check_bench: tier count differs (baseline {len(base_scales)}, "
+              f"current {len(cur_scales)}); comparing the common prefix")
+    for tier, (base, cur) in enumerate(zip(base_scales, cur_scales)):
+        base_sections = base.get("sections", {})
+        cur_sections = cur.get("sections", {})
+        shared = sorted(set(base_sections) & set(cur_sections))
+        if not shared:
+            failures.append(f"tier {tier}: no shared sections to gate")
             continue
-        base_ops = base.get("ops_per_sec", 0.0)
-        cur_ops = cur.get("ops_per_sec", 0.0)
-        if base_ops <= 0:
-            failures.append(f"section {name}: baseline ops_per_sec is {base_ops}")
-            continue
-        if same_scale:
-            allowed = args.threshold + jitter_allowance(base)
-        else:
-            # One-sided cross-scale mode: the smaller run must not be
-            # slower than the full-size baseline AT ALL — its working set
-            # is strictly smaller, so even matching the baseline already
-            # signals a large real regression. No threshold slack here.
-            allowed = 0.0
-        floor = base_ops * (1.0 - allowed)
-        ratio = cur_ops / base_ops
-        verdict = "ok" if cur_ops >= floor else "REGRESSION"
-        rows.append((name, base_ops, cur_ops, ratio, allowed, verdict))
-        if cur_ops < floor:
-            failures.append(
-                f"section {name}: {cur_ops:.1f} ops/sec is "
-                f"{(1.0 - ratio) * 100.0:.1f}% below baseline "
-                f"{base_ops:.1f} (allowed {allowed * 100.0:.0f}%)")
+        compare_sections(base.get("config", {}), base_sections,
+                         cur.get("config", {}), cur_sections, shared,
+                         args.threshold, f"[tier {tier}]", rows, failures)
+
+    # Absolute ratchets at the reference scale, on BOTH files (the
+    # committed baseline must itself stay above the floors).
+    for name, blob in (("baseline", baseline), ("current", current)):
+        check_ratchet(blob.get("config", {}), blob.get("sections", {}),
+                      f"{name} (primary)", failures)
+        for scale in blob.get("scales", []):
+            actives = scale.get("config", {}).get("actives")
+            check_ratchet(scale.get("config", {}), scale.get("sections", {}),
+                          f"{name} @{actives}", failures)
 
     width = max((len(r[0]) for r in rows), default=10)
     print(f"{'section':<{width}}  {'baseline':>14}  {'current':>14}  "

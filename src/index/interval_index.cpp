@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace psc::index {
@@ -13,6 +14,8 @@ using core::SubscriptionId;
 using core::Value;
 
 namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
 
 struct EndpointLess {
   template <typename Endpoint>
@@ -25,7 +28,9 @@ struct EndpointLess {
 
 IntervalIndex::IntervalIndex(std::size_t attribute_count, IndexConfig config)
     : m_(attribute_count), config_(config), lows_(attribute_count),
-      highs_(attribute_count), selective_count_(attribute_count, 0) {
+      highs_(attribute_count), selective_count_(attribute_count, 0),
+      verify_groups_((attribute_count + kVerifyGroup - 1) / kVerifyGroup),
+      delta_lows_(attribute_count), delta_highs_(attribute_count) {
   if (!(config_.domain_lo < config_.domain_hi)) {
     throw std::invalid_argument("IndexConfig: domain_lo must be < domain_hi");
   }
@@ -35,6 +40,9 @@ IntervalIndex::IntervalIndex(std::size_t attribute_count, IndexConfig config)
   if (config_.compaction_slack < 0.0) {
     throw std::invalid_argument("IndexConfig: compaction_slack must be >= 0");
   }
+  // Two padded probe rows (stab point / box lows+highs), zero-filled so
+  // padding lanes always hold comparable reals.
+  query_pad_.assign(2 * verify_groups_ * kVerifyGroup, 0.0);
 }
 
 bool IntervalIndex::is_wide(const Interval& iv) const noexcept {
@@ -61,17 +69,20 @@ std::size_t IntervalIndex::compaction_threshold() const noexcept {
 }
 
 void IntervalIndex::grow_bitmaps() {
-  const std::size_t new_words = words_ == 0 ? 4 : words_ * 2;
-  // Mask rows default to all-ones (free and wide slots must not block the
-  // sweep); the occupancy row defaults to zero.
-  std::vector<Word> mask_bits(m_ * config_.bucket_count * new_words, ~Word{0});
-  std::vector<Word> occupied_bits(new_words, 0);
+  const std::size_t new_words =
+      words_ == 0 ? simd::kBlockWords : words_ * 2;
+  // Mask rows default to all-ones in BOTH lanes (free and wide slots must
+  // neither block the sweep nor void certainty); occupancy defaults to 0.
+  simd::AlignedVector<Word> mask_bits(m_ * config_.bucket_count * 2 * new_words,
+                                      ~Word{0});
+  simd::AlignedVector<Word> occupied_bits(2 * new_words, 0);
   for (std::size_t row = 0; row < m_ * config_.bucket_count; ++row) {
-    std::copy_n(mask_bits_.begin() + static_cast<std::ptrdiff_t>(row * words_),
-                words_,
-                mask_bits.begin() + static_cast<std::ptrdiff_t>(row * new_words));
+    std::copy_n(
+        mask_bits_.begin() + static_cast<std::ptrdiff_t>(row * 2 * words_),
+        2 * words_,
+        mask_bits.begin() + static_cast<std::ptrdiff_t>(row * 2 * new_words));
   }
-  std::copy_n(occupied_bits_.begin(), words_, occupied_bits.begin());
+  std::copy_n(occupied_bits_.begin(), 2 * words_, occupied_bits.begin());
   mask_bits_ = std::move(mask_bits);
   occupied_bits_ = std::move(occupied_bits);
   words_ = new_words;
@@ -80,17 +91,58 @@ void IntervalIndex::grow_bitmaps() {
 
 void IntervalIndex::write_mask_bits(std::size_t attribute, std::uint32_t slot,
                                     const Interval& iv, bool erase_restore) {
-  const std::size_t word = slot / kWordBits;
+  const std::size_t word = 2 * (slot / kWordBits);
   const Word mask = Word{1} << (slot % kWordBits);
-  const std::size_t first = erase_restore ? 0 : bucket_of(iv.lo);
-  const std::size_t last =
-      erase_restore ? config_.bucket_count - 1 : bucket_of(iv.hi);
-  for (std::size_t bucket = 0; bucket < config_.bucket_count; ++bucket) {
-    Word* row = mask_row(attribute, bucket);
+  const auto buckets = static_cast<std::ptrdiff_t>(config_.bucket_count);
+  std::ptrdiff_t first = 0, last = buckets - 1;      // possible span
+  std::ptrdiff_t cfirst = 0, clast = buckets - 1;    // certain span
+  if (!erase_restore) {
+    first = static_cast<std::ptrdiff_t>(bucket_of(iv.lo));
+    last = static_cast<std::ptrdiff_t>(bucket_of(iv.hi));
+    // Exact certain span via bucket monotonicity (header file comment):
+    // strictly between the endpoint buckets, saturating past the edges
+    // for infinite endpoints. bucket(lo) < b < bucket(hi) forces
+    // lo < v < hi for every real v in bucket b — pure integer compares,
+    // no float boundary arithmetic to get subtly wrong. A NaN or empty
+    // interval voids every certainty claim (its possible bits already
+    // come from the clamped endpoint buckets; verification rejects).
+    const std::ptrdiff_t bl = iv.lo == -kInf ? -1 : first;
+    const std::ptrdiff_t bh = iv.hi == kInf ? buckets : last;
+    cfirst = bl + 1;
+    clast = bh - 1;
+    if (!(iv.lo <= iv.hi)) {
+      cfirst = 1;
+      clast = 0;
+    }
+  }
+  for (std::ptrdiff_t bucket = 0; bucket < buckets; ++bucket) {
+    Word* row = pair_row(attribute, static_cast<std::size_t>(bucket)) + word;
     if (bucket >= first && bucket <= last) {
-      row[word] |= mask;
+      row[0] |= mask;
     } else {
-      row[word] &= ~mask;
+      row[0] &= ~mask;
+    }
+    if (bucket >= cfirst && bucket <= clast) {
+      row[1] |= mask;
+    } else {
+      row[1] &= ~mask;
+    }
+  }
+}
+
+void IntervalIndex::write_verify_row(std::uint32_t slot,
+                                     const Subscription& sub) {
+  const std::size_t row_doubles = verify_groups_ * 2 * kVerifyGroup;
+  if (verify_blob_.size() < (slot + 1) * row_doubles) {
+    verify_blob_.resize((slot + 1) * row_doubles);
+  }
+  double* rec = verify_blob_.data() + slot * row_doubles;
+  for (std::size_t g = 0; g < verify_groups_; ++g) {
+    for (std::size_t lane = 0; lane < kVerifyGroup; ++lane) {
+      const std::size_t j = g * kVerifyGroup + lane;
+      rec[g * 2 * kVerifyGroup + lane] = j < m_ ? sub.range(j).lo : -kInf;
+      rec[g * 2 * kVerifyGroup + kVerifyGroup + lane] =
+          j < m_ ? sub.range(j).hi : kInf;
     }
   }
 }
@@ -110,6 +162,7 @@ void IntervalIndex::release_slot(std::uint32_t slot) {
   wide_attrs_[slot] = 0;
   delta_pos_[slot] = kNoPos;
   unselective_pos_[slot] = kNoPos;
+  ++slot_gen_[slot];  // invalidates this slot's pending delta-run entries
   free_slots_.push_back(slot);
 }
 
@@ -132,6 +185,8 @@ void IntervalIndex::insert(const Subscription& sub) {
   } else {
     slot = static_cast<std::uint32_t>(ids_.size());
     ids_.push_back(core::kInvalidSubscriptionId);
+    ids32_.push_back(0);
+    slot_gen_.push_back(0);
     required_.push_back(0);
     ranges_.resize(ranges_.size() + m_, Interval::everything());
     semantic_attrs_.push_back(0);
@@ -144,7 +199,10 @@ void IntervalIndex::insert(const Subscription& sub) {
   }
 
   ids_[slot] = sub.id();
+  ids32_[slot] = static_cast<std::uint32_t>(sub.id());
+  if ((sub.id() >> 32) != 0) ++big_id_count_;
   (void)slot_of_.try_emplace(sub.id(), slot);
+  write_verify_row(slot, sub);
 
   std::uint32_t required = 0;
   std::uint64_t semantic_mask = 0;
@@ -170,6 +228,19 @@ void IntervalIndex::insert(const Subscription& sub) {
       highs.insert(std::upper_bound(highs.begin(), highs.end(),
                                     Endpoint{iv.hi, slot}, EndpointLess{}),
                    Endpoint{iv.hi, slot});
+    } else {
+      // Delta-run logs: cheap appends now, a linear mostly-sorted stream
+      // for the next compaction. Block-sort each run as it fills, while
+      // its entries are still cache-resident.
+      const auto append = [&](std::vector<DeltaEndpoint>& log, Value value) {
+        log.push_back(DeltaEndpoint{value, slot, slot_gen_[slot]});
+        if (log.size() % kDeltaRun == 0) {
+          std::sort(log.end() - static_cast<std::ptrdiff_t>(kDeltaRun),
+                    log.end(), EndpointLess{});
+        }
+      };
+      append(delta_lows_[j], iv.lo);
+      append(delta_highs_[j], iv.hi);
     }
     write_mask_bits(j, slot, iv, /*erase_restore=*/false);
   }
@@ -186,7 +257,10 @@ void IntervalIndex::insert(const Subscription& sub) {
     delta_pos_[slot] = static_cast<std::uint32_t>(delta_slots_.size());
     delta_slots_.push_back(slot);
   }
-  occupied_bits_[slot / kWordBits] |= Word{1} << (slot % kWordBits);
+  const std::size_t occ_word = 2 * (slot / kWordBits);
+  const Word occ_mask = Word{1} << (slot % kWordBits);
+  occupied_bits_[occ_word] |= occ_mask;
+  occupied_bits_[occ_word + 1] |= occ_mask;
   ++size_;
   maybe_compact();
 }
@@ -209,8 +283,12 @@ bool IntervalIndex::erase(SubscriptionId id) {
   if (found == nullptr) return false;
   const std::uint32_t slot = *found;
   slot_of_.erase(id);
+  if ((id >> 32) != 0) --big_id_count_;
 
-  occupied_bits_[slot / kWordBits] &= ~(Word{1} << (slot % kWordBits));
+  const std::size_t occ_word = 2 * (slot / kWordBits);
+  const Word occ_mask = Word{1} << (slot % kWordBits);
+  occupied_bits_[occ_word] &= ~occ_mask;
+  occupied_bits_[occ_word + 1] &= ~occ_mask;
   const Interval* slot_ranges = ranges_.data() + slot * m_;
   for (std::size_t j = 0; j < m_; ++j) {
     if (!is_wide(slot_ranges[j])) --selective_count_[j];
@@ -227,8 +305,9 @@ bool IntervalIndex::erase(SubscriptionId id) {
     unselective_pos_[slot] = kNoPos;
     release_slot(slot);
   } else if (delta_pos_[slot] != kNoPos) {
-    // Delta-tier slot: no endpoints exist yet; restore its mask rows and
-    // release outright.
+    // Delta-tier slot: no merged endpoints exist yet; restore its mask
+    // rows and release outright. Its delta-run entries die with the
+    // generation bump in release_slot — no log surgery.
     const std::uint32_t pos = delta_pos_[slot];
     const std::uint32_t moved = delta_slots_.back();
     delta_slots_[pos] = moved;
@@ -272,30 +351,33 @@ void IntervalIndex::compact() {
   // Per attribute: drop endpoints of tombstoned slots in place (they are
   // exactly the entries whose slot id is kInvalid — dead slots are not
   // released, so no freed-and-reused slot can alias one), then fold the
-  // delta tier's endpoints in with one sort + merge instead of per-element
-  // memmoves.
+  // delta-run log in. The log is consumed linearly (block-sorted runs, so
+  // the tail sort sees mostly-ordered input); entries of erased delta
+  // slots are dropped by their generation tag.
   const auto is_dead = [this](const Endpoint& e) {
     return ids_[e.slot] == core::kInvalidSubscriptionId;
   };
   for (std::size_t j = 0; j < m_; ++j) {
-    auto merge_in = [&](std::vector<Endpoint>& endpoints, bool low_side) {
+    auto merge_in = [&](std::vector<Endpoint>& endpoints,
+                        std::vector<DeltaEndpoint>& log) {
       if (!dead_slots_.empty()) {
         endpoints.erase(
             std::remove_if(endpoints.begin(), endpoints.end(), is_dead),
             endpoints.end());
       }
       const auto mid = static_cast<std::ptrdiff_t>(endpoints.size());
-      for (const std::uint32_t slot : delta_slots_) {
-        const Interval& iv = ranges_[slot * m_ + j];
-        if (is_wide(iv)) continue;
-        endpoints.push_back(Endpoint{low_side ? iv.lo : iv.hi, slot});
+      for (const DeltaEndpoint& e : log) {
+        if (delta_pos_[e.slot] != kNoPos && slot_gen_[e.slot] == e.gen) {
+          endpoints.push_back(Endpoint{e.value, e.slot});
+        }
       }
+      log.clear();
       std::sort(endpoints.begin() + mid, endpoints.end(), EndpointLess{});
       std::inplace_merge(endpoints.begin(), endpoints.begin() + mid,
                          endpoints.end(), EndpointLess{});
     };
-    merge_in(lows_[j], /*low_side=*/true);
-    merge_in(highs_[j], /*low_side=*/false);
+    merge_in(lows_[j], delta_lows_[j]);
+    merge_in(highs_[j], delta_highs_[j]);
   }
 
   for (const std::uint32_t slot : dead_slots_) {
@@ -311,11 +393,17 @@ void IntervalIndex::clear() {
   for (std::size_t j = 0; j < m_; ++j) {
     lows_[j].clear();
     highs_[j].clear();
+    delta_lows_[j].clear();
+    delta_highs_[j].clear();
     selective_count_[j] = 0;
   }
   ids_.clear();
+  ids32_.clear();
+  slot_gen_.clear();
+  big_id_count_ = 0;
   required_.clear();
   ranges_.clear();
+  verify_blob_.clear();
   semantic_attrs_.clear();
   wide_attrs_.clear();
   free_slots_.clear();
@@ -369,6 +457,117 @@ bool IntervalIndex::verify_box(std::uint32_t slot, const Subscription& box,
   return true;
 }
 
+template <typename Verify>
+std::uint64_t IntervalIndex::emit_candidates(
+    std::vector<SubscriptionId>& out, Verify&& verify) const {
+  const std::size_t paired = 2 * sweep_words();
+  const Word* acc = acc_scratch_.data();
+  if (certain_scratch_.size() < slot_capacity_) {
+    certain_scratch_.resize(slot_capacity_);
+    verify_scratch_.resize(slot_capacity_);
+  }
+  // Pass 1: decode the paired accumulator into certain / uncertain slot
+  // lists (word-at-a-time bit iteration, whole zero blocks skipped).
+  std::uint32_t* certain = certain_scratch_.data();
+  std::uint32_t* uncertain = verify_scratch_.data();
+  std::size_t n_certain = 0, n_uncertain = 0;
+  for (std::size_t w = 0; w < paired; w += 2 * simd::kBlockWords) {
+    if (simd::testz(acc + w, 2 * simd::kBlockWords)) continue;
+    for (std::size_t k = w; k < w + 2 * simd::kBlockWords; k += 2) {
+      const Word possible = acc[k];
+      if (possible == 0) continue;
+      const Word sure = possible & acc[k + 1];
+      const auto base = static_cast<std::uint32_t>((k / 2) * kWordBits);
+      Word bits = sure;
+      while (bits != 0) {
+        certain[n_certain++] =
+            base + static_cast<std::uint32_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+      }
+      bits = possible & ~sure;
+      while (bits != 0) {
+        uncertain[n_uncertain++] =
+            base + static_cast<std::uint32_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+      }
+    }
+  }
+  // Pass 2: emit. Certainty-certified slots only touch the id array (the
+  // 32-bit shadow while every live id fits); the uncertain residue runs
+  // the exact SIMD verify against the packed records. Software prefetch
+  // hides the data-dependent line fetches both loops are bound by.
+  const bool small_ids = big_id_count_ == 0;
+  const double* blob = verify_blob_.data();
+  const std::size_t row_doubles = verify_groups_ * 2 * kVerifyGroup;
+  for (std::size_t i = 0; i < n_certain; ++i) {
+    if (i + 32 < n_certain) {
+      simd::prefetch(small_ids
+                         ? static_cast<const void*>(ids32_.data() + certain[i + 32])
+                         : static_cast<const void*>(ids_.data() + certain[i + 32]));
+    }
+    const std::uint32_t slot = certain[i];
+    out.push_back(small_ids ? ids32_[slot] : ids_[slot]);
+  }
+  for (std::size_t i = 0; i < n_uncertain; ++i) {
+    if (i + 16 < n_uncertain) {
+      simd::prefetch(blob + uncertain[i + 16] * row_doubles);
+    }
+    const std::uint32_t slot = uncertain[i];
+    if (verify(slot)) out.push_back(small_ids ? ids32_[slot] : ids_[slot]);
+  }
+  return n_certain + n_uncertain;
+}
+
+void IntervalIndex::stab_simd(std::span<const Value> point,
+                              std::vector<SubscriptionId>& out) const {
+  const std::size_t paired = 2 * sweep_words();
+  if (acc_scratch_.size() < 2 * words_) acc_scratch_.resize(2 * words_);
+  Word* acc = acc_scratch_.data();
+  std::copy_n(occupied_bits_.begin(), paired, acc);
+
+  // Fused paired-lane sweep with per-attribute early exit. The certain
+  // lane of an attribute is only trusted for in-domain probe values (see
+  // the header): out-of-domain or non-comparable values zero it and fall
+  // back to verify-everything, for that attribute's contribution.
+  bool zero_certain = false;
+  for (std::size_t j = 0; j < m_; ++j) {
+    const Value v = point[j];
+    const bool trusted = v >= config_.domain_lo && v <= config_.domain_hi;
+    if (selective_count_[j] == 0) {
+      // Nobody live constrains j selectively: every live slot is wide on
+      // it, so the possible lane is all-ones and the sweep skips the AND.
+      // The implicit all-ones certain lane is only valid in-domain.
+      if (!trusted) zero_certain = true;
+      continue;
+    }
+    const Word* row = pair_row(j, bucket_of(v));
+    const bool alive = trusted ? simd::and_into(acc, row, paired)
+                               : simd::and_into_even(acc, row, paired);
+    if (!alive) {
+      last_query_cost_ = 0;
+      return;
+    }
+  }
+  if (zero_certain) simd::zero_odd_words(acc, paired);
+
+  double* padded = query_pad_.data();
+  for (std::size_t lane = 0; lane < verify_groups_ * kVerifyGroup; ++lane) {
+    padded[lane] = lane < m_ ? point[lane] : 0.0;
+  }
+  const double* blob = verify_blob_.data();
+  const std::size_t row_doubles = verify_groups_ * 2 * kVerifyGroup;
+  last_query_cost_ = emit_candidates(out, [&](std::uint32_t slot) {
+    const double* rec = blob + slot * row_doubles;
+    for (std::size_t g = 0; g < verify_groups_; ++g) {
+      if (!simd::contains4(padded + g * kVerifyGroup,
+                           rec + g * 2 * kVerifyGroup)) {
+        return false;
+      }
+    }
+    return true;
+  });
+}
+
 void IntervalIndex::stab(std::span<const Value> point,
                          std::vector<SubscriptionId>& out) const {
   if (point.size() != m_) {
@@ -378,24 +577,40 @@ void IntervalIndex::stab(std::span<const Value> point,
     last_query_cost_ = 0;
     return;
   }
+  if (config_.use_simd && simd::vectorized()) {
+    // The vectorized verify checks the full padded schema, which is only
+    // equivalent to the semantic-mask verify for comparable values: a NaN
+    // must fail constrained attributes yet pass unconstrained ones.
+    bool has_nan = false;
+    for (std::size_t j = 0; j < m_; ++j) {
+      if (std::isnan(point[j])) {
+        has_nan = true;
+        break;
+      }
+    }
+    if (!has_nan) {
+      stab_simd(point, out);
+      return;
+    }
+  }
+
   std::uint64_t cost = 0;
   const std::size_t words = words_in_use();
 
-  // Fused word-parallel sweep: start from the live slots and AND in each
-  // attribute's candidate-mask row for the probe's bucket. Delta-tier
-  // slots participate like main-tier ones (their mask bits are written at
-  // insert time); tombstoned slots are excluded by the occupancy row.
-  // Attributes nobody (live) constrains selectively are skipped outright:
-  // their rows can carry stale zero-bits of dead slots, but ANDing them
-  // would only re-clear already-dead candidates.
-  acc_scratch_.assign(occupied_bits_.begin(),
-                      occupied_bits_.begin() + static_cast<std::ptrdiff_t>(words));
+  // Scalar ablation path: the pre-vectorization fused word sweep, reading
+  // the possible lane of the paired rows. Delta-tier slots participate
+  // like main-tier ones (their mask bits are written at insert time);
+  // tombstoned slots are excluded by the occupancy row. Attributes nobody
+  // (live) constrains selectively are skipped outright: their rows can
+  // carry stale zero-bits of dead slots, but ANDing them would only
+  // re-clear already-dead candidates.
+  if (acc_scratch_.size() < 2 * words_) acc_scratch_.resize(2 * words_);
   Word* acc = acc_scratch_.data();
+  for (std::size_t w = 0; w < words; ++w) acc[w] = occupied_bits_[2 * w];
   for (std::size_t j = 0; j < m_; ++j) {
     if (selective_count_[j] == 0) continue;
-    const Word* row = mask_row(j, bucket_of(point[j]));
-    for (std::size_t w = 0; w < words; ++w) acc[w] &= row[w];
-    cost += words;
+    const Word* row = pair_row(j, bucket_of(point[j]));
+    for (std::size_t w = 0; w < words; ++w) acc[w] &= row[2 * w];
   }
 
   // Exact verification of the surviving bucket-granularity superset.
@@ -419,10 +634,110 @@ std::vector<SubscriptionId> IntervalIndex::stab(
   return out;
 }
 
+void IntervalIndex::box_intersect_simd(const Subscription& box,
+                                       std::vector<SubscriptionId>& out) const {
+  const std::size_t wp = sweep_words();
+  const std::size_t paired = 2 * wp;
+  if (acc_scratch_.size() < 2 * words_) acc_scratch_.resize(2 * words_);
+  if (or_possible_scratch_.size() < words_) {
+    or_possible_scratch_.resize(words_);
+    or_certain_scratch_.resize(words_);
+  }
+  Word* acc = acc_scratch_.data();
+  std::copy_n(occupied_bits_.begin(), paired, acc);
+  Word* or_possible = or_possible_scratch_.data();
+  Word* or_certain = or_certain_scratch_.data();
+
+  // Per attribute: OR the possible lane over the query's bucket span. A
+  // slot overlapping any INTERIOR bucket of the span certainly intersects
+  // on this attribute (the span's endpoint buckets only prove bucket-
+  // granularity overlap), so the interior OR doubles as the certainty
+  // contribution. Bucket-outer/word-inner order keeps each row streaming.
+  bool zero_certain = false;
+  for (std::size_t j = 0; j < m_; ++j) {
+    const Interval& q = box.range(j);
+    if (selective_count_[j] == 0) {
+      // Every live slot is wide on j (covers the whole domain), which
+      // certainly overlaps the query iff the query reaches strictly
+      // inside the domain from both sides.
+      if (!(bucket_of(q.hi) >= 1 &&
+            bucket_of(q.lo) + 2 <= config_.bucket_count)) {
+        zero_certain = true;
+      }
+      continue;
+    }
+    const std::size_t first = bucket_of(q.lo);
+    const std::size_t last = bucket_of(q.hi);
+    std::fill_n(or_certain, wp, Word{0});
+    for (std::size_t b = first + 1; b + 1 <= last; ++b) {
+      const Word* row = pair_row(j, b);
+      for (std::size_t w = 0; w < wp; ++w) or_certain[w] |= row[2 * w];
+    }
+    std::copy_n(or_certain, wp, or_possible);
+    {
+      const Word* row = pair_row(j, first);
+      for (std::size_t w = 0; w < wp; ++w) or_possible[w] |= row[2 * w];
+    }
+    if (last != first) {
+      const Word* row = pair_row(j, last);
+      for (std::size_t w = 0; w < wp; ++w) or_possible[w] |= row[2 * w];
+    }
+    Word any = 0;
+    for (std::size_t w = 0; w < wp; ++w) {
+      const Word possible = acc[2 * w] & or_possible[w];
+      acc[2 * w] = possible;
+      acc[2 * w + 1] &= or_certain[w];
+      any |= possible;
+    }
+    if (any == 0) {
+      last_query_cost_ = 0;
+      return;
+    }
+  }
+  if (zero_certain) simd::zero_odd_words(acc, paired);
+
+  const std::size_t lanes = verify_groups_ * kVerifyGroup;
+  double* qlo = query_pad_.data();
+  double* qhi = query_pad_.data() + lanes;
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    qlo[lane] = lane < m_ ? box.range(lane).lo : -kInf;
+    qhi[lane] = lane < m_ ? box.range(lane).hi : kInf;
+  }
+  const double* blob = verify_blob_.data();
+  const std::size_t row_doubles = verify_groups_ * 2 * kVerifyGroup;
+  last_query_cost_ = emit_candidates(out, [&](std::uint32_t slot) {
+    const double* rec = blob + slot * row_doubles;
+    for (std::size_t g = 0; g < verify_groups_; ++g) {
+      if (!simd::intersects4(qlo + g * kVerifyGroup, qhi + g * kVerifyGroup,
+                             rec + g * 2 * kVerifyGroup)) {
+        return false;
+      }
+    }
+    return true;
+  });
+}
+
 void IntervalIndex::box_intersect(const Subscription& box,
                                   std::vector<SubscriptionId>& out) const {
   if (box.attribute_count() != m_) {
     throw std::invalid_argument("IntervalIndex::box_intersect: schema mismatch");
+  }
+  if (size_ == 0) {
+    last_query_cost_ = 0;
+    return;
+  }
+  if (config_.use_simd && simd::vectorized()) {
+    bool has_nan = false;
+    for (std::size_t j = 0; j < m_; ++j) {
+      if (std::isnan(box.range(j).lo) || std::isnan(box.range(j).hi)) {
+        has_nan = true;
+        break;
+      }
+    }
+    if (!has_nan) {
+      box_intersect_simd(box, out);
+      return;
+    }
   }
   const std::uint64_t epoch = ++epoch_;
   std::uint64_t cost = 0;
@@ -446,7 +761,6 @@ void IntervalIndex::box_intersect(const Subscription& box,
       if (!(e.value < qlo)) break;
       touch(e.slot);
       --counts_[e.slot];
-      ++cost;
     }
   }
   for (std::size_t j = 0; j < m_; ++j) {
@@ -461,7 +775,6 @@ void IntervalIndex::box_intersect(const Subscription& box,
           out.push_back(ids_[e.slot]);
         }
       }
-      ++cost;
     }
   }
 

@@ -40,19 +40,53 @@
 //    emitted slots' wide attributes against the probe (a handful of
 //    comparisons; selective attributes were counted exactly).
 //
-// 2. Bucketed candidate-mask bitmaps: the attribute domain is split into B
-//    buckets; mask[j][b] is a bitmap over slots whose bit is 1 iff the
-//    slot is a POSSIBLE match for a point in bucket b on attribute j —
-//    its selective interval overlaps the bucket, or the attribute is wide
-//    for it (free slots also stay 1; liveness is a separate occupancy
-//    bitmap). A point probe is then one fused word-parallel sweep
+// 2. Bucketed candidate-mask bitmaps, stored as PAIRED LANES: the
+//    attribute domain is split into B buckets, and each row mask[j][b] is
+//    a 32-byte-aligned bitmap over slots with TWO interleaved 64-bit words
+//    per slot group (even word then odd word, always in the same cache
+//    line, so mutations pay for one line whether they write one lane or
+//    both):
+//      * POSSIBLE lane (even words): bit 1 iff the slot could match a
+//        point in bucket b on attribute j — its selective interval
+//        overlaps the bucket, or the attribute is wide for it (free slots
+//        also stay 1; liveness is a separate occupancy bitmap);
+//      * CERTAIN lane (odd words): bit 1 iff the slot's interval FULLY
+//        COVERS bucket b — every point of the bucket matches attribute j,
+//        so a slot whose certain bit survives the sweep on every
+//        attribute needs NO verification at all. The lane is computed
+//        exactly from bucket monotonicity, never from float boundary
+//        arithmetic: with bl = bucket(lo) (-1 when lo = -inf) and
+//        bh = bucket(hi) (B when hi = +inf), the certain span is
+//        (bl, bh) exclusive — bucket(lo) < b < bucket(hi) forces
+//        lo < v < hi for every real v in bucket b.
+//    A point probe is one fused word-parallel sweep
 //        acc[w] &= mask[j][bucket(v_j)][w]
-//    over the attributes somebody constrains — O(m * k/64) single-load
-//    word ops — leaving a small bucket-granularity superset that is
-//    verified exactly (each slot stores a bitmask of its semantically
-//    constrained attributes, so only real predicates are re-checked).
-//    stab runs here. Values outside the configured domain clamp to the
-//    edge buckets: only pruning power degrades, never correctness.
+//    over both lanes of the attributes somebody constrains — a SIMD
+//    kernel (util/simd.hpp) with block-level early exit on an all-zero
+//    accumulator — leaving the possible-lane superset partitioned into
+//    certain survivors (emitted directly; with ~97% of candidates being
+//    true matches under realistic workloads this removes the dominant
+//    verification cost) and an uncertain residue (possible & ~certain,
+//    verified exactly against the packed verify records below). stab runs
+//    here. Values outside the configured domain clamp to the edge
+//    buckets, and the certain lane of an attribute is only TRUSTED when
+//    the probe value is inside [domain_lo, domain_hi] (wide slots carry
+//    all-ones rows whose certain bits are only valid for in-domain
+//    points, and NaN probes must fail every comparison); untrusted
+//    attributes zero the certainty lane and degrade to verify-everything.
+//    Only pruning power degrades, never correctness.
+//
+// HOT-PATH SLOT DATA (structure-of-arrays, SIMD-friendly). Candidate
+// emission is cache-miss-bound, so the per-slot state it touches lives in
+// dedicated linear arrays instead of the colder bookkeeping vectors:
+//   * verify_blob_ — per slot, ceil(m/4) packed 64-byte records [lo x4 |
+//     hi x4] (32-byte aligned; padding lanes hold -inf/+inf so they pass
+//     any real value), consumed by the branchless 4-lane SIMD verify;
+//   * ids32_ — a 32-bit shadow of ids_; while every live id fits in 32
+//     bits (big_id_count_ == 0) emission reads this array instead and
+//     halves the id-fetch cache-line traffic.
+// semantic_attrs_ / wide_attrs_ / the occupancy bitmap remain the scan
+// metadata for the scalar ablation path.
 //
 // CHURN AMORTIZATION (two-tier mutation model). Endpoint arrays are cheap
 // to query but O(k) to mutate (one memmove per selective attribute), which
@@ -63,9 +97,14 @@
 //     bits and occupancy bit are written immediately (O(bucket_count) per
 //     selective attribute — so stab needs no special delta handling and
 //     keeps full bitmap pruning), but its endpoints are NOT merged into
-//     the sorted arrays yet. box_intersect flat-scans the delta tier after
-//     the counting pass (the delta is bounded by the compaction
-//     threshold).
+//     the sorted arrays yet. Instead they are appended to per-attribute
+//     DELTA RUNS — generation-tagged endpoint logs sorted in small
+//     cache-resident blocks as they fill — so the next compaction
+//     consumes a linear, mostly-sorted stream instead of gathering
+//     scattered ranges_ rows. box_intersect's counting path flat-scans
+//     the delta tier after the counting pass (the delta is bounded by the
+//     compaction threshold); the SIMD mask path needs no delta special
+//     case at all (mask bits are already live).
 //   * erase of a main-tier slot TOMBSTONES it: the occupancy bit is
 //     cleared (stab exact immediately) and the slot is marked dead; its
 //     stale endpoints stay in the sorted arrays until the next compaction
@@ -90,12 +129,14 @@
 // on one instance.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "core/subscription.hpp"
 #include "util/flat_map.hpp"
+#include "util/simd.hpp"
 
 namespace psc::index {
 
@@ -120,6 +161,14 @@ struct IndexConfig {
   /// against query-time overhead.
   std::size_t compaction_min = 256;
   double compaction_slack = 0.02;
+
+  /// Use the vectorized query kernels when a SIMD backend was compiled in
+  /// (simd::vectorized()); false forces the scalar ablation path in the
+  /// same binary. Pure performance knob: both paths are property-tested
+  /// decision-for-decision identical, so query RESULTS never depend on it
+  /// (which is also why it is deliberately NOT part of the wire snapshot —
+  /// a restoring process keeps its own default).
+  bool use_simd = true;
 };
 
 /// Incremental candidate index over one fixed attribute schema (see file
@@ -178,9 +227,14 @@ class IntervalIndex {
   [[nodiscard]] std::vector<core::SubscriptionId> box_intersect(
       const core::Subscription& box) const;
 
-  /// Work performed by the most recent query (bitmap words + verification
-  /// probes for stab; endpoint passes + delta probes for box_intersect) —
-  /// comparable against the k subscriptions a flat scan would examine.
+  /// Candidates the most recent query EXAMINED: slots that reached the
+  /// emission stage and were either certainty-emitted or exactly verified
+  /// (for the counting path of box_intersect: emissions plus delta-tier
+  /// and unselective probes). Deliberately NOT kernel work (bitmap words
+  /// swept, endpoints passed): ops/sec regressions catch kernel
+  /// slowdowns, while this number isolates PRUNING regressions — it is
+  /// directly comparable against the k subscriptions a flat scan would
+  /// examine, on every backend and scale tier.
   [[nodiscard]] std::uint64_t last_query_cost() const noexcept {
     return last_query_cost_;
   }
@@ -209,9 +263,24 @@ class IntervalIndex {
     core::Value value;
     std::uint32_t slot;
   };
+  /// Delta-run log entry: a pending endpoint plus the generation its slot
+  /// had when appended. An entry is live iff the slot is still in the
+  /// delta tier with the same generation — erased (and possibly reused)
+  /// slots are filtered out by the tag, never by log surgery.
+  struct DeltaEndpoint {
+    core::Value value;
+    std::uint32_t slot;
+    std::uint32_t gen;
+  };
   using Word = std::uint64_t;
   static constexpr std::size_t kWordBits = 64;
   static constexpr std::uint32_t kNoPos = 0xffffffffU;
+  /// Delta-run block size: appended log entries are sorted in place every
+  /// time a block fills, while still cache-resident.
+  static constexpr std::size_t kDeltaRun = 128;
+  /// Verify records pack attributes in groups of 4 (one 64-byte record:
+  /// four lows then four highs).
+  static constexpr std::size_t kVerifyGroup = 4;
 
   std::size_t m_;
   IndexConfig config_;
@@ -244,6 +313,17 @@ class IntervalIndex {
   std::vector<std::uint32_t> free_slots_;
   util::FlatMap<core::SubscriptionId, std::uint32_t> slot_of_;
 
+  /// Hot emission data (see file comment): packed 4-lane verify records,
+  /// verify_groups_ * 8 doubles per slot, and the 32-bit id shadow used
+  /// while big_id_count_ == 0. Stale rows of dead slots are never read
+  /// (emission starts from the occupancy bitmap).
+  std::size_t verify_groups_ = 1;
+  simd::AlignedVector<double> verify_blob_;
+  std::vector<std::uint32_t> ids32_;
+  std::size_t big_id_count_ = 0;
+  /// Slot reuse generations backing the DeltaEndpoint tags.
+  std::vector<std::uint32_t> slot_gen_;
+
   /// Slots with no selective attribute bypass the counting pass of
   /// box_intersect entirely (they are emitted subject to wide-attribute
   /// verification only). unselective_pos_[slot] is the slot's position in
@@ -258,14 +338,22 @@ class IntervalIndex {
   std::vector<std::uint32_t> delta_pos_;
   std::vector<std::uint32_t> dead_slots_;
   std::uint64_t compactions_ = 0;
+  /// Per-attribute delta-run logs (pending low/high endpoints of delta-
+  /// tier slots, block-sorted as they fill; see file comment).
+  std::vector<std::vector<DeltaEndpoint>> delta_lows_;
+  std::vector<std::vector<DeltaEndpoint>> delta_highs_;
 
-  /// Candidate-mask rows, m_ * bucket_count of them, words_ words each;
-  /// free and wide/unconstrained slots carry 1-bits (see file comment).
-  /// The occupancy row has 1-bits exactly at live slots.
-  std::size_t words_ = 0;          ///< words per bitmap row
+  /// Candidate-mask rows, m_ * bucket_count of them, 2 * words_ words
+  /// each in the paired possible/certain lane layout (even word =
+  /// possible, odd word = certain; see file comment); free and
+  /// wide/unconstrained slots carry 1-bits in BOTH lanes. The occupancy
+  /// row is paired the same way (both lanes identical) so the stab
+  /// accumulator initializes with one aligned copy. 32-byte aligned,
+  /// words_ always a multiple of simd::kBlockWords.
+  std::size_t words_ = 0;          ///< words per bitmap LANE
   std::size_t slot_capacity_ = 0;  ///< slots representable, words_ * 64
-  std::vector<Word> mask_bits_;
-  std::vector<Word> occupied_bits_;
+  simd::AlignedVector<Word> mask_bits_;
+  simd::AlignedVector<Word> occupied_bits_;
 
   /// Lazily-reset counting state for box_intersect (epoch stamp instead of
   /// an O(k) clear).
@@ -273,7 +361,12 @@ class IntervalIndex {
   mutable std::vector<std::uint64_t> epochs_;
   mutable std::uint64_t epoch_ = 0;
   mutable std::uint64_t last_query_cost_ = 0;
-  mutable std::vector<Word> acc_scratch_;  ///< stab accumulator
+  mutable simd::AlignedVector<Word> acc_scratch_;  ///< paired accumulator
+  mutable std::vector<Word> or_possible_scratch_;  ///< box OR over span
+  mutable std::vector<Word> or_certain_scratch_;   ///< box OR over interior
+  mutable std::vector<std::uint32_t> certain_scratch_;  ///< emitted directly
+  mutable std::vector<std::uint32_t> verify_scratch_;   ///< exact-verified
+  mutable simd::AlignedVector<double> query_pad_;  ///< padded probe values
 
   /// True iff the interval cannot prune inside the configured domain.
   [[nodiscard]] bool is_wide(const core::Interval& iv) const noexcept;
@@ -281,12 +374,21 @@ class IntervalIndex {
   [[nodiscard]] std::size_t words_in_use() const noexcept {
     return (ids_.size() + kWordBits - 1) / kWordBits;
   }
-  [[nodiscard]] Word* mask_row(std::size_t attribute, std::size_t bucket) noexcept {
-    return mask_bits_.data() + (attribute * config_.bucket_count + bucket) * words_;
+  /// Words per lane actually swept: words_in_use padded to a whole SIMD
+  /// block (padding words hold zero occupancy, so sweeping them is inert).
+  [[nodiscard]] std::size_t sweep_words() const noexcept {
+    return std::min(simd::padded_words(words_in_use()), words_);
   }
-  [[nodiscard]] const Word* mask_row(std::size_t attribute,
+  /// A row's paired lanes: word 2w is the possible lane, 2w + 1 the
+  /// certain lane of slot group w.
+  [[nodiscard]] Word* pair_row(std::size_t attribute, std::size_t bucket) noexcept {
+    return mask_bits_.data() +
+           (attribute * config_.bucket_count + bucket) * 2 * words_;
+  }
+  [[nodiscard]] const Word* pair_row(std::size_t attribute,
                                      std::size_t bucket) const noexcept {
-    return mask_bits_.data() + (attribute * config_.bucket_count + bucket) * words_;
+    return mask_bits_.data() +
+           (attribute * config_.bucket_count + bucket) * 2 * words_;
   }
   /// True iff the slot's box contains the point / intersects the box,
   /// checking only the attributes in `attrs` (m_ <= 64) or all of them.
@@ -294,10 +396,28 @@ class IntervalIndex {
                                  std::span<const core::Value> point) const;
   [[nodiscard]] bool verify_box(std::uint32_t slot, const core::Subscription& box,
                                 std::uint64_t attrs) const;
-  /// Writes the slot's mask bits for one selective attribute: 1 in the
-  /// buckets its interval overlaps (all of them on erase), 0 elsewhere.
+  /// Vectorized query paths (candidate-mask sweep + certainty lane + SIMD
+  /// verify); selected when config_.use_simd and a SIMD backend exists,
+  /// and the probe carries no NaN (a NaN value must fail its own
+  /// attribute but pass unconstrained ones — only the scalar semantic-
+  /// mask verify distinguishes the two).
+  void stab_simd(std::span<const core::Value> point,
+                 std::vector<core::SubscriptionId>& out) const;
+  void box_intersect_simd(const core::Subscription& box,
+                          std::vector<core::SubscriptionId>& out) const;
+  /// Drains the paired accumulator: certain survivors emit their id
+  /// directly, uncertain ones (possible & ~certain) go through `verify`
+  /// (a slot -> bool predicate). Returns candidates examined.
+  template <typename Verify>
+  std::uint64_t emit_candidates(std::vector<core::SubscriptionId>& out,
+                                Verify&& verify) const;
+  /// Writes the slot's mask bits for one selective attribute: possible
+  /// lane 1 in the buckets its interval overlaps, certain lane 1 in the
+  /// buckets it fully covers (both lanes 1 everywhere on erase-restore).
   void write_mask_bits(std::size_t attribute, std::uint32_t slot,
                        const core::Interval& iv, bool erase_restore);
+  /// Writes the slot's packed verify records (padding lanes -inf/+inf).
+  void write_verify_row(std::uint32_t slot, const core::Subscription& sub);
   void grow_bitmaps();
   void remove_endpoint(std::vector<Endpoint>& endpoints, core::Value value,
                        std::uint32_t slot);

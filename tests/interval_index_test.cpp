@@ -157,31 +157,39 @@ TEST(IntervalIndex, RandomizedEquivalenceWithFlatScanUnderChurn) {
 }
 
 TEST(IntervalIndex, QueryCostIsReported) {
-  IntervalIndex index(1);
-  for (SubscriptionId id = 1; id <= 50; ++id) {
-    index.insert(Subscription({Interval{static_cast<double>(id), 1000.0}}, id));
-  }
-  // Stab below every lower bound: the bitmap sweep touches a handful of
-  // words and verifies nothing.
-  (void)index.stab(std::vector<Value>{0.5});
-  const std::uint64_t cheap = index.last_query_cost();
-  // Mid-domain stab: every subscription is a candidate.
-  (void)index.stab(std::vector<Value>{500.0});
-  EXPECT_GE(index.last_query_cost(), 50u);
-  EXPECT_LT(cheap, index.last_query_cost());
+  // last_query_cost counts candidates EXAMINED (certainty-emitted,
+  // verified, or probed), comparable against the 50 a flat scan would
+  // touch — on both query paths, so run the contract against each.
+  for (const bool use_simd : {true, false}) {
+    IndexConfig config;
+    config.use_simd = use_simd;
+    IntervalIndex index(1, config);
+    for (SubscriptionId id = 1; id <= 50; ++id) {
+      index.insert(
+          Subscription({Interval{static_cast<double>(id), 1000.0}}, id));
+    }
+    // Stab below every lower bound: only the handful of subscriptions
+    // whose lower bound shares the probe's edge bucket are examined.
+    (void)index.stab(std::vector<Value>{0.5});
+    const std::uint64_t cheap = index.last_query_cost();
+    // Mid-domain stab: every subscription is a candidate.
+    (void)index.stab(std::vector<Value>{500.0});
+    EXPECT_GE(index.last_query_cost(), 50u);
+    EXPECT_LT(cheap, index.last_query_cost());
 
-  // box_intersect reports endpoint passes plus delta-tier probes. With the
-  // delta tier pending, a probe below every interval still pays one probe
-  // per delta slot; after compaction it passes nothing. A full-domain
-  // probe passes every endpoint either way.
-  (void)index.box_intersect(Subscription({Interval{-100.0, -50.0}}, 999));
-  EXPECT_EQ(index.last_query_cost(), index.delta_size());
-  index.compact();
-  EXPECT_EQ(index.delta_size(), 0u);
-  (void)index.box_intersect(Subscription({Interval{-100.0, -50.0}}, 999));
-  EXPECT_EQ(index.last_query_cost(), 0u);
-  (void)index.box_intersect(Subscription({Interval{-100.0, 2000.0}}, 999));
-  EXPECT_GE(index.last_query_cost(), 50u);
+    // Box probe below every interval. The counting path pays one probe
+    // per pending delta slot; the mask path prunes to the probe's edge
+    // bucket. Neither examines more than the delta tier holds.
+    (void)index.box_intersect(Subscription({Interval{-100.0, -50.0}}, 999));
+    EXPECT_LE(index.last_query_cost(), index.delta_size());
+    index.compact();
+    EXPECT_EQ(index.delta_size(), 0u);
+    (void)index.box_intersect(Subscription({Interval{-100.0, -50.0}}, 999));
+    EXPECT_LT(index.last_query_cost(), 50u);
+    // A full-domain probe must examine every subscription.
+    (void)index.box_intersect(Subscription({Interval{-100.0, 2000.0}}, 999));
+    EXPECT_GE(index.last_query_cost(), 50u);
+  }
 }
 
 }  // namespace

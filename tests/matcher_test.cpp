@@ -102,7 +102,10 @@ TEST(Matcher, StatsAccumulate) {
   (void)matcher.match(Publication({50.0, 50.0}));
   EXPECT_EQ(matcher.stats().publications, 2u);
   EXPECT_EQ(matcher.stats().matches, 1u);
-  EXPECT_GE(matcher.stats().active_examined, 2u);
+  // active_examined counts candidates the index examined: the matching
+  // publication reaches the one subscription; the far-off one is pruned
+  // before examining anything.
+  EXPECT_GE(matcher.stats().active_examined, 1u);
   matcher.reset_stats();
   EXPECT_EQ(matcher.stats().publications, 0u);
 }
