@@ -10,7 +10,10 @@
 
 #include <chrono>
 #include <cstdint>
+#include <fstream>
 #include <iostream>
+#include <iterator>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -20,8 +23,41 @@
 #include "util/stats.hpp"
 #include "util/table_writer.hpp"
 #include "util/timer.hpp"
+#include "wire/byte_buffer.hpp"
+#include "wire/codec.hpp"
+#include "workload/churn_workload.hpp"
 
 namespace psc::bench {
+
+// --- failure reproducibility --------------------------------------------
+//
+// When a soak gate trips, the harness dumps the offending trace as a PSCT
+// file and prints a `--replay=FILE` one-liner. Membership traces embed
+// their universe, so a dumped file is self-contained: replay rebuilds the
+// overlay from it without knowing which named topology produced it.
+
+inline void write_trace_file(const std::string& path,
+                             const workload::ChurnTrace& trace) {
+  wire::ByteWriter out;
+  wire::write_churn_trace(out, trace);
+  std::ofstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("cannot open trace dump path: " + path);
+  file.write(reinterpret_cast<const char*>(out.buffer().data()),
+             static_cast<std::streamsize>(out.buffer().size()));
+}
+
+inline workload::ChurnTrace read_trace_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("cannot open --replay path: " + path);
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(file)), std::istreambuf_iterator<char>());
+  wire::ByteReader in(bytes);
+  workload::ChurnTrace trace = wire::read_churn_trace(in);
+  if (!in.at_end()) {
+    throw std::runtime_error("trailing bytes after trace in " + path);
+  }
+  return trace;
+}
 
 /// One timed section in the shared regression-gate JSON schema: every
 /// harness that feeds scripts/check_bench.py (perf_gate, index_scaling)

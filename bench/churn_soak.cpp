@@ -6,10 +6,15 @@
 //                [--sub-rate=2.0] [--pub-rate=5.0] [--ttl-fraction=0.5]
 //                [--shards=1] [--differential=true] [--json=PATH]
 //                [--topology=NAME]   (substring filter, e.g. "grid")
+//                [--dump-dir=.] [--replay=FILE]
 //
 // Every run replays the same seeded trace per topology, so two runs with
 // equal flags produce identical counters; wall-clock timing is the only
 // nondeterministic field in the JSON.
+//
+// Failure reproducibility: a tripped gate dumps the offending trace as a
+// PSCT file and prints the `--replay=FILE --topology=NAME ...` one-liner
+// that reruns exactly that trace on exactly that overlay.
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -115,6 +120,13 @@ int main(int argc, char** argv) {
   const bool differential = flags.get_bool("differential", true);
   const std::string json_path = flags.get_string("json", "");
   const std::string topology_filter = flags.get_string("topology", "");
+  const std::string dump_dir = flags.get_string("dump-dir", ".");
+  const std::string replay_path = flags.get_string("replay", "");
+  if (!replay_path.empty() && topology_filter.empty()) {
+    std::cerr << "--replay needs --topology=NAME to pick the overlay the "
+                 "trace was recorded against\n";
+    return 2;
+  }
 
   util::print_banner(std::cout, "churn_soak",
                      "open-workload churn across the standard topologies");
@@ -136,7 +148,10 @@ int main(int argc, char** argv) {
 
     SoakResult result;
     result.topology = topology;
-    result.trace = workload::generate_churn_trace(config, topology.brokers, seed);
+    result.trace =
+        replay_path.empty()
+            ? workload::generate_churn_trace(config, topology.brokers, seed)
+            : bench::read_trace_file(replay_path);
     auto net = topology.build(net_config);
     const util::Timer timer;
     sim::ChurnDriver::Options driver_options;
@@ -174,6 +189,26 @@ int main(int argc, char** argv) {
     for (const SoakResult& result : results) {
       mismatches += result.report.mismatched_publishes;
       lost += result.report.totals.notifications_lost;
+      if (result.report.mismatched_publishes == 0 &&
+          result.report.totals.notifications_lost == 0) {
+        continue;
+      }
+      // Reproducibility: dump the offending trace and print the one-liner
+      // that replays it on exactly this overlay.
+      const std::string dump = dump_dir + "/churn_soak_fail_" +
+                               result.topology.name + "_" +
+                               std::to_string(seed) + ".psct";
+      bench::write_trace_file(dump, result.trace);
+      std::cerr << "\nGATE FAILURE on " << result.topology.name << " (seed "
+                << seed << ", policy " << store::to_string(policy)
+                << "): mismatched=" << result.report.mismatched_publishes
+                << " lost=" << result.report.totals.notifications_lost << "\n"
+                << "  trace dumped; replay with:\n"
+                << "    ./churn_soak --replay=" << dump
+                << " --topology=" << result.topology.name
+                << " --seed=" << seed
+                << " --policy=" << store::to_string(policy)
+                << " --shards=" << shards << "\n";
     }
     if (mismatches > 0 || lost > 0) {
       std::cerr << "\nFAIL: " << mismatches << " mismatched publishes, "

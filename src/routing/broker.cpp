@@ -46,6 +46,42 @@ void Broker::add_neighbor(BrokerId neighbor) {
   neighbors_.push_back(neighbor);
 }
 
+void Broker::remove_neighbor(BrokerId neighbor) {
+  neighbors_.erase(std::remove(neighbors_.begin(), neighbors_.end(), neighbor),
+                   neighbors_.end());
+  forwarded_.erase(neighbor);
+}
+
+Broker::AnnounceOutcome Broker::announce_all_to(BrokerId neighbor) {
+  if (std::find(neighbors_.begin(), neighbors_.end(), neighbor) ==
+      neighbors_.end()) {
+    throw std::invalid_argument("Broker::announce_all_to: not a neighbour");
+  }
+  if (forwarded_.find(neighbor) != forwarded_.end()) {
+    throw std::logic_error("Broker::announce_all_to: link store is not fresh");
+  }
+  std::vector<const RouteEntry*> entries;
+  entries.reserve(routing_table_.size());
+  routing_table_.for_each([&](SubscriptionId, const RouteEntry& entry) {
+    if (!entry.origin.local && entry.origin.neighbor == neighbor) return;
+    entries.push_back(&entry);
+  });
+  std::sort(entries.begin(), entries.end(),
+            [](const RouteEntry* a, const RouteEntry* b) {
+              return a->sub.id() < b->sub.id();
+            });
+  AnnounceOutcome outcome;
+  store::SubscriptionStore& link_store = forwarded_mutable(neighbor);
+  for (const RouteEntry* entry : entries) {
+    if (link_store.insert(entry->sub).covered) {
+      ++outcome.suppressed;
+      continue;
+    }
+    outcome.announce.push_back(entry->sub);
+  }
+  return outcome;
+}
+
 store::SubscriptionStore& Broker::forwarded_mutable(BrokerId neighbor) {
   auto it = forwarded_.find(neighbor);
   if (it == forwarded_.end()) {
@@ -265,6 +301,15 @@ std::vector<std::pair<BrokerId, Subscription>> Broker::handle_expiry(
   UnsubscriptionOutcome outcome =
       handle_unsubscription(id, Origin{true, kInvalidBroker});
   return std::move(outcome.reannounce);
+}
+
+std::vector<SubscriptionId> Broker::routed_ids() const {
+  std::vector<SubscriptionId> ids;
+  ids.reserve(routing_table_.size());
+  routing_table_.for_each(
+      [&](SubscriptionId sid, const RouteEntry&) { ids.push_back(sid); });
+  std::sort(ids.begin(), ids.end());
+  return ids;
 }
 
 std::vector<SubscriptionId> Broker::subscriptions_from(const Origin& origin) const {

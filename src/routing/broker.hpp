@@ -67,6 +67,33 @@ class Broker {
     return neighbors_;
   }
 
+  /// Detaches a neighbour link: removes it from the neighbour list and
+  /// drops its forwarded-store coverage state. A later re-attach starts
+  /// from a fresh store via announce_all_to — coverage decisions made for
+  /// the dead link describe state the peer no longer holds, so they must
+  /// not survive the link. No-op if `neighbor` is not attached.
+  void remove_neighbor(BrokerId neighbor);
+
+  /// Outcome of re-announcing the full routing table over a fresh link.
+  struct AnnounceOutcome {
+    /// Subscriptions the network must flood over the link (ascending id).
+    std::vector<core::Subscription> announce;
+    std::uint64_t suppressed = 0;  ///< withheld by link-store coverage
+  };
+
+  /// Link-attach re-announcement (membership heal/join/repair): seeds the
+  /// forwarded store of `neighbor` — which must be fresh, i.e. the link
+  /// carries no coverage state yet — with every routed subscription in
+  /// canonical id order, and returns the uncovered ones. Routes whose
+  /// reverse path already points at `neighbor` are excluded (none exist on
+  /// a genuinely fresh attach; the guard keeps misuse from echoing).
+  /// Id order makes the link store's decisions (and its engine RNG
+  /// consumption) a pure function of the routed set, independent of the
+  /// hash-map iteration order the table happens to have.
+  /// Throws std::invalid_argument if `neighbor` is not attached,
+  /// std::logic_error if the link store already exists.
+  [[nodiscard]] AnnounceOutcome announce_all_to(BrokerId neighbor);
+
   /// Handles a subscription arriving from `origin`. Records the reverse
   /// path and returns the neighbours the subscription must be forwarded to:
   /// all neighbours except the origin, minus those whose forwarded-set
@@ -182,6 +209,10 @@ class Broker {
   [[nodiscard]] bool routes(core::SubscriptionId id) const {
     return routing_table_.find(id) != nullptr;
   }
+
+  /// Every routed subscription id, ascending — the membership layer's
+  /// ghost-route audit walks these against the client registry.
+  [[nodiscard]] std::vector<core::SubscriptionId> routed_ids() const;
 
   /// Forwarded-store of a neighbour link (tests introspect coverage state).
   [[nodiscard]] const store::SubscriptionStore* forwarded_store(

@@ -1,7 +1,9 @@
 #include "routing/broker_network.hpp"
 
 #include <algorithm>
+#include <set>
 #include <stdexcept>
+#include <string>
 
 #include "util/rng.hpp"
 #include "wire/codec.hpp"
@@ -15,11 +17,17 @@ using core::SubscriptionId;
 
 BrokerNetwork::BrokerNetwork(NetworkConfig config) : config_(config) {}
 
+std::unique_ptr<Broker> BrokerNetwork::make_broker(BrokerId id) const {
+  std::uint64_t seed = config_.seed ^ (0x9e3779b97f4a7c15ULL * (id + 1));
+  return std::make_unique<Broker>(id, config_.store, util::splitmix64(seed),
+                                  config_.match_shards);
+}
+
 BrokerId BrokerNetwork::add_broker() {
   const auto id = static_cast<BrokerId>(brokers_.size());
-  std::uint64_t seed = config_.seed ^ (0x9e3779b97f4a7c15ULL * (id + 1));
-  brokers_.push_back(std::make_unique<Broker>(
-      id, config_.store, util::splitmix64(seed), config_.match_shards));
+  brokers_.push_back(make_broker(id));
+  // Keep the membership link-state in lockstep once it is engaged.
+  if (link_state_) (void)link_state_->add_broker();
   return id;
 }
 
@@ -27,6 +35,7 @@ void BrokerNetwork::connect(BrokerId a, BrokerId b) {
   if (a == b) throw std::invalid_argument("BrokerNetwork::connect: self-link");
   brokers_.at(a)->add_neighbor(b);
   brokers_.at(b)->add_neighbor(a);
+  if (link_state_) link_state_->add_link(a, b);
 }
 
 BrokerNetwork BrokerNetwork::figure1_topology(NetworkConfig config) {
@@ -159,6 +168,262 @@ BrokerNetwork BrokerNetwork::random_regular_topology(std::size_t n,
       "random_regular_topology: no connected simple draw in 1000 attempts");
 }
 
+// --- runtime membership -------------------------------------------------
+
+void BrokerNetwork::ensure_membership() {
+  if (link_state_) return;
+  LinkState state;
+  for (std::size_t b = 0; b < brokers_.size(); ++b) (void)state.add_broker();
+  // Normalize the neighbour lists into an undirected link set; add_link
+  // enforces the forest invariant, so a cyclic static topology is rejected
+  // here — membership repair (purge-on-detach) is only correct on trees.
+  std::set<std::pair<BrokerId, BrokerId>> links;
+  for (std::size_t b = 0; b < brokers_.size(); ++b) {
+    for (const BrokerId neighbor : brokers_[b]->neighbors()) {
+      links.insert(std::minmax(static_cast<BrokerId>(b), neighbor));
+    }
+  }
+  for (const auto& [a, b] : links) state.add_link(a, b);
+  link_state_.emplace(std::move(state));
+}
+
+void BrokerNetwork::require_alive(BrokerId broker, const char* what) const {
+  if (broker >= brokers_.size()) {
+    throw std::invalid_argument(std::string("BrokerNetwork::") + what +
+                                ": unknown broker");
+  }
+  if (link_state_ && !link_state_->is_alive(broker)) {
+    throw std::invalid_argument(std::string("BrokerNetwork::") + what +
+                                ": broker is not alive");
+  }
+}
+
+bool BrokerNetwork::is_alive(BrokerId broker) const {
+  if (broker >= brokers_.size()) {
+    throw std::invalid_argument("BrokerNetwork::is_alive: unknown broker");
+  }
+  return !link_state_ || link_state_->is_alive(broker);
+}
+
+const LinkState& BrokerNetwork::link_state() const {
+  if (!link_state_) {
+    throw std::logic_error("BrokerNetwork::link_state: membership not engaged");
+  }
+  return *link_state_;
+}
+
+MembershipUniverse BrokerNetwork::universe() const {
+  MembershipUniverse universe;
+  universe.brokers = brokers_.size();
+  if (link_state_) {
+    universe.links.assign(link_state_->live_links().begin(),
+                          link_state_->live_links().end());
+    universe.standby.assign(link_state_->failed_links().begin(),
+                            link_state_->failed_links().end());
+    return universe;
+  }
+  std::set<std::pair<BrokerId, BrokerId>> links;
+  for (std::size_t b = 0; b < brokers_.size(); ++b) {
+    for (const BrokerId neighbor : brokers_[b]->neighbors()) {
+      links.insert(std::minmax(static_cast<BrokerId>(b), neighbor));
+    }
+  }
+  universe.links.assign(links.begin(), links.end());
+  return universe;
+}
+
+std::size_t BrokerNetwork::ghost_route_count() const {
+  std::size_t ghosts = 0;
+  for (std::size_t b = 0; b < brokers_.size(); ++b) {
+    if (link_state_ && !link_state_->is_alive(static_cast<BrokerId>(b))) {
+      continue;  // dead brokers are wiped; their tables are vacuously clean
+    }
+    for (const SubscriptionId sid : brokers_[b]->routed_ids()) {
+      if (local_subs_.count(sid) == 0) ++ghosts;
+    }
+  }
+  return ghosts;
+}
+
+void BrokerNetwork::detach_and_purge(BrokerId at, BrokerId dead) {
+  brokers_.at(at)->remove_neighbor(dead);
+  // Every route learned over the dead link describes a subscription that
+  // is no longer reachable through this endpoint: purge it with the normal
+  // unsubscription cascade (ascending id for determinism — the routing
+  // table iterates in hash order). The origin marks the dead link so the
+  // cascade never tries to cross it (it is already detached anyway).
+  std::vector<SubscriptionId> ids =
+      brokers_.at(at)->subscriptions_from(Origin{false, dead});
+  std::sort(ids.begin(), ids.end());
+  for (const SubscriptionId sid : ids) {
+    deliver_unsubscription(at, sid, Origin{false, dead});
+  }
+}
+
+void BrokerNetwork::announce_over(BrokerId from, BrokerId to) {
+  Broker::AnnounceOutcome outcome = brokers_.at(from)->announce_all_to(to);
+  metrics_.subscriptions_suppressed += outcome.suppressed;
+  for (Subscription& sub : outcome.announce) {
+    // Re-announcements carry the registry's TTL expiry, exactly like a
+    // promotion re-announcement. A routed id missing from the registry is
+    // a ghost (gated to zero elsewhere); skip rather than spread it.
+    const auto live = local_subs_.find(sub.id());
+    if (live == local_subs_.end()) continue;
+    const std::optional<sim::SimTime> expiry = live->second.expiry;
+    ++metrics_.subscription_messages;
+    ++metrics_.reannounced_subscriptions;
+    queue_.schedule_in(config_.link_latency,
+                       [this, to, from, sub = std::move(sub), expiry]() {
+                         deliver_subscription(to, sub, Origin{false, from},
+                                              expiry);
+                       });
+  }
+}
+
+void BrokerNetwork::attach_link(BrokerId a, BrokerId b) {
+  brokers_.at(a)->add_neighbor(b);
+  brokers_.at(b)->add_neighbor(a);
+  announce_over(a, b);
+  announce_over(b, a);
+  run_cascade();
+}
+
+BrokerId BrokerNetwork::add_peer(BrokerId attach_to) {
+  ensure_membership();
+  require_alive(attach_to, "add_peer");
+  ++metrics_.membership_events;
+  const BrokerId id = add_broker();  // syncs link_state_'s broker count
+  link_state_->add_link(attach_to, id);
+  attach_link(attach_to, id);
+  return id;
+}
+
+void BrokerNetwork::remove_peer(BrokerId broker) {
+  ensure_membership();
+  require_alive(broker, "remove_peer");
+  ++metrics_.membership_events;
+  // 1. Graceful departure takes its clients with it: unsubscribe every
+  //    registry entry homed here (ascending id), full cascade each.
+  std::vector<SubscriptionId> homed;
+  for (const auto& [sid, local] : local_subs_) {
+    if (local.home == broker) homed.push_back(sid);
+  }
+  std::sort(homed.begin(), homed.end());
+  for (const SubscriptionId sid : homed) unsubscribe(broker, sid);
+  // 2. Link-state repair plan (flips the broker dead, removes its links,
+  //    returns the star-repair links over its former neighbours).
+  const std::vector<BrokerId> former = link_state_->neighbors(broker);
+  const auto repairs = link_state_->remove_peer(broker);
+  // 3. Every former neighbour purges what it learned from the leaver; the
+  //    leaver's own state dies with it.
+  for (const BrokerId neighbor : former) detach_and_purge(neighbor, broker);
+  run_cascade();
+  brokers_[broker] = make_broker(broker);
+  // 4. Bring the repair links up with mutual re-announcement.
+  for (const auto& [a, b] : repairs) attach_link(a, b);
+}
+
+void BrokerNetwork::fail_link(BrokerId a, BrokerId b) {
+  ensure_membership();
+  ++metrics_.membership_events;
+  link_state_->fail_link(a, b);
+  detach_and_purge(a, b);
+  detach_and_purge(b, a);
+  run_cascade();
+}
+
+void BrokerNetwork::heal_link(BrokerId a, BrokerId b) {
+  ensure_membership();
+  ++metrics_.membership_events;
+  link_state_->heal_link(a, b);
+  attach_link(a, b);
+}
+
+void BrokerNetwork::add_standby_link(BrokerId a, BrokerId b) {
+  ensure_membership();
+  link_state_->add_standby(a, b);
+}
+
+void BrokerNetwork::crash_peer(BrokerId broker) {
+  ensure_membership();
+  require_alive(broker, "crash_peer");
+  ++metrics_.membership_events;
+  const auto downed = link_state_->crash_peer(broker);
+  // Crash-stop: state is lost wholesale. Registry entries homed here stay
+  // (their clients are unaware); TTL timers in the queue keep firing and
+  // resolve against the fresh broker as no-ops.
+  brokers_[broker] = make_broker(broker);
+  for (const auto& [a, b] : downed) {
+    detach_and_purge(a == broker ? b : a, broker);
+  }
+  run_cascade();
+}
+
+BrokerNetwork::ReplaceOutcome BrokerNetwork::replace_peer(
+    BrokerId broker, std::span<const std::uint8_t> image) {
+  ensure_membership();
+  if (broker >= brokers_.size()) {
+    throw std::invalid_argument("BrokerNetwork::replace_peer: unknown broker");
+  }
+  if (link_state_->is_alive(broker)) {
+    throw std::logic_error("BrokerNetwork::replace_peer: broker is alive");
+  }
+  ++metrics_.membership_events;
+  ReplaceOutcome outcome;
+  outcome.healed_links = link_state_->replace_peer(broker);
+
+  // Prune the image to local-origin routes whose client subscription is
+  // still registered here: non-local routes describe an overlay that has
+  // since been repaired around the crash (re-announcement over the healed
+  // links rebuilds them), and departed/expired clients must stay gone.
+  Broker::Snapshot pruned;
+  pruned.id = broker;
+  if (!image.empty()) {
+    wire::ByteReader in(image);
+    wire::read_frame_header(in, wire::kBrokerSnapshotMagic, "broker");
+    const Broker::Snapshot snapshot = wire::read_broker_snapshot(in);
+    if (!in.at_end()) {
+      throw wire::DecodeError("wire: trailing bytes after broker snapshot");
+    }
+    if (snapshot.id != broker) {
+      throw std::invalid_argument(
+          "BrokerNetwork::replace_peer: image belongs to another broker");
+    }
+    for (const Broker::Snapshot::RouteRecord& record : snapshot.routes) {
+      if (!record.origin.local) continue;
+      const auto live = local_subs_.find(record.sub.id());
+      if (live == local_subs_.end() || live->second.home != broker) continue;
+      pruned.routes.push_back(record);
+    }
+  }
+  brokers_[broker] = make_broker(broker);
+  brokers_[broker]->import_snapshot(pruned);
+  outcome.restored_routes = pruned.routes.size();
+
+  // Registry-diff gap replay: clients that subscribed after the image was
+  // taken re-register (ascending id). The broker is still link-less, so
+  // these stay local until the heals below flood them out. The original
+  // TTL timers are still armed in the queue and now resolve against the
+  // replacement, so no re-arming is needed.
+  std::vector<SubscriptionId> homed;
+  for (const auto& [sid, local] : local_subs_) {
+    if (local.home == broker) homed.push_back(sid);
+  }
+  std::sort(homed.begin(), homed.end());
+  for (const SubscriptionId sid : homed) {
+    if (brokers_[broker]->routes(sid)) continue;
+    const LocalSub& local = local_subs_.at(sid);
+    deliver_subscription(broker, local.sub, Origin{true, kInvalidBroker},
+                         local.expiry);
+    ++outcome.gap_subs_replayed;
+  }
+  run_cascade();
+
+  // Rejoin every partition the crash created that is still open.
+  for (const auto& [a, b] : outcome.healed_links) attach_link(a, b);
+  return outcome;
+}
+
 void BrokerNetwork::deliver_subscription(BrokerId at, Subscription sub,
                                          Origin origin,
                                          std::optional<sim::SimTime> expiry) {
@@ -249,6 +514,7 @@ void BrokerNetwork::subscribe(BrokerId broker, const Subscription& sub) {
   if (local_subs_.count(sub.id()) > 0) {
     throw std::invalid_argument("BrokerNetwork::subscribe: duplicate id");
   }
+  require_alive(broker, "subscribe");
   local_subs_.emplace(sub.id(), LocalSub{broker, sub, std::nullopt});
   deliver_subscription(broker, sub, Origin{true, kInvalidBroker});
   run_cascade();
@@ -265,6 +531,7 @@ void BrokerNetwork::subscribe_with_ttl(BrokerId broker, const Subscription& sub,
   if (!(ttl > 0)) {
     throw std::invalid_argument("BrokerNetwork::subscribe_with_ttl: ttl <= 0");
   }
+  require_alive(broker, "subscribe_with_ttl");
   const sim::SimTime expiry = queue_.now() + ttl;
   local_subs_.emplace(sub.id(), LocalSub{broker, sub, expiry});
   deliver_subscription(broker, sub, Origin{true, kInvalidBroker}, expiry);
@@ -296,16 +563,20 @@ void BrokerNetwork::unsubscribe(BrokerId broker, SubscriptionId id) {
 
 std::vector<SubscriptionId> BrokerNetwork::publish(BrokerId broker,
                                                    const Publication& pub) {
+  require_alive(broker, "publish");
   std::vector<SubscriptionId> delivered;
   deliver_publication(broker, pub, Origin{true, kInvalidBroker}, ++publication_token_,
                       &delivered);
   run_cascade();
+  const std::size_t raw = delivered.size();
   std::sort(delivered.begin(), delivered.end());
   delivered.erase(std::unique(delivered.begin(), delivered.end()),
                   delivered.end());
+  metrics_.notifications_duplicated += raw - delivered.size();
 
-  // Loss accounting against ground truth.
-  const std::vector<SubscriptionId> expected = expected_recipients(pub);
+  // Loss accounting against ground truth (component-aware once membership
+  // is engaged — a partitioned subscriber is unreachable, not lost).
+  const std::vector<SubscriptionId> expected = expected_recipients(broker, pub);
   for (const SubscriptionId id : expected) {
     if (std::binary_search(delivered.begin(), delivered.end(), id)) {
       ++metrics_.notifications_delivered;
@@ -320,6 +591,7 @@ std::vector<std::vector<SubscriptionId>> BrokerNetwork::publish_batch(
     BrokerId broker, const std::vector<Publication>& pubs) {
   // Sinks must not move while scheduled handlers hold pointers to them:
   // sized up front, never resized below.
+  require_alive(broker, "publish_batch");
   std::vector<std::vector<SubscriptionId>> delivered(pubs.size());
   std::vector<sim::EventQueue::Handler> injections;
   injections.reserve(pubs.size());
@@ -337,9 +609,12 @@ std::vector<std::vector<SubscriptionId>> BrokerNetwork::publish_batch(
 
   for (std::size_t i = 0; i < pubs.size(); ++i) {
     auto& ids = delivered[i];
+    const std::size_t raw = ids.size();
     std::sort(ids.begin(), ids.end());
     ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
-    const std::vector<SubscriptionId> expected = expected_recipients(pubs[i]);
+    metrics_.notifications_duplicated += raw - ids.size();
+    const std::vector<SubscriptionId> expected =
+        expected_recipients(broker, pubs[i]);
     for (const SubscriptionId id : expected) {
       if (std::binary_search(ids.begin(), ids.end(), id)) {
         ++metrics_.notifications_delivered;
@@ -363,6 +638,21 @@ std::vector<std::uint8_t> BrokerNetwork::snapshot_all() const {
   for (const auto& broker : brokers_) {
     out.varint(broker->neighbors().size());
     for (const BrokerId neighbor : broker->neighbors()) out.varint(neighbor);
+  }
+
+  // v2 membership block: engaged flag; when engaged, the alive bitmap and
+  // the failed/standby link set. Live links are implied by the neighbour
+  // lists above, so only the down links need serializing.
+  out.u8(link_state_ ? 1 : 0);
+  if (link_state_) {
+    for (std::size_t b = 0; b < brokers_.size(); ++b) {
+      out.u8(link_state_->is_alive(static_cast<BrokerId>(b)) ? 1 : 0);
+    }
+    out.varint(link_state_->failed_links().size());
+    for (const auto& [a, b] : link_state_->failed_links()) {
+      out.varint(a);
+      out.varint(b);
+    }
   }
 
   out.f64(queue_.now());
@@ -403,6 +693,7 @@ void BrokerNetwork::restore_all(std::span<const std::uint8_t> bytes) {
   metrics_.reset();
   publication_token_ = 0;
   publish_scratch_ = Broker::PublishScratch{};
+  link_state_.reset();
 
   // Brokers are rebuilt through add_broker so per-broker seeds re-derive
   // from the serialized config exactly as original construction did.
@@ -419,11 +710,58 @@ void BrokerNetwork::restore_all(std::span<const std::uint8_t> bytes) {
       neighbor_lists[b].push_back(neighbor);
     }
   }
+  const std::uint8_t has_membership = in.u8();
+  if (has_membership > 1) throw wire::DecodeError("wire: bad membership flag");
+  std::vector<char> alive_bits;
+  std::vector<std::pair<BrokerId, BrokerId>> failed_links;
+  if (has_membership) {
+    alive_bits.resize(broker_count);
+    for (std::size_t b = 0; b < broker_count; ++b) {
+      const std::uint8_t bit = in.u8();
+      if (bit > 1) throw wire::DecodeError("wire: bad alive bit");
+      alive_bits[b] = static_cast<char>(bit);
+    }
+    const std::size_t failed_count = in.count();
+    failed_links.reserve(failed_count);
+    for (std::size_t i = 0; i < failed_count; ++i) {
+      const auto a = static_cast<BrokerId>(in.varint());
+      const auto b = static_cast<BrokerId>(in.varint());
+      if (a >= broker_count || b >= broker_count) {
+        throw wire::DecodeError("wire: failed-link id out of range");
+      }
+      failed_links.emplace_back(a, b);
+    }
+  }
+
   for (std::size_t b = 0; b < broker_count; ++b) (void)add_broker();
   for (std::size_t b = 0; b < broker_count; ++b) {
     for (const BrokerId neighbor : neighbor_lists[b]) {
       brokers_[b]->add_neighbor(neighbor);
     }
+  }
+
+  if (has_membership) {
+    // Rebuild the link-state: all brokers up, live links from the neighbour
+    // lists, down links from the block, then the alive bitmap. LinkState's
+    // own invariant checks catch inconsistent (corrupted) combinations.
+    LinkState state;
+    for (std::size_t b = 0; b < broker_count; ++b) (void)state.add_broker();
+    std::set<std::pair<BrokerId, BrokerId>> live;
+    for (std::size_t b = 0; b < broker_count; ++b) {
+      for (const BrokerId neighbor : neighbor_lists[b]) {
+        live.insert(std::minmax(static_cast<BrokerId>(b), neighbor));
+      }
+    }
+    try {
+      for (const auto& [a, b] : live) state.add_link(a, b);
+      for (const auto& [a, b] : failed_links) state.add_standby(a, b);
+      for (std::size_t b = 0; b < broker_count; ++b) {
+        if (!alive_bits[b]) state.set_dead(static_cast<BrokerId>(b));
+      }
+    } catch (const std::logic_error&) {
+      throw wire::DecodeError("wire: inconsistent membership block");
+    }
+    link_state_.emplace(std::move(state));
   }
 
   const sim::SimTime now = in.f64();
@@ -494,6 +832,22 @@ std::vector<SubscriptionId> BrokerNetwork::expected_recipients(
     const Publication& pub) const {
   std::vector<SubscriptionId> ids;
   for (const auto& [sid, local] : local_subs_) {
+    if (pub.matches(local.sub)) ids.push_back(sid);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<SubscriptionId> BrokerNetwork::expected_recipients(
+    BrokerId from, const Publication& pub) const {
+  if (!link_state_) return expected_recipients(pub);
+  // A subscription is reachable iff its home broker is alive and in the
+  // publisher's component. Registry entries homed at a crashed broker stay
+  // registered (the client is unaware), but nothing can deliver to them.
+  std::vector<SubscriptionId> ids;
+  for (const auto& [sid, local] : local_subs_) {
+    if (!link_state_->is_alive(local.home)) continue;
+    if (!link_state_->same_component(from, local.home)) continue;
     if (pub.matches(local.sub)) ids.push_back(sid);
   }
   std::sort(ids.begin(), ids.end());

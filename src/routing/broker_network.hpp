@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "routing/broker.hpp"
+#include "routing/membership.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/metrics.hpp"
 
@@ -74,6 +75,105 @@ class BrokerNetwork {
                                                std::uint64_t seed,
                                                NetworkConfig config = {});
 
+  // --- runtime membership (live overlay mutation) -----------------------
+  //
+  // Every operation below mutates the overlay while it carries routing
+  // state, runs the resulting repair traffic to quiescence before
+  // returning, and keeps the LIVE link set a spanning forest of the alive
+  // brokers (the forest invariant — see routing/membership.hpp; an op that
+  // would close a live cycle throws std::logic_error). The first call
+  // builds the membership LinkState from the current topology, which must
+  // itself be acyclic at that point. Preconditions mirror LinkState's;
+  // all ops assume a quiescent network (between client ops), like
+  // snapshot_all.
+  //
+  // Protocol summary (docs/ARCHITECTURE.md, "Runtime membership"):
+  //   * link detach (fail_link, crash, leave): both surviving endpoints
+  //     purge every route learned over the dead link via cascading
+  //     unsubscriptions, so each partition's routing state immediately
+  //     describes only subscriptions reachable inside it;
+  //   * link attach (heal_link, join, repair): each endpoint re-announces
+  //     its full routing table over the new link in canonical id order
+  //     through a fresh coverage store, flooding only the uncovered ones;
+  //   * node replacement: the crashed broker is rebuilt from a (possibly
+  //     stale) snapshot image pruned to local-origin routes still in the
+  //     client registry, the registry diff is replayed as fresh local
+  //     subscriptions (clients re-registering), and every former link that
+  //     still bridges distinct components is healed.
+
+  /// Joins a new broker to the overlay, attached to `attach_to` (which
+  /// re-announces its routing table over the new link). Returns the new
+  /// broker's id (dense, == broker_count() before the call).
+  BrokerId add_peer(BrokerId attach_to);
+
+  /// Graceful departure of `broker`: its local clients unsubscribe (in
+  /// ascending id order), every neighbour purges the routes it learned
+  /// from it, and the overlay is repaired by starring its former
+  /// neighbours (lowest id becomes the hub), with re-announcement over
+  /// each repair link. The id stays allocated but permanently dead.
+  void remove_peer(BrokerId broker);
+
+  /// Partitions the overlay: the live link (a, b) goes down, both sides
+  /// purge the routes learned over it. The link stays known (failed) and
+  /// can come back via heal_link or a future replacement.
+  void fail_link(BrokerId a, BrokerId b);
+
+  /// Brings a failed (or provisioned standby) link up, with mutual full
+  /// re-announcement. Throws std::logic_error if the endpoints are already
+  /// connected (forest invariant) or either is dead.
+  void heal_link(BrokerId a, BrokerId b);
+
+  /// Provisions a standby bridge: a link that exists but is down, eligible
+  /// for heal_link when a partition makes it useful. This is how cyclic
+  /// universes (rings, clustered meshes with rotating bridges) are
+  /// expressed over a forest overlay.
+  void add_standby_link(BrokerId a, BrokerId b);
+
+  /// Crash-stop of `broker`: its state is lost (the broker object is
+  /// wiped), every incident live link fails, and each former neighbour
+  /// purges the routes it learned from it. Client subscriptions homed at
+  /// the crashed broker stay in the registry — their clients still believe
+  /// they are subscribed; they are simply unreachable until replace_peer
+  /// (and their TTLs keep governing them throughout).
+  void crash_peer(BrokerId broker);
+
+  struct ReplaceOutcome {
+    std::size_t restored_routes = 0;    ///< local routes revived from the image
+    std::size_t gap_subs_replayed = 0;  ///< registry-diff client re-registrations
+    std::vector<std::pair<BrokerId, BrokerId>> healed_links;
+  };
+
+  /// Replaces a crashed broker from a Broker::snapshot() image (taken any
+  /// time before the crash; staleness is safe — the image is pruned to
+  /// local-origin routes still in the client registry, and registry
+  /// entries missing from it are replayed as fresh subscriptions). An
+  /// empty image is valid and means a full registry replay. After the
+  /// restore, every former link still bridging distinct components is
+  /// healed with mutual re-announcement.
+  ReplaceOutcome replace_peer(BrokerId broker,
+                              std::span<const std::uint8_t> image);
+
+  /// True while `broker` is alive (always true before the first
+  /// membership operation engages tracking).
+  [[nodiscard]] bool is_alive(BrokerId broker) const;
+
+  /// The membership link-state (alive set, live/failed links, components).
+  /// Throws std::logic_error before membership is engaged.
+  [[nodiscard]] const LinkState& link_state() const;
+  [[nodiscard]] bool membership_active() const noexcept {
+    return link_state_.has_value();
+  }
+
+  /// The overlay's static shape for workload generation: broker count,
+  /// live links, and standby bridges (normalized (min, max), ascending).
+  [[nodiscard]] MembershipUniverse universe() const;
+
+  /// Ghost-route audit: routing-table entries on alive brokers whose
+  /// subscription id is no longer in the client registry. Zero at every
+  /// quiescent instant is the membership correctness invariant the soaks
+  /// and tier-1 tests gate on.
+  [[nodiscard]] std::size_t ghost_route_count() const;
+
   /// Client subscribes at `broker`. The subscription floods immediately
   /// (events are processed to quiescence before returning).
   void subscribe(BrokerId broker, const core::Subscription& sub);
@@ -117,9 +217,19 @@ class BrokerNetwork {
   [[nodiscard]] const sim::Metrics& metrics() const noexcept { return metrics_; }
   void reset_metrics() noexcept { metrics_.reset(); }
 
-  /// Ground truth: ids of local subscriptions (anywhere) matching `pub`.
+  /// Ground truth: ids of local subscriptions (anywhere) matching `pub`,
+  /// ignoring membership (the pre-membership accounting contract).
   [[nodiscard]] std::vector<core::SubscriptionId> expected_recipients(
       const core::Publication& pub) const;
+
+  /// Component-aware ground truth: ids of matching local subscriptions
+  /// whose home broker is alive and reachable from `from` over the live
+  /// link set. Identical to the overload above until membership is
+  /// engaged (one component, everyone alive). This is what publish()'s
+  /// loss accounting uses — a partition is not a loss, it is a smaller
+  /// ground-truth set.
+  [[nodiscard]] std::vector<core::SubscriptionId> expected_recipients(
+      BrokerId from, const core::Publication& pub) const;
 
   /// Serializes the WHOLE overlay — configuration, topology (per-broker
   /// neighbour lists in their original order), every broker's state
@@ -153,6 +263,10 @@ class BrokerNetwork {
   NetworkConfig config_;
   sim::EventQueue queue_;
   std::vector<std::unique_ptr<Broker>> brokers_;
+  /// Engaged by the first membership operation (or add_standby_link);
+  /// nullopt means the overlay is static and pre-membership semantics
+  /// apply everywhere.
+  std::optional<LinkState> link_state_;
 
   struct LocalSub {
     BrokerId home;
@@ -190,6 +304,31 @@ class BrokerNetwork {
   void deliver_publication(BrokerId at, core::Publication pub, Origin origin,
                            std::uint64_t token,
                            std::vector<core::SubscriptionId>* sink);
+
+  /// Constructs broker `id` with the same derived seed original
+  /// construction would have used (shared by add_broker, crash wipes, and
+  /// restore_all).
+  [[nodiscard]] std::unique_ptr<Broker> make_broker(BrokerId id) const;
+
+  /// Builds link_state_ from the current topology on first membership use;
+  /// throws std::logic_error if the live topology is cyclic.
+  void ensure_membership();
+  void require_alive(BrokerId broker, const char* what) const;
+
+  /// Detach-side purge: removes the (at, dead) neighbour link at `at` and
+  /// issues a cascading unsubscription (ascending id) for every route `at`
+  /// learned over it. Caller runs the cascade.
+  void detach_and_purge(BrokerId at, BrokerId dead);
+
+  /// Attach-side re-announcement: floods `from`'s uncovered routes over
+  /// the fresh link to `to`, carrying registry TTL expiries. Caller runs
+  /// the cascade.
+  void announce_over(BrokerId from, BrokerId to);
+
+  /// Brings a link up at the broker layer (both neighbour lists + mutual
+  /// re-announcement) and runs the cascade. Link-state bookkeeping is the
+  /// caller's (it differs per event kind).
+  void attach_link(BrokerId a, BrokerId b);
 };
 
 }  // namespace psc::routing

@@ -30,6 +30,7 @@
 #include "core/publication.hpp"
 #include "core/subscription.hpp"
 #include "routing/broker.hpp"
+#include "routing/membership.hpp"
 #include "sim/event_queue.hpp"
 #include "store/subscription_store.hpp"
 
@@ -66,6 +67,34 @@ class FlatOracle {
   void publish(const core::Publication& pub,
                std::vector<core::SubscriptionId>& out);
 
+  // --- membership mirroring ----------------------------------------------
+  // The oracle stays routing-free under churn: it owns its own LinkState,
+  // drives it through the same mutation sequence as the network (so the
+  // repair plans agree by construction), and filters ground-truth delivered
+  // sets by reachability — a subscription counts iff its home broker is
+  // alive and in the publisher's component. Crash keeps registry entries
+  // (clients are unaware their broker died); graceful leave removes them.
+
+  /// Engages membership mirroring against the network's universe.
+  void enable_membership(const MembershipUniverse& universe);
+  [[nodiscard]] bool membership_active() const noexcept {
+    return link_state_.has_value();
+  }
+  [[nodiscard]] const LinkState& link_state() const;
+
+  BrokerId add_peer(BrokerId attach_to);
+  void remove_peer(BrokerId broker);
+  void crash_peer(BrokerId broker);
+  void replace_peer(BrokerId broker);
+  void fail_link(BrokerId a, BrokerId b);
+  void heal_link(BrokerId a, BrokerId b);
+
+  /// Component-aware ground truth: delivered set filtered by reachability
+  /// from the publisher. Identical to the from-less form when membership is
+  /// not engaged.
+  void publish(BrokerId from, const core::Publication& pub,
+               std::vector<core::SubscriptionId>& out);
+
   [[nodiscard]] sim::SimTime now() const noexcept { return now_; }
   [[nodiscard]] std::size_t live_count() const noexcept { return meta_.size(); }
 
@@ -79,8 +108,12 @@ class FlatOracle {
   /// Flat-scan match table (kNone coverage, no index, every sub active).
   store::SubscriptionStore store_;
   sim::SimTime now_ = 0.0;
+  std::optional<LinkState> link_state_;
+  /// Reused unfiltered-match buffer for the component-aware publish.
+  std::vector<core::SubscriptionId> scratch_;
 
   void expire_due();
+  void require_alive(BrokerId broker, const char* what) const;
 };
 
 }  // namespace psc::routing

@@ -1,5 +1,8 @@
 #include "routing/topology.hpp"
 
+#include <cmath>
+#include <stdexcept>
+
 namespace psc::routing {
 
 std::vector<Topology> standard_topologies(std::uint64_t seed) {
@@ -21,6 +24,114 @@ std::vector<Topology> standard_topologies(std::uint64_t seed) {
                           return BrokerNetwork::random_regular_topology(
                               24, 3, seed, config);
                         }});
+  return topologies;
+}
+
+MembershipUniverse MembershipTopology::universe(const BrokerNetwork& net) const {
+  MembershipUniverse universe = net.universe();
+  universe.standby = standby;
+  return universe;
+}
+
+namespace {
+
+/// ceil(n / 9) copies of the paper's Figure 1 overlay, chained into one
+/// tree by linking each copy's backbone hub B4 to the next copy's B4.
+BrokerNetwork build_figure1_tiled(std::size_t copies, NetworkConfig config) {
+  BrokerNetwork net(config);
+  for (std::size_t i = 0; i < copies * 9; ++i) net.add_broker();
+  for (std::size_t c = 0; c < copies; ++c) {
+    const auto at = [c](int broker_number) {
+      return static_cast<BrokerId>(c * 9 + broker_number - 1);
+    };
+    net.connect(at(1), at(3));
+    net.connect(at(2), at(3));
+    net.connect(at(3), at(4));
+    net.connect(at(4), at(5));
+    net.connect(at(4), at(6));
+    net.connect(at(4), at(7));
+    net.connect(at(7), at(8));
+    net.connect(at(7), at(9));
+    if (c > 0) net.connect(static_cast<BrokerId>((c - 1) * 9 + 3), at(4));
+  }
+  return net;
+}
+
+/// Three star clusters; the cluster heads form an open chain, and the
+/// standby bridge (head0, head2) would close the head ring.
+BrokerNetwork build_clustered_mesh(std::size_t n, NetworkConfig config) {
+  BrokerNetwork net(config);
+  for (std::size_t i = 0; i < n; ++i) net.add_broker();
+  const std::size_t per = n / 3;
+  std::vector<BrokerId> heads;
+  for (std::size_t c = 0; c < 3; ++c) {
+    const std::size_t lo = c * per;
+    const std::size_t hi = (c == 2) ? n : lo + per;  // last takes the slack
+    heads.push_back(static_cast<BrokerId>(lo));
+    for (std::size_t b = lo + 1; b < hi; ++b) {
+      net.connect(heads.back(), static_cast<BrokerId>(b));
+    }
+  }
+  net.connect(heads[0], heads[1]);
+  net.connect(heads[1], heads[2]);
+  return net;
+}
+
+}  // namespace
+
+std::vector<MembershipTopology> membership_topologies(std::size_t n,
+                                                      std::uint64_t seed) {
+  if (n < 12) {
+    throw std::invalid_argument("membership_topologies: n must be >= 12");
+  }
+  std::vector<MembershipTopology> topologies;
+
+  const std::size_t copies = (n + 8) / 9;
+  topologies.push_back({"figure1_tiled", copies * 9,
+                        [copies](NetworkConfig config) {
+                          return build_figure1_tiled(copies, config);
+                        },
+                        {}});
+  topologies.push_back({"chain", n,
+                        [n](NetworkConfig config) {
+                          return BrokerNetwork::chain_topology(n, config);
+                        },
+                        {}});
+  topologies.push_back({"random_tree", n,
+                        [n, seed](NetworkConfig config) {
+                          return BrokerNetwork::random_tree_topology(n, seed,
+                                                                     config);
+                        },
+                        {}});
+  const auto rows = static_cast<std::size_t>(std::sqrt(static_cast<double>(n)));
+  const std::size_t cols = (n + rows - 1) / rows;
+  topologies.push_back({"grid", rows * cols,
+                        [rows, cols](NetworkConfig config) {
+                          return BrokerNetwork::grid_topology(rows, cols,
+                                                              config);
+                        },
+                        {}});
+  const std::size_t even_n = n % 2 == 0 ? n : n + 1;
+  topologies.push_back({"random_regular_d3", even_n,
+                        [even_n, seed](NetworkConfig config) {
+                          return BrokerNetwork::random_regular_topology(
+                              even_n, 3, seed, config);
+                        },
+                        {}});
+  // Dynamic-bridge shapes: the standby link closes a cycle the forest
+  // invariant keeps down; churn heals it whenever a partition makes it a
+  // bridge between components.
+  topologies.push_back({"ring", n,
+                        [n](NetworkConfig config) {
+                          return BrokerNetwork::chain_topology(n, config);
+                        },
+                        {{0, static_cast<BrokerId>(n - 1)}}});
+  const std::size_t per = n / 3;
+  topologies.push_back({"clustered_mesh", n,
+                        [n](NetworkConfig config) {
+                          return build_clustered_mesh(n, config);
+                        },
+                        {{0, static_cast<BrokerId>(2 * per)}}});
   return topologies;
 }
 

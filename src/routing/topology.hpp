@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "routing/broker_network.hpp"
@@ -32,5 +33,35 @@ struct Topology {
 /// `seed` feeds the randomized generators; every descriptor is
 /// deterministic per seed.
 [[nodiscard]] std::vector<Topology> standard_topologies(std::uint64_t seed = 2006);
+
+/// A membership-soak shape: a scalable overlay plus its provisioned-but-
+/// down standby bridges. The live links always form a spanning tree (the
+/// forest invariant); the standby links express the cyclic part of a
+/// ring/mesh universe as healable bridges, so partitions can ROTATE which
+/// bridge is up instead of always restoring the failed link.
+struct MembershipTopology {
+  std::string name;
+  std::size_t brokers = 0;  ///< actual count (shape-rounded from requested n)
+  std::function<BrokerNetwork(NetworkConfig)> build;
+  std::vector<std::pair<BrokerId, BrokerId>> standby;
+
+  /// The universe a membership trace is generated against: the built
+  /// network's live links plus this shape's standby bridges.
+  [[nodiscard]] MembershipUniverse universe(const BrokerNetwork& net) const;
+};
+
+/// The membership-soak family, scaled to roughly `n` brokers each:
+///   figure1_tiled   — ceil(n/9) copies of Figure 1, chained backbone-to-
+///                     backbone (B4 to B4)
+///   chain           — open daisy-chain of n brokers
+///   random_tree     — n-broker random attachment tree
+///   grid            — ~sqrt(n) x ~sqrt(n) comb-routed grid
+///   random_regular  — BFS tree of a random 3-regular graph (n rounded even)
+///   ring            — chain plus a standby bridge closing the cycle
+///   clustered_mesh  — three star clusters with chained heads plus a
+///                     standby bridge closing the head ring
+/// Requires n >= 12 (the smallest meaningful clustered shape).
+[[nodiscard]] std::vector<MembershipTopology> membership_topologies(
+    std::size_t n, std::uint64_t seed = 2006);
 
 }  // namespace psc::routing

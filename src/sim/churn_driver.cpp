@@ -1,17 +1,36 @@
 #include "sim/churn_driver.hpp"
 
 #include <algorithm>
+#include <span>
 #include <stdexcept>
+#include <unordered_map>
+#include <vector>
 
 namespace psc::sim {
 
+using routing::BrokerId;
 using routing::BrokerNetwork;
 using routing::FlatOracle;
+using routing::MembershipOpKind;
 using workload::ChurnOp;
 using workload::ChurnOpKind;
 using workload::ChurnTrace;
 
 namespace {
+
+/// Stale-by-design replacement images: the newest framed snapshot of each
+/// broker, refreshed at epoch boundaries. A replace may therefore restore
+/// from an image taken before intervening churn — the registry prune and
+/// gap replay in BrokerNetwork::replace_peer make that correct, and the
+/// soak exercising it is the point. Brokers crashed before ever being
+/// imaged replace from an empty image (pure gap replay).
+using ImageCache = std::unordered_map<BrokerId, std::vector<std::uint8_t>>;
+
+std::span<const std::uint8_t> image_of(const ImageCache& images, BrokerId b) {
+  const auto it = images.find(b);
+  if (it == images.end()) return {};
+  return {it->second.data(), it->second.size()};
+}
 
 /// End-of-epoch state sweep over every broker and link store.
 void snapshot_state(const BrokerNetwork& net, ChurnEpoch& epoch) {
@@ -30,9 +49,14 @@ void snapshot_state(const BrokerNetwork& net, ChurnEpoch& epoch) {
 
 /// Applies one trace op to `net` alone — the WAL replay path after a
 /// restore (the oracle already consumed the op in its first life).
-/// Returns the delivered set for publishes (empty otherwise).
+/// Returns the delivered set for publishes (empty otherwise). Membership
+/// replays work because restore_all revives the link-state (snapshot v2):
+/// the replayed sequence drives it through the same transitions as the
+/// first life. Replacement images may differ from the first life's, which
+/// is fine — post-cascade routing state is image-independent.
 std::vector<core::SubscriptionId> replay_op(BrokerNetwork& net,
-                                            const ChurnOp& op) {
+                                            const ChurnOp& op,
+                                            const ImageCache& images) {
   net.advance_time(op.time);
   switch (op.kind) {
     case ChurnOpKind::kSubscribe:
@@ -47,6 +71,30 @@ std::vector<core::SubscriptionId> replay_op(BrokerNetwork& net,
     case ChurnOpKind::kPublish:
       return net.publish(op.broker, op.pub);
     case ChurnOpKind::kAdvance:
+      break;
+    case ChurnOpKind::kMembership:
+      switch (static_cast<MembershipOpKind>(op.member)) {
+        case MembershipOpKind::kJoin:
+          if (net.add_peer(op.broker) != op.peer) {
+            throw std::logic_error("ChurnDriver: join id drift on replay");
+          }
+          break;
+        case MembershipOpKind::kLeave:
+          net.remove_peer(op.broker);
+          break;
+        case MembershipOpKind::kCrash:
+          net.crash_peer(op.broker);
+          break;
+        case MembershipOpKind::kReplace:
+          (void)net.replace_peer(op.broker, image_of(images, op.broker));
+          break;
+        case MembershipOpKind::kFailLink:
+          net.fail_link(op.broker, op.peer);
+          break;
+        case MembershipOpKind::kHealLink:
+          net.heal_link(op.broker, op.peer);
+          break;
+      }
       break;
   }
   return {};
@@ -84,6 +132,34 @@ ChurnReport ChurnDriver::run(BrokerNetwork& net, const ChurnTrace& trace,
   FlatOracle oracle;
   std::vector<core::SubscriptionId> oracle_delivered;  // reused per publish
 
+  // Membership setup: the network must start on the trace's universe (the
+  // same live forest the generator planned against), its standby bridges
+  // must be registered so heals can find them, and the oracle gets its own
+  // link-state replica of the same universe.
+  ImageCache images;
+  if (trace.has_membership) {
+    if (net.universe().links != trace.universe.links) {
+      throw std::invalid_argument(
+          "ChurnDriver::run: network links do not match the trace universe");
+    }
+    for (const auto& [a, b] : trace.universe.standby) {
+      net.add_standby_link(a, b);
+    }
+    if (options.differential) oracle.enable_membership(trace.universe);
+  }
+  const auto refresh_images = [&]() {
+    for (std::size_t b = 0; b < net.broker_count(); ++b) {
+      const auto id = static_cast<BrokerId>(b);
+      if (!net.is_alive(id)) continue;  // a crashed broker's state is lost
+      images[id] = net.broker(id).snapshot();
+    }
+  };
+  const auto audit_ghosts = [&]() {
+    report.membership.ghost_routes =
+        std::max(report.membership.ghost_routes, net.ghost_route_count());
+  };
+  if (trace.has_membership) refresh_images();
+
   const double epoch_length = trace.config.epoch_length;
   Metrics at_epoch_start;  // metrics totals when the current epoch began
   // Crash splice state: epoch/run deltas accumulated in incarnations that
@@ -106,7 +182,12 @@ ChurnReport ChurnDriver::run(BrokerNetwork& net, const ChurnTrace& trace,
     epoch.unsubscription_messages = delta.unsubscription_messages;
     epoch.publication_messages = delta.publication_messages;
     epoch.suppressed = delta.subscriptions_suppressed;
+    epoch.membership_events = delta.membership_events;
     snapshot_state(net, epoch);
+    if (trace.has_membership) {
+      audit_ghosts();
+      refresh_images();
+    }
     report.peak_routing_entries =
         std::max(report.peak_routing_entries, epoch.routing_entries);
     report.mismatched_publishes += epoch.mismatched_publishes;
@@ -171,7 +252,7 @@ ChurnReport ChurnDriver::run(BrokerNetwork& net, const ChurnTrace& trace,
       std::size_t publish_cursor = 0;
       for (const std::size_t gap_index : gap_ops) {
         const ChurnOp& gap_op = trace.ops[gap_index];
-        const auto delivered = replay_op(net, gap_op);
+        const auto delivered = replay_op(net, gap_op, images);
         ++report.recovery.gap_ops_replayed;
         if (gap_op.kind == ChurnOpKind::kPublish) {
           ++report.recovery.gap_publishes_replayed;
@@ -213,7 +294,7 @@ ChurnReport ChurnDriver::run(BrokerNetwork& net, const ChurnTrace& trace,
         ++report.publishes;
         const auto delivered = net.publish(op.broker, op.pub);
         if (options.differential) {
-          oracle.publish(op.pub, oracle_delivered);
+          oracle.publish(op.broker, op.pub, oracle_delivered);
           if (delivered != oracle_delivered) ++epoch.mismatched_publishes;
           if (failure.enabled) gap_oracle_sets.push_back(oracle_delivered);
         }
@@ -221,6 +302,54 @@ ChurnReport ChurnDriver::run(BrokerNetwork& net, const ChurnTrace& trace,
       }
       case ChurnOpKind::kAdvance:
         break;  // the advance above already moved both clocks
+      case ChurnOpKind::kMembership: {
+        const auto member = static_cast<MembershipOpKind>(op.member);
+        ++report.membership.events;
+        switch (member) {
+          case MembershipOpKind::kJoin:
+            // The generator predicted the dense id; any drift means the
+            // network and the trace disagree about membership history.
+            if (net.add_peer(op.broker) != op.peer) {
+              throw std::logic_error("ChurnDriver: join id drift");
+            }
+            if (options.differential && oracle.add_peer(op.broker) != op.peer) {
+              throw std::logic_error("ChurnDriver: oracle join id drift");
+            }
+            ++report.membership.joins;
+            break;
+          case MembershipOpKind::kLeave:
+            net.remove_peer(op.broker);
+            if (options.differential) oracle.remove_peer(op.broker);
+            ++report.membership.leaves;
+            break;
+          case MembershipOpKind::kCrash:
+            net.crash_peer(op.broker);
+            if (options.differential) oracle.crash_peer(op.broker);
+            ++report.membership.crashes;
+            break;
+          case MembershipOpKind::kReplace: {
+            const auto outcome =
+                net.replace_peer(op.broker, image_of(images, op.broker));
+            report.membership.replace_restored_routes += outcome.restored_routes;
+            report.membership.replace_gap_subs += outcome.gap_subs_replayed;
+            if (options.differential) oracle.replace_peer(op.broker);
+            ++report.membership.replaces;
+            break;
+          }
+          case MembershipOpKind::kFailLink:
+            net.fail_link(op.broker, op.peer);
+            if (options.differential) oracle.fail_link(op.broker, op.peer);
+            ++report.membership.link_failures;
+            break;
+          case MembershipOpKind::kHealLink:
+            net.heal_link(op.broker, op.peer);
+            if (options.differential) oracle.heal_link(op.broker, op.peer);
+            ++report.membership.link_heals;
+            break;
+        }
+        audit_ghosts();  // every mutation must leave zero stale routes
+        break;
+      }
     }
   }
   // Close the trailing (possibly partial) epoch at its natural boundary.
@@ -228,6 +357,9 @@ ChurnReport ChurnDriver::run(BrokerNetwork& net, const ChurnTrace& trace,
 
   report.totals = run_accum + (net.metrics() - run_base);
   report.final_live_subscriptions = net.local_subscription_count();
+  report.membership.final_alive_brokers =
+      net.membership_active() ? net.link_state().alive_count()
+                              : net.broker_count();
   return report;
 }
 

@@ -39,6 +39,7 @@ struct ChurnEpoch {
   std::uint64_t unsubscription_messages = 0;
   std::uint64_t publication_messages = 0;
   std::uint64_t suppressed = 0;    ///< link-forwards withheld by coverage
+  std::uint64_t membership_events = 0;     ///< overlay mutations this epoch
   std::uint64_t mismatched_publishes = 0;  ///< differential failures
 
   // --- end-of-epoch state ---------------------------------------------
@@ -70,6 +71,25 @@ struct RecoveryStats {
   double recovery_sim_gap = 0.0;    ///< sim-seconds between snapshot and kill
 };
 
+/// Membership-churn bookkeeping (all zero for static-membership traces).
+/// `ghost_routes` is the peak of the post-op audits: any routing entry on
+/// an alive broker whose client subscription no longer exists. The soak
+/// gates demand it stays 0 — a nonzero value means a purge cascade or
+/// replacement left a stale route behind.
+struct MembershipStats {
+  std::size_t events = 0;
+  std::size_t joins = 0;
+  std::size_t leaves = 0;
+  std::size_t crashes = 0;
+  std::size_t replaces = 0;
+  std::size_t link_failures = 0;
+  std::size_t link_heals = 0;
+  std::size_t replace_restored_routes = 0;  ///< routes revived from images
+  std::size_t replace_gap_subs = 0;         ///< registry-diff replays
+  std::size_t ghost_routes = 0;             ///< peak audit count (gate: 0)
+  std::size_t final_alive_brokers = 0;
+};
+
 /// Whole-run result: the epoch series plus totals.
 struct ChurnReport {
   std::vector<ChurnEpoch> epochs;
@@ -80,6 +100,7 @@ struct ChurnReport {
   std::size_t peak_routing_entries = 0;
   std::size_t final_live_subscriptions = 0;
   RecoveryStats recovery;
+  MembershipStats membership;
 };
 
 class ChurnDriver {

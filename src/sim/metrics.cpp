@@ -16,7 +16,10 @@ Metrics operator+(const Metrics& a, const Metrics& b) noexcept {
   sum.publication_messages += b.publication_messages;
   sum.notifications_delivered += b.notifications_delivered;
   sum.notifications_lost += b.notifications_lost;
+  sum.notifications_duplicated += b.notifications_duplicated;
   sum.subscriptions_suppressed += b.subscriptions_suppressed;
+  sum.membership_events += b.membership_events;
+  sum.reannounced_subscriptions += b.reannounced_subscriptions;
   return sum;
 }
 
@@ -27,7 +30,10 @@ Metrics operator-(const Metrics& a, const Metrics& b) noexcept {
   diff.publication_messages -= b.publication_messages;
   diff.notifications_delivered -= b.notifications_delivered;
   diff.notifications_lost -= b.notifications_lost;
+  diff.notifications_duplicated -= b.notifications_duplicated;
   diff.subscriptions_suppressed -= b.subscriptions_suppressed;
+  diff.membership_events -= b.membership_events;
+  diff.reannounced_subscriptions -= b.reannounced_subscriptions;
   return diff;
 }
 
@@ -37,7 +43,10 @@ std::ostream& operator<<(std::ostream& out, const Metrics& m) {
              << " pub_msgs=" << m.publication_messages
              << " delivered=" << m.notifications_delivered
              << " lost=" << m.notifications_lost
-             << " suppressed=" << m.subscriptions_suppressed;
+             << " duplicated=" << m.notifications_duplicated
+             << " suppressed=" << m.subscriptions_suppressed
+             << " membership=" << m.membership_events
+             << " reannounced=" << m.reannounced_subscriptions;
 }
 
 }  // namespace psc::sim

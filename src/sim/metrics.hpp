@@ -13,7 +13,10 @@ struct Metrics {
   std::uint64_t publication_messages = 0;    ///< per-hop publication sends
   std::uint64_t notifications_delivered = 0; ///< matched at the subscriber
   std::uint64_t notifications_lost = 0;      ///< should have matched, didn't
+  std::uint64_t notifications_duplicated = 0;///< same sub notified twice
   std::uint64_t subscriptions_suppressed = 0;///< withheld by coverage
+  std::uint64_t membership_events = 0;       ///< join/leave/crash/fail/heal
+  std::uint64_t reannounced_subscriptions = 0;///< re-floods on link attach
 
   void reset() noexcept { *this = Metrics{}; }
 

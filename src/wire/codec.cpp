@@ -91,13 +91,17 @@ void write_announcement(ByteWriter& out, const Announcement& msg) {
       write_publication(out, msg.pub);
       out.varint(msg.token);
       break;
+    case Announcement::Kind::kMembership:
+      out.u8(msg.member);
+      out.varint(msg.peer);
+      break;
   }
 }
 
 Announcement read_announcement(ByteReader& in) {
   Announcement msg;
   const std::uint8_t kind = in.u8();
-  if (kind < 1 || kind > 3) {
+  if (kind < 1 || kind > 4) {
     throw DecodeError("wire: unknown announcement kind " + std::to_string(kind));
   }
   msg.kind = static_cast<Announcement::Kind>(kind);
@@ -116,6 +120,14 @@ Announcement read_announcement(ByteReader& in) {
     case Announcement::Kind::kPublication:
       msg.pub = read_publication(in);
       msg.token = in.varint();
+      break;
+    case Announcement::Kind::kMembership:
+      msg.member = in.u8();
+      if (msg.member < 1 || msg.member > 6) {
+        throw DecodeError("wire: unknown membership op kind " +
+                          std::to_string(msg.member));
+      }
+      msg.peer = static_cast<std::uint32_t>(in.varint());
       break;
   }
   return msg;
@@ -143,13 +155,17 @@ void write_churn_op(ByteWriter& out, const ChurnOp& op) {
       break;
     case ChurnOpKind::kAdvance:
       break;
+    case ChurnOpKind::kMembership:
+      out.u8(op.member);
+      out.varint(op.peer);
+      break;
   }
 }
 
 ChurnOp read_churn_op(ByteReader& in) {
   ChurnOp op;
   const std::uint8_t kind = in.u8();
-  if (kind > static_cast<std::uint8_t>(ChurnOpKind::kAdvance)) {
+  if (kind > static_cast<std::uint8_t>(ChurnOpKind::kMembership)) {
     throw DecodeError("wire: unknown churn op kind " + std::to_string(kind));
   }
   op.kind = static_cast<ChurnOpKind>(kind);
@@ -172,6 +188,14 @@ ChurnOp read_churn_op(ByteReader& in) {
       op.pub = read_publication(in);
       break;
     case ChurnOpKind::kAdvance:
+      break;
+    case ChurnOpKind::kMembership:
+      op.member = in.u8();
+      if (op.member < 1 || op.member > 6) {
+        throw DecodeError("wire: unknown membership op kind " +
+                          std::to_string(op.member));
+      }
+      op.peer = static_cast<routing::BrokerId>(in.varint());
       break;
   }
   return op;
@@ -197,6 +221,14 @@ void write_churn_config(ByteWriter& out, const ChurnConfig& config) {
   out.f64(config.slot);
   out.f64(config.link_latency);
   out.f64(config.epoch_length);
+  out.f64(config.membership.join_rate);
+  out.f64(config.membership.leave_rate);
+  out.f64(config.membership.crash_rate);
+  out.f64(config.membership.partition_rate);
+  out.f64(config.membership.partition_mean);
+  out.f64(config.membership.replace_mean);
+  out.varint(config.membership.min_brokers);
+  out.varint(config.membership.max_brokers);
 }
 
 ChurnConfig read_churn_config(ByteReader& in) {
@@ -218,7 +250,52 @@ ChurnConfig read_churn_config(ByteReader& in) {
   config.slot = in.f64();
   config.link_latency = in.f64();
   config.epoch_length = in.f64();
+  config.membership.join_rate = in.f64();
+  config.membership.leave_rate = in.f64();
+  config.membership.crash_rate = in.f64();
+  config.membership.partition_rate = in.f64();
+  config.membership.partition_mean = in.f64();
+  config.membership.replace_mean = in.f64();
+  config.membership.min_brokers = static_cast<std::size_t>(in.varint());
+  config.membership.max_brokers = static_cast<std::size_t>(in.varint());
   return config;
+}
+
+void write_universe(ByteWriter& out,
+                    const routing::MembershipUniverse& universe) {
+  out.varint(universe.brokers);
+  const auto write_links =
+      [&](const std::vector<std::pair<routing::BrokerId, routing::BrokerId>>&
+              links) {
+        out.varint(links.size());
+        for (const auto& [a, b] : links) {
+          out.varint(a);
+          out.varint(b);
+        }
+      };
+  write_links(universe.links);
+  write_links(universe.standby);
+}
+
+routing::MembershipUniverse read_universe(ByteReader& in) {
+  routing::MembershipUniverse universe;
+  universe.brokers = static_cast<std::size_t>(in.varint());
+  const auto read_links =
+      [&](std::vector<std::pair<routing::BrokerId, routing::BrokerId>>& links) {
+        const std::size_t count = in.count(2);
+        links.reserve(count);
+        for (std::size_t i = 0; i < count; ++i) {
+          const auto a = static_cast<routing::BrokerId>(in.varint());
+          const auto b = static_cast<routing::BrokerId>(in.varint());
+          if (a >= universe.brokers || b >= universe.brokers) {
+            throw DecodeError("wire: universe link id out of range");
+          }
+          links.emplace_back(a, b);
+        }
+      };
+  read_links(universe.links);
+  read_links(universe.standby);
+  return universe;
 }
 
 }  // namespace
@@ -231,6 +308,9 @@ void write_churn_trace(ByteWriter& out, const ChurnTrace& trace) {
   out.u64(trace.seed);
   out.varint(trace.publish_count);
   out.varint(trace.subscribe_count);
+  out.varint(trace.membership_count);
+  out.u8(trace.has_membership ? 1 : 0);
+  if (trace.has_membership) write_universe(out, trace.universe);
   out.varint(trace.ops.size());
   for (const ChurnOp& op : trace.ops) write_churn_op(out, op);
 }
@@ -250,6 +330,11 @@ ChurnTrace read_churn_trace(ByteReader& in) {
   trace.seed = in.u64();
   trace.publish_count = static_cast<std::size_t>(in.varint());
   trace.subscribe_count = static_cast<std::size_t>(in.varint());
+  trace.membership_count = static_cast<std::size_t>(in.varint());
+  const std::uint8_t has_membership = in.u8();
+  if (has_membership > 1) throw DecodeError("wire: bad membership flag");
+  trace.has_membership = has_membership != 0;
+  if (trace.has_membership) trace.universe = read_universe(in);
   const std::size_t op_count = in.count(10);  // kind + time + broker floor
   trace.ops.reserve(op_count);
   for (std::size_t i = 0; i < op_count; ++i) {

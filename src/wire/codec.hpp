@@ -33,7 +33,7 @@ namespace psc::wire {
 /// Format version of the headerless element codecs in this file. Bumped on
 /// any layout change; embedded by the stream-level headers (trace,
 /// snapshot) so readers can reject encodings they do not speak.
-inline constexpr std::uint32_t kCodecVersion = 1;
+inline constexpr std::uint32_t kCodecVersion = 2;
 
 /// Magic prefix of a serialized churn trace ("PSCT" little-endian).
 inline constexpr std::uint32_t kTraceMagic = 0x54435350U;
@@ -63,6 +63,7 @@ struct Announcement {
     kSubscribe = 1,    ///< sub (+ optional absolute expiry)
     kUnsubscribe = 2,  ///< id only
     kPublication = 3,  ///< pub + token
+    kMembership = 4,   ///< membership op kind + peer operand
   };
 
   Kind kind = Kind::kSubscribe;
@@ -72,6 +73,8 @@ struct Announcement {
   core::SubscriptionId id = 0;            ///< kUnsubscribe target
   core::Publication pub;                  ///< kPublication payload
   std::uint64_t token = 0;                ///< kPublication dedup token
+  std::uint8_t member = 0;                ///< kMembership: MembershipOpKind
+  std::uint32_t peer = 0;                 ///< kMembership second operand
 
   friend bool operator==(const Announcement& a, const Announcement& b) {
     if (a.kind != b.kind || a.from != b.from) return false;
@@ -84,6 +87,8 @@ struct Announcement {
         return a.pub.id() == b.pub.id() && a.token == b.token &&
                std::equal(a.pub.values().begin(), a.pub.values().end(),
                           b.pub.values().begin(), b.pub.values().end());
+      case Kind::kMembership:
+        return a.member == b.member && a.peer == b.peer;
     }
     return false;
   }

@@ -32,7 +32,7 @@ namespace psc::wire {
 /// Snapshot format version; bump on ANY layout change to a store, broker,
 /// or network body (they version together — a network body embeds the
 /// other two).
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 /// Frame magics ("PSCB" / "PSCN" little-endian).
 inline constexpr std::uint32_t kBrokerSnapshotMagic = 0x42435350U;

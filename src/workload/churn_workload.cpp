@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
+#include <optional>
 #include <queue>
+#include <set>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/interval.hpp"
@@ -27,11 +31,26 @@ double sample_exponential(util::Rng& rng, double mean) {
   return -mean * std::log(u);
 }
 
-void validate(const ChurnConfig& c, std::size_t broker_count) {
+void validate(const ChurnConfig& c, std::size_t broker_count,
+              std::size_t cascade_broker_bound) {
   const auto fail = [](const char* what) {
     throw std::invalid_argument(std::string("generate_churn_trace: ") + what);
   };
   if (broker_count == 0) fail("broker_count must be > 0");
+  const auto& m = c.membership;
+  if (m.join_rate < 0 || m.leave_rate < 0 || m.crash_rate < 0 ||
+      m.partition_rate < 0) {
+    fail("negative membership rate");
+  }
+  if (m.any()) {
+    if (!(m.partition_mean > 0)) fail("partition_mean must be > 0");
+    if (!(m.replace_mean > 0)) fail("replace_mean must be > 0");
+    if (m.min_brokers == 0) fail("min_brokers must be > 0");
+    if (m.min_brokers > broker_count) fail("min_brokers above broker_count");
+    if (m.max_brokers != 0 && m.max_brokers < broker_count) {
+      fail("max_brokers below initial broker_count");
+    }
+  }
   if (c.attribute_count == 0) fail("attribute_count must be > 0");
   if (!(c.domain_hi > c.domain_lo)) fail("domain must be non-empty");
   if (c.subscription_rate < 0 || c.publication_rate < 0) fail("negative rate");
@@ -58,9 +77,11 @@ void validate(const ChurnConfig& c, std::size_t broker_count) {
     fail("epoch_length must be a whole number of slots");
   }
   // The differential time contract: expiries sit half a slot past a
-  // boundary, which must clear the worst-case cascade window.
+  // boundary, which must clear the worst-case cascade window. Under
+  // membership churn the overlay can GROW, so the bound uses the join cap
+  // rather than the initial broker count.
   if (c.slot / 2 <=
-      static_cast<double>(broker_count + 1) * c.link_latency) {
+      static_cast<double>(cascade_broker_bound + 1) * c.link_latency) {
     fail("slot too small: slot/2 must exceed (brokers + 1) * link_latency");
   }
 }
@@ -73,6 +94,8 @@ struct Proto {
   std::uint64_t seq = 0;           ///< FIFO tie-break
   SubscriptionId unsub_id = 0;     ///< kUnsubscribe payload
   BrokerId unsub_home = 0;
+  std::uint8_t member = 0;         ///< kMembership: MembershipOpKind value
+  BrokerId target = 0;             ///< kReplace: the broker to revive
 };
 
 struct ProtoLater {
@@ -82,16 +105,37 @@ struct ProtoLater {
   }
 };
 
-}  // namespace
-
-ChurnTrace generate_churn_trace(const ChurnConfig& config,
-                                std::size_t broker_count, std::uint64_t seed) {
-  validate(config, broker_count);
+ChurnTrace generate_impl(const ChurnConfig& config, std::size_t broker_count,
+                         const routing::MembershipUniverse* universe,
+                         std::uint64_t seed) {
+  const std::size_t max_brokers =
+      config.membership.max_brokers != 0 ? config.membership.max_brokers
+                                         : 2 * broker_count;
+  validate(config, broker_count,
+           config.membership.any() ? max_brokers : broker_count);
 
   ChurnTrace trace;
   trace.config = config;
   trace.broker_count = broker_count;
   trace.seed = seed;
+  if (universe != nullptr) {
+    trace.has_membership = true;
+    trace.universe = *universe;
+  }
+
+  // The generator's own link-state replica: membership protos are checked
+  // for feasibility against it and mutate it exactly as the network and
+  // oracle will, so every emitted op is legal by construction. `alive`
+  // mirrors its alive set as a sorted vector for uniform target sampling.
+  std::optional<routing::LinkState> state;
+  std::vector<BrokerId> alive;
+  if (universe != nullptr) {
+    state.emplace(*universe);  // throws if the live links are cyclic
+    alive.reserve(max_brokers);
+    for (std::size_t b = 0; b < broker_count; ++b) {
+      alive.push_back(static_cast<BrokerId>(b));
+    }
+  }
 
   util::Rng rng(seed);
   const double domain_width = config.domain_hi - config.domain_lo;
@@ -125,6 +169,22 @@ ChurnTrace generate_churn_trace(const ChurnConfig& config,
       pending.push(Proto{t, ChurnOpKind::kPublish, seq++, 0, 0});
     }
   }
+  if (universe != nullptr) {
+    using routing::MembershipOpKind;
+    const auto stream = [&](double rate, MembershipOpKind member) {
+      if (rate <= 0) return;
+      for (double t = sample_exponential(rng, 1.0 / rate); t < config.duration;
+           t += sample_exponential(rng, 1.0 / rate)) {
+        Proto proto{t, ChurnOpKind::kMembership, seq++, 0, 0};
+        proto.member = static_cast<std::uint8_t>(member);
+        pending.push(proto);
+      }
+    };
+    stream(config.membership.join_rate, MembershipOpKind::kJoin);
+    stream(config.membership.leave_rate, MembershipOpKind::kLeave);
+    stream(config.membership.crash_rate, MembershipOpKind::kCrash);
+    stream(config.membership.partition_rate, MembershipOpKind::kFailLink);
+  }
 
   // Slot assignment: ops are serialized one-per-slot in event order, so
   // every op owns a quiet boundary and replay is collision-free.
@@ -133,6 +193,22 @@ ChurnTrace generate_churn_trace(const ChurnConfig& config,
   };
   std::uint64_t last_slot = 0;  // slot 0 is reserved: time 0 issues nothing
   SubscriptionId next_id = 1;
+
+  // Explicit-unsubscribe protos outstanding, by home broker: a graceful
+  // leave takes its registry entries with it, so their unsubscribes must
+  // be dropped from the trace (a crash keeps the registry — those stay).
+  std::unordered_map<SubscriptionId, BrokerId> pending_unsub;
+  std::set<SubscriptionId> gone;
+
+  // Uniform target over the currently-alive brokers (all of them when
+  // membership is off).
+  const auto pick_broker = [&]() {
+    if (state) return alive[rng.next_below(alive.size())];
+    return static_cast<BrokerId>(rng.next_below(broker_count));
+  };
+  const auto drop_alive = [&](BrokerId b) {
+    alive.erase(std::find(alive.begin(), alive.end(), b));
+  };
 
   while (!pending.empty()) {
     Proto proto = pending.top();
@@ -161,7 +237,7 @@ ChurnTrace generate_churn_trace(const ChurnConfig& config,
               std::max(config.domain_lo, mid - width / 2),
               std::min(config.domain_hi, mid + width / 2));
         }
-        op.broker = static_cast<BrokerId>(rng.next_below(broker_count));
+        op.broker = pick_broker();
         op.sub = Subscription(std::move(ranges), next_id++);
         trace.subscribe_count += 1;
 
@@ -181,6 +257,7 @@ ChurnTrace generate_churn_trace(const ChurnConfig& config,
           const double lifetime = sample_exponential(rng, config.mean_lifetime);
           pending.push(Proto{proto.t + lifetime, ChurnOpKind::kUnsubscribe,
                              seq++, op.sub.id(), op.broker});
+          pending_unsub.emplace(op.sub.id(), op.broker);
         }
         break;
       }
@@ -193,16 +270,105 @@ ChurnTrace generate_churn_trace(const ChurnConfig& config,
                                      config.domain_lo, config.domain_hi));
         }
         op.kind = ChurnOpKind::kPublish;
-        op.broker = static_cast<BrokerId>(rng.next_below(broker_count));
+        op.broker = pick_broker();
         op.pub = Publication(std::move(point));
         trace.publish_count += 1;
         break;
       }
       case ChurnOpKind::kUnsubscribe:
+        if (gone.count(proto.unsub_id) > 0) continue;  // home broker left
+        pending_unsub.erase(proto.unsub_id);
         op.kind = ChurnOpKind::kUnsubscribe;
         op.id = proto.unsub_id;
         op.broker = proto.unsub_home;
         break;
+      case ChurnOpKind::kMembership: {
+        using routing::MembershipOpKind;
+        const auto member = static_cast<MembershipOpKind>(proto.member);
+        op.kind = ChurnOpKind::kMembership;
+        op.member = proto.member;
+        switch (member) {
+          case MembershipOpKind::kJoin: {
+            if (state->broker_count() >= max_brokers) continue;
+            const BrokerId attach = pick_broker();
+            const BrokerId id = state->add_broker();
+            state->add_link(attach, id);
+            alive.push_back(id);  // dense ids, so the vector stays sorted
+            op.broker = attach;
+            op.peer = id;  // replay asserts the network hands out this id
+            break;
+          }
+          case MembershipOpKind::kLeave: {
+            if (state->alive_count() <= config.membership.min_brokers) continue;
+            const BrokerId b = pick_broker();
+            for (const auto& [sid, home] : pending_unsub) {
+              if (home == b) gone.insert(sid);
+            }
+            (void)state->remove_peer(b);
+            drop_alive(b);
+            op.broker = b;
+            break;
+          }
+          case MembershipOpKind::kCrash: {
+            if (state->alive_count() <= config.membership.min_brokers) continue;
+            const BrokerId b = pick_broker();
+            (void)state->crash_peer(b);
+            drop_alive(b);
+            Proto replace{
+                proto.t + sample_exponential(rng, config.membership.replace_mean),
+                ChurnOpKind::kMembership, seq++, 0, 0};
+            replace.member = static_cast<std::uint8_t>(MembershipOpKind::kReplace);
+            replace.target = b;
+            pending.push(replace);
+            op.broker = b;
+            break;
+          }
+          case MembershipOpKind::kReplace: {
+            // One replace proto per crash, and only replace revives, so the
+            // target must still be down; guard anyway for robustness.
+            if (state->is_alive(proto.target)) continue;
+            (void)state->replace_peer(proto.target);
+            alive.insert(std::lower_bound(alive.begin(), alive.end(),
+                                          proto.target),
+                         proto.target);
+            op.broker = proto.target;
+            break;
+          }
+          case MembershipOpKind::kFailLink: {
+            if (state->live_links().empty()) continue;
+            auto it = state->live_links().begin();
+            std::advance(it, rng.next_below(state->live_links().size()));
+            const auto [a, b] = *it;
+            state->fail_link(a, b);
+            Proto heal{proto.t + sample_exponential(
+                                     rng, config.membership.partition_mean),
+                       ChurnOpKind::kMembership, seq++, 0, 0};
+            heal.member = static_cast<std::uint8_t>(MembershipOpKind::kHealLink);
+            pending.push(heal);
+            op.broker = a;
+            op.peer = b;
+            break;
+          }
+          case MembershipOpKind::kHealLink: {
+            // Uniform over ALL healable down links, not the one that
+            // failed: on cyclic universes this rotates the standby bridges.
+            std::vector<std::pair<BrokerId, BrokerId>> healable;
+            for (const auto& [a, b] : state->failed_links()) {
+              if (!state->is_alive(a) || !state->is_alive(b)) continue;
+              if (state->same_component(a, b)) continue;
+              healable.push_back({a, b});
+            }
+            if (healable.empty()) continue;
+            const auto [a, b] = healable[rng.next_below(healable.size())];
+            state->heal_link(a, b);
+            op.broker = a;
+            op.peer = b;
+            break;
+          }
+        }
+        trace.membership_count += 1;
+        break;
+      }
       case ChurnOpKind::kSubscribeTtl:
       case ChurnOpKind::kAdvance:
         continue;  // never enqueued as proto events
@@ -219,6 +385,24 @@ ChurnTrace generate_churn_trace(const ChurnConfig& config,
       config.slot;
   trace.ops.push_back(std::move(closing));
   return trace;
+}
+
+}  // namespace
+
+ChurnTrace generate_churn_trace(const ChurnConfig& config,
+                                std::size_t broker_count, std::uint64_t seed) {
+  if (config.membership.any()) {
+    throw std::invalid_argument(
+        "generate_churn_trace: membership rates require the universe "
+        "overload");
+  }
+  return generate_impl(config, broker_count, nullptr, seed);
+}
+
+ChurnTrace generate_churn_trace(const ChurnConfig& config,
+                                const routing::MembershipUniverse& universe,
+                                std::uint64_t seed) {
+  return generate_impl(config, universe.brokers, &universe, seed);
 }
 
 }  // namespace psc::workload

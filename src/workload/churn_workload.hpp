@@ -26,6 +26,7 @@
 #include "core/publication.hpp"
 #include "core/subscription.hpp"
 #include "routing/broker.hpp"
+#include "routing/membership.hpp"
 #include "sim/event_queue.hpp"
 
 namespace psc::workload {
@@ -37,6 +38,7 @@ enum class ChurnOpKind : std::uint8_t {
   kUnsubscribe,   ///< explicit removal of an earlier kSubscribe
   kPublish,       ///< point publication
   kAdvance,       ///< pure time advance (flushes due expiries)
+  kMembership,    ///< overlay mutation (join/leave/crash/replace/fail/heal)
 };
 
 struct ChurnOp {
@@ -47,6 +49,12 @@ struct ChurnOp {
   sim::SimTime ttl = 0.0;         ///< kSubscribeTtl only
   core::SubscriptionId id = 0;    ///< kUnsubscribe target
   core::Publication pub;          ///< kPublish payload
+  // kMembership payload. `broker`/`peer` operands by kind: kJoin attaches
+  // the new broker `peer` (predicted dense id, asserted at replay) to
+  // `broker`; kLeave/kCrash/kReplace target `broker`; kFailLink/kHealLink
+  // name the link (`broker`, `peer`).
+  std::uint8_t member = 0;        ///< routing::MembershipOpKind value
+  routing::BrokerId peer = 0;     ///< second operand, see above
 };
 
 /// Knobs of the churn model. Rates are per simulated second; the defaults
@@ -72,6 +80,29 @@ struct ChurnConfig {
   double width_fraction_lo = 0.02;       ///< sub box width bounds / domain
   double width_fraction_hi = 0.25;
 
+  // --- membership churn (all-zero rates = static membership) ----------
+  // Poisson event streams over the overlay itself, interleaved with the
+  // client churn above. Crashes schedule a replacement ~Exp(replace_mean)
+  // later; partitions schedule a heal ~Exp(partition_mean) later. A heal
+  // picks uniformly among ALL currently healable down links — so on
+  // ring/mesh universes a partition can rotate which bridge is up rather
+  // than restoring the one that failed.
+  struct MembershipConfig {
+    double join_rate = 0.0;       ///< new-broker attachments per second
+    double leave_rate = 0.0;      ///< graceful departures per second
+    double crash_rate = 0.0;      ///< crash-stop failures per second
+    double partition_rate = 0.0;  ///< link failures per second
+    double partition_mean = 4.0;  ///< mean seconds a partition stays open
+    double replace_mean = 3.0;    ///< mean seconds from crash to replacement
+    std::size_t min_brokers = 4;  ///< leave/crash keep at least this many alive
+    std::size_t max_brokers = 0;  ///< join cap; 0 = twice the initial count
+    [[nodiscard]] bool any() const noexcept {
+      return join_rate > 0 || leave_rate > 0 || crash_rate > 0 ||
+             partition_rate > 0;
+    }
+  };
+  MembershipConfig membership;
+
   // --- time discipline ------------------------------------------------
   double duration = 60.0;      ///< simulated seconds of churn
   double slot = 0.1;           ///< op-time quantum; one op per slot
@@ -80,6 +111,8 @@ struct ChurnConfig {
 };
 
 /// A generated trace: time-ordered ops plus the config that shaped it.
+/// Membership traces additionally embed the universe they were generated
+/// against, making a serialized trace self-contained for replay.
 struct ChurnTrace {
   ChurnConfig config;
   std::size_t broker_count = 0;
@@ -87,15 +120,29 @@ struct ChurnTrace {
   std::vector<ChurnOp> ops;
   std::size_t publish_count = 0;
   std::size_t subscribe_count = 0;  ///< kSubscribe + kSubscribeTtl ops
+  std::size_t membership_count = 0;
+  bool has_membership = false;
+  routing::MembershipUniverse universe;
 };
 
 /// Generates a deterministic trace for an overlay of `broker_count`
 /// brokers. Throws std::invalid_argument on nonsensical configs, including
 /// a slot too small for the overlay's worst-case cascade
 /// (slot / 2 <= (broker_count + 1) * link_latency), which would break the
-/// differential time contract above.
+/// differential time contract above. Membership rates require the
+/// universe overload (the generator must know the link graph) and throw
+/// here.
 [[nodiscard]] ChurnTrace generate_churn_trace(const ChurnConfig& config,
                                               std::size_t broker_count,
                                               std::uint64_t seed);
+
+/// Membership-aware overload: generates against a concrete universe,
+/// running its own LinkState through the exact event sequence it emits so
+/// every op is feasible by construction (the same LinkState policy the
+/// network and oracle replay, so all three stay in lockstep). The cascade
+/// bound is validated against the join cap, not the initial broker count.
+[[nodiscard]] ChurnTrace generate_churn_trace(
+    const ChurnConfig& config, const routing::MembershipUniverse& universe,
+    std::uint64_t seed);
 
 }  // namespace psc::workload

@@ -134,6 +134,37 @@ TEST(Recovery, KillBeforeFirstSnapshotUsesBootImage) {
   EXPECT_EQ(report.totals.notifications_lost, 0u);
 }
 
+TEST(Recovery, RestoreAllTwiceIsIdempotent) {
+  // restore_all must fully wipe whatever state the target network holds —
+  // including an engaged membership LinkState — so restoring the same
+  // image twice (or over a dirtier network) converges to one state.
+  auto source = BrokerNetwork::figure1_topology();
+  source.subscribe(0, core::Subscription({{100, 200}, {100, 200}}, 1));
+  source.subscribe(6, core::Subscription({{300, 400}, {300, 400}}, 2));
+  source.fail_link(2, 3);
+  source.crash_peer(8);
+  const std::vector<std::uint8_t> image = source.snapshot_all();
+
+  auto target = BrokerNetwork::figure1_topology();
+  target.subscribe(4, core::Subscription({{0, 1}, {0, 1}}, 9));
+  target.crash_peer(0);  // engage membership with different state
+  target.restore_all({image.data(), image.size()});
+  const std::vector<std::uint8_t> once = target.snapshot_all();
+  target.restore_all({image.data(), image.size()});
+  const std::vector<std::uint8_t> twice = target.snapshot_all();
+  EXPECT_EQ(once, twice);
+  EXPECT_EQ(once, image);
+
+  // The twice-restored replica behaves like the source.
+  ASSERT_TRUE(target.membership_active());
+  EXPECT_FALSE(target.is_alive(8));
+  target.heal_link(2, 3);
+  source.heal_link(2, 3);
+  const core::Publication probe({150, 150});
+  EXPECT_EQ(target.publish(7, probe), source.publish(7, probe));
+  EXPECT_EQ(target.ghost_route_count(), 0u);
+}
+
 TEST(Recovery, InvalidFailureConfigsThrow) {
   const ChurnConfig config = small_config();
   const auto trace = generate_churn_trace(config, 9, 5);

@@ -207,6 +207,77 @@ TEST(Codec, ChurnTraceRoundTrip) {
   }
 }
 
+TEST(Codec, MembershipAnnouncementRoundTrip) {
+  util::Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    Announcement msg;
+    msg.kind = Announcement::Kind::kMembership;
+    msg.from = static_cast<std::uint32_t>(rng() % 64);
+    msg.member = static_cast<std::uint8_t>(1 + rng() % 6);  // kJoin..kHealLink
+    msg.peer = static_cast<std::uint32_t>(rng() % 1024);
+    ByteWriter out;
+    write_announcement(out, msg);
+    ByteReader in(out.buffer());
+    const Announcement back = read_announcement(in);
+    EXPECT_TRUE(msg == back) << "iteration " << i;
+    EXPECT_TRUE(in.at_end());
+  }
+  // Membership verbs outside 1..6 are wire garbage, not future extensions.
+  Announcement msg;
+  msg.kind = Announcement::Kind::kMembership;
+  msg.from = 3;
+  msg.member = 2;
+  msg.peer = 5;
+  ByteWriter out;
+  write_announcement(out, msg);
+  std::vector<std::uint8_t> bad = out.buffer();
+  bad[2] = 7;  // layout: kind u8, from varint(1B), member u8
+  ByteReader in(bad);
+  EXPECT_THROW((void)read_announcement(in), DecodeError);
+}
+
+TEST(Codec, MembershipChurnTraceRoundTrip) {
+  workload::ChurnConfig config;
+  config.duration = 15.0;
+  config.membership.join_rate = 0.3;
+  config.membership.leave_rate = 0.2;
+  config.membership.crash_rate = 0.3;
+  config.membership.partition_rate = 0.5;
+  config.membership.max_brokers = 16;
+
+  routing::MembershipUniverse universe;
+  universe.brokers = 9;
+  for (BrokerId b = 1; b < 9; ++b) universe.links.emplace_back(b - 1, b);
+  universe.standby.emplace_back(0, 8);
+
+  const auto trace = workload::generate_churn_trace(config, universe, 404);
+  ASSERT_TRUE(trace.has_membership);
+  ASSERT_GT(trace.membership_count, 0u);
+
+  ByteWriter out;
+  write_churn_trace(out, trace);
+  ByteReader in(out.buffer());
+  const auto back = read_churn_trace(in);
+  EXPECT_TRUE(in.at_end());
+  EXPECT_EQ(back.has_membership, trace.has_membership);
+  EXPECT_EQ(back.membership_count, trace.membership_count);
+  EXPECT_EQ(back.universe.brokers, trace.universe.brokers);
+  EXPECT_EQ(back.universe.links, trace.universe.links);
+  EXPECT_EQ(back.universe.standby, trace.universe.standby);
+  EXPECT_EQ(back.config.membership.join_rate, trace.config.membership.join_rate);
+  EXPECT_EQ(back.config.membership.partition_mean,
+            trace.config.membership.partition_mean);
+  EXPECT_EQ(back.config.membership.max_brokers,
+            trace.config.membership.max_brokers);
+  ASSERT_EQ(back.ops.size(), trace.ops.size());
+  for (std::size_t i = 0; i < trace.ops.size(); ++i) {
+    EXPECT_EQ(back.ops[i].kind, trace.ops[i].kind);
+    EXPECT_EQ(back.ops[i].member, trace.ops[i].member);
+    EXPECT_EQ(back.ops[i].peer, trace.ops[i].peer);
+    EXPECT_EQ(back.ops[i].broker, trace.ops[i].broker);
+  }
+}
+
 // --- corruption robustness ---------------------------------------------
 //
 // Decoding a damaged buffer must either throw DecodeError or produce a
@@ -251,6 +322,47 @@ TEST(Codec, TruncationAndCorruptionAreRejectedWithoutUB) {
   write_announcement(aout, msg);
   expect_graceful_rejection(aout.buffer(),
                             [](ByteReader& in) { return read_announcement(in); });
+
+  ByteWriter mout;
+  Announcement member;
+  member.kind = Announcement::Kind::kMembership;
+  member.from = 12;
+  member.member = 5;  // kFailLink
+  member.peer = 300;
+  write_announcement(mout, member);
+  expect_graceful_rejection(mout.buffer(),
+                            [](ByteReader& in) { return read_announcement(in); });
+}
+
+TEST(Codec, CorruptedMembershipTraceIsRejectedWithoutUB) {
+  workload::ChurnConfig config;
+  config.duration = 4.0;
+  config.membership.crash_rate = 0.5;
+  config.membership.partition_rate = 0.5;
+  routing::MembershipUniverse universe;
+  universe.brokers = 6;
+  for (BrokerId b = 1; b < 6; ++b) universe.links.emplace_back(b - 1, b);
+  universe.standby.emplace_back(0, 5);
+  ByteWriter out;
+  write_churn_trace(out, workload::generate_churn_trace(config, universe, 7));
+  const std::vector<std::uint8_t>& good = out.buffer();
+
+  for (std::size_t cut = 0; cut < good.size();
+       cut += std::max<std::size_t>(good.size() / 256, 1)) {
+    ByteReader in(std::span(good.data(), cut));
+    EXPECT_THROW((void)read_churn_trace(in), DecodeError) << "prefix " << cut;
+  }
+  util::Rng rng(31);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<std::uint8_t> bad = good;
+    bad[rng() % bad.size()] ^= static_cast<std::uint8_t>(1 + rng() % 255);
+    ByteReader in(bad);
+    try {
+      (void)read_churn_trace(in);
+    } catch (const DecodeError&) {
+      // expected for most flips; a clean decode of garbage is fine, UB is not
+    }
+  }
 }
 
 TEST(Snapshot, CorruptedNetworkSnapshotIsRejectedWithoutUB) {
