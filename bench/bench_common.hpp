@@ -70,31 +70,75 @@ struct SectionResult {
   double p99_ns = 0.0;
 };
 
+/// Latency accumulator behind every gated section: record one sample per
+/// timed unit (an op, or a batch on the pipelined paths), then fold the
+/// percentiles into a SectionResult. Percentile semantics are
+/// util::SampleSet's linear interpolation over the sorted samples
+/// (rank = pct/100 * (n-1)): with samples 1..100, p50 = 50.5 and
+/// p99 = 99.01 — pinned by tests/bench_stats_test.cpp, including the
+/// record-after-query re-sort at small sample counts that the perf gate's
+/// incremental sections exercise.
+class LatencyRecorder {
+ public:
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  /// Records one latency sample in nanoseconds. Safe to call after a
+  /// percentile query (the sample set re-sorts lazily).
+  void record(double ns) { samples_.add(ns); }
+
+  /// Times one invocation of `op` and records it.
+  template <typename Op>
+  void time(Op&& op) {
+    using clock = std::chrono::steady_clock;
+    const auto t0 = clock::now();
+    op();
+    const auto t1 = clock::now();
+    record(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()));
+  }
+
+  [[nodiscard]] std::size_t count() const { return samples_.count(); }
+  /// Empty-safe: 0.0 with no samples (a zero-op section is a config error
+  /// the throughput number already makes obvious; don't crash the harness).
+  [[nodiscard]] double percentile(double pct) const {
+    return samples_.count() == 0 ? 0.0 : samples_.percentile(pct);
+  }
+
+  /// Folds the recorded samples into the shared gate schema. `ops` is the
+  /// logical operation count for throughput (== count() for per-op timing,
+  /// larger when each sample covers a batch).
+  [[nodiscard]] SectionResult section(const std::string& name,
+                                      std::uint64_t ops,
+                                      double elapsed_seconds) const {
+    SectionResult result;
+    result.name = name;
+    result.ops = ops;
+    result.ops_per_sec =
+        elapsed_seconds > 0 ? static_cast<double>(ops) / elapsed_seconds : 0.0;
+    result.p50_ns = percentile(50.0);
+    result.p99_ns = percentile(99.0);
+    return result;
+  }
+
+ private:
+  util::SampleSet samples_;
+};
+
 /// Times `op(i)` for i in [0, ops), returning throughput and latency
 /// percentiles. Per-op timing: the measured operations are microsecond-
 /// scale, so the ~20ns clock overhead is in the noise.
 template <typename Op>
 SectionResult time_section(const std::string& name, std::uint64_t ops, Op&& op) {
   using clock = std::chrono::steady_clock;
-  util::SampleSet latencies;
+  LatencyRecorder latencies;
   latencies.reserve(ops);
   const auto begin = clock::now();
   for (std::uint64_t i = 0; i < ops; ++i) {
-    const auto t0 = clock::now();
-    op(i);
-    const auto t1 = clock::now();
-    latencies.add(static_cast<double>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()));
+    latencies.time([&] { op(i); });
   }
   const double elapsed =
       std::chrono::duration<double>(clock::now() - begin).count();
-  SectionResult result;
-  result.name = name;
-  result.ops = ops;
-  result.ops_per_sec = elapsed > 0 ? static_cast<double>(ops) / elapsed : 0.0;
-  result.p50_ns = latencies.percentile(50.0);
-  result.p99_ns = latencies.percentile(99.0);
-  return result;
+  return latencies.section(name, ops, elapsed);
 }
 
 inline void write_section(util::JsonWriter& json, const SectionResult& result) {

@@ -30,6 +30,15 @@ against the full baseline (tiers 100k/1M) without tripping the small-scale
 mode for the whole file. Files without "scales" (pre-multi-scale
 baselines) fall back to the top-level sections only.
 
+Asymmetry fails loudly: a gated section present in only one file, a tier
+present in only one file, or a "scales" block on only one side is an exit-1
+failure, never a silent skip — a harness that stops emitting a gated
+metric must not pass the gate by omission.
+
+Latency gating: sections in P99_GATED (the broker publish paths) also gate
+on p99_ns — same-scale pairs allow threshold + jitter of rise, cross-scale
+pairs are one-sided (a smaller run must not have a larger p99).
+
 Absolute ratchets: the vectorized-matching PR is acceptance-gated on
 stab/box_intersect throughput at the reference scale (100k actives, 4
 attributes, 20k queries). Any file containing a tier at exactly that scale
@@ -52,15 +61,24 @@ DEFAULT_SECTIONS = [
     "box_intersect",
     "insert_erase_churn_amortized",
     "broker_publish",
+    "broker_publish_pipelined",
 ]
+# Sections whose p99 latency is gated alongside throughput: same-scale
+# pairs fail when current p99 rises more than threshold + jitter above the
+# baseline; cross-scale pairs are one-sided (the smaller run's p99 must not
+# exceed the full-size baseline's at all).
+P99_GATED = {"broker_publish", "broker_publish_pipelined"}
 JITTER_CAP = 0.20  # max extra allowance from latency jitter, absolute
 
-# Minimum ops/sec at REFERENCE_SCALE: 3x the pre-vectorization baseline
-# (stab 3792.8, box_intersect 378.6 — BENCH_core.json as of the tiered-
-# index PR). Ratchet upward only.
+# Minimum ops/sec at REFERENCE_SCALE. stab/box_intersect: 3x the
+# pre-vectorization baseline (stab 3792.8, box_intersect 378.6 —
+# BENCH_core.json as of the tiered-index PR). broker_publish_pipelined:
+# 5x the sequential broker_publish baseline (1121.7) — the staged-pipeline
+# PR's acceptance gate. Ratchet upward only.
 RATCHET_FLOORS = {
     "stab": 11378.3,
     "box_intersect": 1135.7,
+    "broker_publish_pipelined": 5608.5,
 }
 REFERENCE_SCALE = {"actives": 100000, "attributes": 4, "queries": 20000}
 
@@ -132,14 +150,47 @@ def compare_sections(base_config, base_sections, cur_config, cur_sections,
                 f"{label} section {name}: {cur_ops:.1f} ops/sec is "
                 f"{(1.0 - ratio) * 100.0:.1f}% below baseline "
                 f"{base_ops:.1f} (allowed {allowed * 100.0:.0f}%)")
+        if name not in P99_GATED:
+            continue
+        base_p99 = base.get("p99_ns", 0.0)
+        cur_p99 = cur.get("p99_ns", 0.0)
+        if base_p99 <= 0 or cur_p99 <= 0:
+            failures.append(
+                f"{label} section {name}: p99_ns missing or non-positive "
+                f"(baseline {base_p99}, current {cur_p99})")
+            continue
+        allowed_rise = threshold + jitter_allowance(base) if same_scale else 0.0
+        ceiling = base_p99 * (1.0 + allowed_rise)
+        p99_ratio = cur_p99 / base_p99
+        p99_verdict = "ok" if cur_p99 <= ceiling else "REGRESSION"
+        rows.append((f"{name} p99 {label}", base_p99, cur_p99, p99_ratio,
+                     allowed_rise, p99_verdict))
+        if cur_p99 > ceiling:
+            failures.append(
+                f"{label} section {name}: p99 {cur_p99:.1f} ns is "
+                f"{(p99_ratio - 1.0) * 100.0:.1f}% above baseline "
+                f"{base_p99:.1f} (allowed {allowed_rise * 100.0:.0f}%)")
 
 
-def check_ratchet(config, sections, label, failures):
-    """Absolute floors, applied to every tier at exactly REFERENCE_SCALE."""
+def check_ratchet(config, sections, label, failures, require_all=False):
+    """Absolute floors, applied to every block at exactly REFERENCE_SCALE.
+
+    The primary sections block of a full-size run records every floored
+    metric, so it is checked with require_all: a floored section going
+    missing there fails loudly rather than silently un-arming its floor.
+    Scale-tier blocks record only the index sections (the broker sections
+    are primary-only), so floors apply to the sections a tier records.
+    """
     if not all(config.get(k) == v for k, v in REFERENCE_SCALE.items()):
         return
     for name, floor in RATCHET_FLOORS.items():
-        ops = sections.get(name, {}).get("ops_per_sec", 0.0)
+        if name not in sections:
+            if require_all:
+                failures.append(
+                    f"{label} section {name}: missing, so its absolute "
+                    f"ratchet floor {floor:.1f} cannot be checked")
+            continue
+        ops = sections[name].get("ops_per_sec", 0.0)
         if ops < floor:
             failures.append(
                 f"{label} section {name}: {ops:.1f} ops/sec is below the "
@@ -189,18 +240,31 @@ def main():
                      current.get("config", {}), current.get("sections", {}),
                      gated, args.threshold, "(primary)", rows, failures)
 
-    # Scale tiers, paired positionally. Gate every section the paired
-    # blocks share: perf_gate tiers carry stab/box_intersect/churn, an
-    # index_scaling file carries its match_active sections — both flow
-    # through the same comparison.
+    # Scale tiers, paired positionally: perf_gate tiers carry
+    # stab/box_intersect/churn, an index_scaling file carries its
+    # match_active sections — both flow through the same comparison.
+    # Asymmetry is never silently skipped: a tier or a section present on
+    # one side only means the two files don't measure the same thing, and a
+    # gate that quietly compares the intersection would wave through a
+    # harness that stopped emitting a gated metric.
     base_scales = baseline.get("scales", [])
     cur_scales = current.get("scales", [])
+    if bool(base_scales) != bool(cur_scales):
+        failures.append(
+            f"scales block present only in "
+            f"{'baseline' if base_scales else 'current'} "
+            f"({len(base_scales)} vs {len(cur_scales)} tiers)")
     if base_scales and cur_scales and len(base_scales) != len(cur_scales):
-        print(f"check_bench: tier count differs (baseline {len(base_scales)}, "
-              f"current {len(cur_scales)}); comparing the common prefix")
+        failures.append(
+            f"tier count differs (baseline {len(base_scales)}, "
+            f"current {len(cur_scales)}); comparing the common prefix")
     for tier, (base, cur) in enumerate(zip(base_scales, cur_scales)):
         base_sections = base.get("sections", {})
         cur_sections = cur.get("sections", {})
+        for name in sorted(set(base_sections) ^ set(cur_sections)):
+            failures.append(
+                f"tier {tier} section {name}: present only in "
+                f"{'baseline' if name in base_sections else 'current'}")
         shared = sorted(set(base_sections) & set(cur_sections))
         if not shared:
             failures.append(f"tier {tier}: no shared sections to gate")
@@ -213,7 +277,7 @@ def main():
     # committed baseline must itself stay above the floors).
     for name, blob in (("baseline", baseline), ("current", current)):
         check_ratchet(blob.get("config", {}), blob.get("sections", {}),
-                      f"{name} (primary)", failures)
+                      f"{name} (primary)", failures, require_all=True)
         for scale in blob.get("scales", []):
             actives = scale.get("config", {}).get("actives")
             check_ratchet(scale.get("config", {}), scale.get("sections", {}),

@@ -1,0 +1,245 @@
+// Bounded lock-free ring queues — the stage connectors of the broker's
+// publish pipeline (routing/publish_pipeline.hpp).
+//
+// Two flavours:
+//   * SpscRingQueue — single producer, single consumer. Head and tail are
+//     each written by exactly one side, so a push is one store-release and
+//     a pop one load-acquire; no CAS anywhere on the fast path.
+//   * MpscRingQueue — many producers, single consumer (Vyukov bounded
+//     queue restricted to one consumer). Producers claim slots with a CAS
+//     on the tail ticket; per-slot sequence numbers hand completed cells
+//     to the consumer in ticket order.
+//
+// Both are bounded (capacity rounded up to a power of two): a full queue
+// is backpressure, not an allocation. `try_push`/`try_pop` never block;
+// the blocking forms spin briefly and then yield (exec::SpinWait), and
+// return false only once the queue is closed AND drained (pop) or closed
+// (push) — close() is how a pipeline shuts its stages down without a
+// sentinel element.
+//
+// Memory ordering: a successful push happens-before the pop that returns
+// the element (release store on the publishing index / sequence, acquire
+// load on the consuming side), so producers can publish plain writes to
+// shared slot buffers by passing the slot's index through the ring. The
+// TSan suite (tests/ring_queue_test.cpp) runs exactly that pattern.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace psc::exec {
+
+/// Spin-then-yield backoff for bounded waits between pipeline stages.
+/// Busy-polls for a short burst (cheap when the other stage is about to
+/// act), then degrades to yield so an idle or oversubscribed machine —
+/// like a one-core box running every stage on one CPU — makes progress.
+class SpinWait {
+ public:
+  void pause() noexcept {
+    if (spins_ < kSpinLimit) {
+      ++spins_;
+      return;
+    }
+    std::this_thread::yield();
+  }
+  void reset() noexcept { spins_ = 0; }
+
+ private:
+  static constexpr std::uint32_t kSpinLimit = 128;
+  std::uint32_t spins_ = 0;
+};
+
+namespace detail {
+
+inline std::size_t ring_capacity(std::size_t requested) {
+  std::size_t cap = 1;
+  while (cap < requested) cap <<= 1;
+  return cap < 2 ? 2 : cap;
+}
+
+}  // namespace detail
+
+/// Bounded single-producer single-consumer ring. Exactly one thread may
+/// call the push side and exactly one the pop side (they may be the same
+/// thread, as in the pipeline's inline mode).
+template <typename T>
+class SpscRingQueue {
+ public:
+  explicit SpscRingQueue(std::size_t capacity)
+      : buffer_(detail::ring_capacity(capacity)),
+        mask_(buffer_.size() - 1) {}
+
+  SpscRingQueue(const SpscRingQueue&) = delete;
+  SpscRingQueue& operator=(const SpscRingQueue&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return buffer_.size(); }
+
+  /// Producer side. Returns false when the ring is full (or closed).
+  bool try_push(T value) {
+    if (closed_.load(std::memory_order_relaxed)) return false;
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) == buffer_.size()) {
+      return false;  // full
+    }
+    buffer_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Blocking producer form: spins/yields while full. Returns false only
+  /// if the queue is closed before the element fits.
+  bool push(T value) {
+    SpinWait wait;
+    while (!try_push(value)) {
+      if (closed_.load(std::memory_order_acquire)) return false;
+      wait.pause();
+    }
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return false;
+    out = std::move(buffer_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Blocking consumer form: spins/yields while empty. Returns false only
+  /// once the queue is closed AND fully drained.
+  bool pop(T& out) {
+    SpinWait wait;
+    while (!try_pop(out)) {
+      if (closed_.load(std::memory_order_acquire)) {
+        // Late elements may still be in flight: one more check after
+        // observing the close flag keeps close()+push races lossless.
+        return try_pop(out);
+      }
+      wait.pause();
+    }
+    return true;
+  }
+
+  /// Wakes blocked producers and consumers; pending elements stay
+  /// poppable. Idempotent.
+  void close() noexcept { closed_.store(true, std::memory_order_release); }
+  [[nodiscard]] bool closed() const noexcept {
+    return closed_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return tail_.load(std::memory_order_acquire) -
+           head_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+ private:
+  std::vector<T> buffer_;
+  std::size_t mask_;
+  // Producer and consumer indices live on their own cache lines so the
+  // two sides do not false-share.
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  alignas(64) std::atomic<bool> closed_{false};
+};
+
+/// Bounded multi-producer single-consumer ring. Any number of threads may
+/// push; exactly one thread pops. Elements come out in ticket (slot-claim)
+/// order, and each producer's own elements stay in its push order.
+template <typename T>
+class MpscRingQueue {
+ public:
+  explicit MpscRingQueue(std::size_t capacity)
+      : cells_(detail::ring_capacity(capacity)),
+        mask_(cells_.size() - 1) {
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscRingQueue(const MpscRingQueue&) = delete;
+  MpscRingQueue& operator=(const MpscRingQueue&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return cells_.size(); }
+
+  bool try_push(T value) {
+    if (closed_.load(std::memory_order_relaxed)) return false;
+    std::size_t ticket = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[ticket & mask_];
+      const std::size_t seq = cell.sequence.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::ptrdiff_t>(seq) -
+                        static_cast<std::ptrdiff_t>(ticket);
+      if (diff == 0) {
+        // The cell is free for this ticket; claim it.
+        if (tail_.compare_exchange_weak(ticket, ticket + 1,
+                                        std::memory_order_relaxed)) {
+          cell.value = std::move(value);
+          cell.sequence.store(ticket + 1, std::memory_order_release);
+          return true;
+        }
+        // Lost the race; `ticket` was reloaded by the CAS — retry.
+      } else if (diff < 0) {
+        return false;  // full: the consumer has not freed this cell yet
+      } else {
+        ticket = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  bool push(T value) {
+    SpinWait wait;
+    while (!try_push(value)) {
+      if (closed_.load(std::memory_order_acquire)) return false;
+      wait.pause();
+    }
+    return true;
+  }
+
+  bool try_pop(T& out) {
+    Cell& cell = cells_[head_ & mask_];
+    const std::size_t seq = cell.sequence.load(std::memory_order_acquire);
+    if (static_cast<std::ptrdiff_t>(seq) -
+            static_cast<std::ptrdiff_t>(head_ + 1) != 0) {
+      return false;  // next element not published yet
+    }
+    out = std::move(cell.value);
+    cell.sequence.store(head_ + cells_.size(), std::memory_order_release);
+    ++head_;
+    return true;
+  }
+
+  bool pop(T& out) {
+    SpinWait wait;
+    while (!try_pop(out)) {
+      if (closed_.load(std::memory_order_acquire)) return try_pop(out);
+      wait.pause();
+    }
+    return true;
+  }
+
+  void close() noexcept { closed_.store(true, std::memory_order_release); }
+  [[nodiscard]] bool closed() const noexcept {
+    return closed_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> sequence{0};
+    T value{};
+  };
+
+  std::vector<Cell> cells_;
+  std::size_t mask_;
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  // Single consumer: head needs no atomicity, only separation from tail_.
+  alignas(64) std::size_t head_ = 0;
+  alignas(64) std::atomic<bool> closed_{false};
+};
+
+}  // namespace psc::exec

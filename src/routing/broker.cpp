@@ -114,6 +114,58 @@ const store::SubscriptionStore* Broker::forwarded_store(BrokerId neighbor) const
   return it == forwarded_.end() ? nullptr : it->second.get();
 }
 
+void Broker::enable_publish_lanes(std::size_t local_shards) {
+  lane_local_shards_ =
+      local_shards == 0 ? routed_.shard_count() : local_shards;
+  lanes_ = std::make_unique<PublishLanes>();
+  std::uint64_t mix = seed_ ^ 0x6c616e65736c6fULL;  // lane-seed domain tag
+  lanes_->local = std::make_unique<exec::ShardedStore>(
+      match_index_config(store_config_, lane_local_shards_),
+      util::splitmix64(mix));
+  // Rebuild from whatever the table already holds (normally empty: the
+  // network enables lanes right after construction). Table iteration
+  // order is a hash artifact, but lane stores are coverage-free — their
+  // match SET is insert-order-invariant — so the rebuild is
+  // decision-neutral.
+  routing_table_.for_each([&](SubscriptionId, const RouteEntry& entry) {
+    lane_insert(entry.sub, entry.origin);
+  });
+}
+
+store::SubscriptionStore& Broker::neighbor_lane(BrokerId neighbor) {
+  auto it = lanes_->neighbor.find(neighbor);
+  if (it == lanes_->neighbor.end()) {
+    std::uint64_t mix =
+        seed_ ^ 0x6e6c616e65ULL ^ (static_cast<std::uint64_t>(neighbor) << 20);
+    it = lanes_->neighbor
+             .emplace(neighbor,
+                      std::make_unique<store::SubscriptionStore>(
+                          match_index_config(store_config_, 1).store,
+                          util::splitmix64(mix)))
+             .first;
+  }
+  return *it->second;
+}
+
+void Broker::lane_insert(const core::Subscription& sub, const Origin& origin) {
+  if (!lanes_) return;
+  if (origin.local) {
+    (void)lanes_->local->insert(sub);
+  } else {
+    (void)neighbor_lane(origin.neighbor).insert(sub);
+  }
+}
+
+void Broker::lane_erase(SubscriptionId id, const Origin& origin) {
+  if (!lanes_) return;
+  if (origin.local) {
+    (void)lanes_->local->erase(id);
+  } else if (const auto it = lanes_->neighbor.find(origin.neighbor);
+             it != lanes_->neighbor.end()) {
+    (void)it->second->erase(id);
+  }
+}
+
 std::vector<BrokerId> Broker::handle_subscription(const Subscription& sub,
                                                   const Origin& origin,
                                                   std::uint64_t* suppressed_out) {
@@ -125,6 +177,7 @@ std::vector<BrokerId> Broker::handle_subscription(const Subscription& sub,
     return {};
   }
   (void)routed_.insert(sub);
+  lane_insert(sub, origin);
 
   std::vector<BrokerId> forward_to;
   for (const BrokerId neighbor : neighbors_) {
@@ -166,6 +219,7 @@ std::vector<std::vector<BrokerId>> Broker::insert_batch(
   // Phase 2 (parallel over the match-index shards): mirror the accepted
   // subscriptions into the local match index.
   (void)routed_.insert_batch(accepted_subs, pool);
+  for (const Subscription* sub : accepted_subs) lane_insert(*sub, origin);
 
   // Phase 3 (parallel over links): per-link coverage. Each lane owns one
   // forwarded_ store and replays the accepted subsequence in batch order,
@@ -206,8 +260,14 @@ std::vector<std::vector<BrokerId>> Broker::insert_batch(
 Broker::UnsubscriptionOutcome Broker::handle_unsubscription(
     SubscriptionId id, const Origin& origin) {
   UnsubscriptionOutcome outcome;
-  if (!routing_table_.erase(id)) return outcome;
+  const RouteEntry* departing = routing_table_.find(id);
+  if (departing == nullptr) return outcome;
+  // Capture the reverse-path origin before the entry dies: the publish
+  // lanes are partitioned by it, so the mirror erase needs it.
+  const Origin route_origin = departing->origin;
+  (void)routing_table_.erase(id);
   (void)routed_.erase(id);
+  lane_erase(id, route_origin);
 
   for (const BrokerId neighbor : neighbors_) {
     if (!origin.local && origin.neighbor == neighbor) continue;
@@ -363,6 +423,7 @@ void Broker::import_snapshot(const Snapshot& snapshot) {
     // Rebuild the derived match index; it is coverage-free (kNone) and
     // sorts matches by id, so rebuild order is decision-neutral.
     (void)routed_.insert(record.sub);
+    lane_insert(record.sub, record.origin);
   }
   for (const auto& [neighbor, store_snapshot] : snapshot.links) {
     if (std::find(neighbors_.begin(), neighbors_.end(), neighbor) ==

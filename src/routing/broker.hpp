@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <span>
@@ -223,6 +224,40 @@ class Broker {
     return routed_;
   }
 
+  // --- publish lanes (staged pipeline support) -------------------------
+  //
+  // The staged publish pipeline (routing/publish_pipeline.hpp) needs the
+  // routed set partitioned BY ORIGIN, so its route stage can classify a
+  // matched id by which lane emitted it instead of looking every id up in
+  // the routing table: local-lane matches ARE the local deliveries, and a
+  // neighbour lane with any match IS a destination. Lanes mirror the
+  // routing table exactly (same inserts/erases), cost one extra copy of
+  // the routed set, and are opt-in for that reason.
+
+  /// Origin-partitioned mirror of the routing table. `local` holds every
+  /// local-origin route (sharded like the match index so pipeline workers
+  /// can own disjoint shards); `neighbor[n]` holds the routes whose
+  /// reverse path points at n. Lanes are coverage-free stores, so the
+  /// match SET per lane is exact and shard-count-invariant.
+  struct PublishLanes {
+    std::unique_ptr<exec::ShardedStore> local;
+    /// Ordered map: lane iteration order is deterministic (ascending
+    /// neighbour id). Results do not depend on it — destinations are
+    /// ordered by minimum matching id — but the work schedule does.
+    std::map<BrokerId, std::unique_ptr<store::SubscriptionStore>> neighbor;
+  };
+
+  /// Builds (or rebuilds) the publish lanes from the current routing
+  /// table and keeps them in lockstep with every later mutation.
+  /// `local_shards` partitions the local lane; 0 reuses the match-index
+  /// shard count. Decision-neutral: lanes are a derived mirror.
+  void enable_publish_lanes(std::size_t local_shards = 0);
+
+  /// nullptr until enable_publish_lanes() was called.
+  [[nodiscard]] const PublishLanes* publish_lanes() const noexcept {
+    return lanes_ ? lanes_.get() : nullptr;
+  }
+
   /// Complete serializable state of a broker: the routing table (with
   /// reverse-path origins), every per-link forwarded store (full coverage
   /// state incl. engine RNG — see store::SubscriptionStore::Snapshot), and
@@ -293,6 +328,10 @@ class Broker {
   /// across batches (batch calls are exclusive per broker by contract).
   mutable std::vector<std::vector<core::SubscriptionId>> batch_ids_scratch_;
 
+  /// Origin-partitioned publish lanes; engaged by enable_publish_lanes.
+  std::unique_ptr<PublishLanes> lanes_;
+  std::size_t lane_local_shards_ = 0;
+
   store::SubscriptionStore& forwarded_mutable(BrokerId neighbor);
 
   /// Maps matching subscription ids (sorted in place) to a
@@ -301,6 +340,11 @@ class Broker {
   /// refilled — the zero-allocation workhorse behind both overloads.
   void route_matches_into(std::vector<core::SubscriptionId>& ids,
                           const Origin& origin, PublicationRoute& route) const;
+
+  /// Lane mirror maintenance (no-ops until lanes are enabled).
+  void lane_insert(const core::Subscription& sub, const Origin& origin);
+  void lane_erase(core::SubscriptionId id, const Origin& origin);
+  store::SubscriptionStore& neighbor_lane(BrokerId neighbor);
 };
 
 }  // namespace psc::routing

@@ -19,8 +19,18 @@ BrokerNetwork::BrokerNetwork(NetworkConfig config) : config_(config) {}
 
 std::unique_ptr<Broker> BrokerNetwork::make_broker(BrokerId id) const {
   std::uint64_t seed = config_.seed ^ (0x9e3779b97f4a7c15ULL * (id + 1));
-  return std::make_unique<Broker>(id, config_.store, util::splitmix64(seed),
-                                  config_.match_shards);
+  auto broker = std::make_unique<Broker>(id, config_.store,
+                                         util::splitmix64(seed),
+                                         config_.match_shards);
+  if (config_.pipelined_publish) broker->enable_publish_lanes();
+  return broker;
+}
+
+PublishPipeline& BrokerNetwork::ensure_pipeline() {
+  if (!pipeline_) {
+    pipeline_ = std::make_unique<PublishPipeline>(config_.pipeline);
+  }
+  return *pipeline_;
 }
 
 BrokerId BrokerNetwork::add_broker() {
@@ -561,6 +571,47 @@ void BrokerNetwork::unsubscribe(BrokerId broker, SubscriptionId id) {
   run_cascade();
 }
 
+void BrokerNetwork::account_delivery(BrokerId source, const Publication& pub,
+                                     std::vector<SubscriptionId>& ids) {
+  const std::size_t raw = ids.size();
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  metrics_.notifications_duplicated += raw - ids.size();
+
+  // Loss accounting against ground truth (component-aware once membership
+  // is engaged — a partitioned subscriber is unreachable, not lost).
+  const std::vector<SubscriptionId> expected = expected_recipients(source, pub);
+  for (const SubscriptionId id : expected) {
+    if (std::binary_search(ids.begin(), ids.end(), id)) {
+      ++metrics_.notifications_delivered;
+    } else {
+      ++metrics_.notifications_lost;
+    }
+  }
+}
+
+void BrokerNetwork::apply_source_route(BrokerId source, const Publication& pub,
+                                       const Broker::PublicationRoute& route,
+                                       std::vector<SubscriptionId>* sink) {
+  // Mirrors what deliver_publication does at the source hop, except the
+  // route was precomputed by the pipeline instead of handle_publication.
+  // The token is fresh, so marking it seen cannot fail.
+  const std::uint64_t token = ++publication_token_;
+  (void)brokers_.at(source)->mark_publication_seen(token);
+  if (sink) {
+    sink->insert(sink->end(), route.local_matches.begin(),
+                 route.local_matches.end());
+  }
+  for (const BrokerId next : route.destinations) {
+    ++metrics_.publication_messages;
+    queue_.schedule_in(config_.link_latency,
+                       [this, next, source, pub, token, sink]() {
+                         deliver_publication(next, pub, Origin{false, source},
+                                             token, sink);
+                       });
+  }
+}
+
 std::vector<SubscriptionId> BrokerNetwork::publish(BrokerId broker,
                                                    const Publication& pub) {
   require_alive(broker, "publish");
@@ -568,22 +619,7 @@ std::vector<SubscriptionId> BrokerNetwork::publish(BrokerId broker,
   deliver_publication(broker, pub, Origin{true, kInvalidBroker}, ++publication_token_,
                       &delivered);
   run_cascade();
-  const std::size_t raw = delivered.size();
-  std::sort(delivered.begin(), delivered.end());
-  delivered.erase(std::unique(delivered.begin(), delivered.end()),
-                  delivered.end());
-  metrics_.notifications_duplicated += raw - delivered.size();
-
-  // Loss accounting against ground truth (component-aware once membership
-  // is engaged — a partitioned subscriber is unreachable, not lost).
-  const std::vector<SubscriptionId> expected = expected_recipients(broker, pub);
-  for (const SubscriptionId id : expected) {
-    if (std::binary_search(delivered.begin(), delivered.end(), id)) {
-      ++metrics_.notifications_delivered;
-    } else {
-      ++metrics_.notifications_lost;
-    }
-  }
+  account_delivery(broker, pub, delivered);
   return delivered;
 }
 
@@ -593,35 +629,96 @@ std::vector<std::vector<SubscriptionId>> BrokerNetwork::publish_batch(
   // sized up front, never resized below.
   require_alive(broker, "publish_batch");
   std::vector<std::vector<SubscriptionId>> delivered(pubs.size());
-  std::vector<sim::EventQueue::Handler> injections;
-  injections.reserve(pubs.size());
-  for (std::size_t i = 0; i < pubs.size(); ++i) {
-    const std::uint64_t token = ++publication_token_;
-    auto* sink = &delivered[i];
-    injections.push_back([this, broker, pub = pubs[i], token, sink]() {
-      deliver_publication(broker, pub, Origin{true, kInvalidBroker}, token,
-                          sink);
-    });
+  if (config_.pipelined_publish) {
+    // Staged path: precompute every source-hop route in one pipeline run
+    // (matching never mutates routing state, so batching the matches ahead
+    // of the hop effects is decision-neutral), then apply the effects in
+    // publication order. The scheduled-event timeline is identical to the
+    // injection path below: tokens ascend in publication order and every
+    // first hop lands at now + link_latency.
+    ensure_pipeline().run(*brokers_.at(broker), pubs,
+                          Origin{true, kInvalidBroker}, pipeline_routes_);
+    for (std::size_t i = 0; i < pubs.size(); ++i) {
+      apply_source_route(broker, pubs[i], pipeline_routes_[i], &delivered[i]);
+    }
+    run_cascade();
+  } else {
+    std::vector<sim::EventQueue::Handler> injections;
+    injections.reserve(pubs.size());
+    for (std::size_t i = 0; i < pubs.size(); ++i) {
+      const std::uint64_t token = ++publication_token_;
+      auto* sink = &delivered[i];
+      injections.push_back([this, broker, pub = pubs[i], token, sink]() {
+        deliver_publication(broker, pub, Origin{true, kInvalidBroker}, token,
+                            sink);
+      });
+    }
+    queue_.schedule_batch_in(0, std::move(injections));
+    queue_.run_step();  // fire the whole injection front at one instant
+    run_cascade();
   }
-  queue_.schedule_batch_in(0, std::move(injections));
-  queue_.run_step();  // fire the whole injection front at one instant
-  run_cascade();
 
   for (std::size_t i = 0; i < pubs.size(); ++i) {
-    auto& ids = delivered[i];
-    const std::size_t raw = ids.size();
-    std::sort(ids.begin(), ids.end());
-    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
-    metrics_.notifications_duplicated += raw - ids.size();
-    const std::vector<SubscriptionId> expected =
-        expected_recipients(broker, pubs[i]);
-    for (const SubscriptionId id : expected) {
-      if (std::binary_search(ids.begin(), ids.end(), id)) {
-        ++metrics_.notifications_delivered;
-      } else {
-        ++metrics_.notifications_lost;
+    account_delivery(broker, pubs[i], delivered[i]);
+  }
+  return delivered;
+}
+
+std::vector<std::vector<SubscriptionId>> BrokerNetwork::publish_batch(
+    std::span<const std::pair<BrokerId, Publication>> pubs) {
+  for (const auto& [source, pub] : pubs) require_alive(source, "publish_batch");
+  std::vector<std::vector<SubscriptionId>> delivered(pubs.size());
+  if (config_.pipelined_publish) {
+    // Group pair indices per source broker (first-appearance order) so each
+    // source needs one pipeline run, then apply the source-hop effects in
+    // the original pair order — tokens and the event timeline come out
+    // exactly as the per-pair injection path below produces them.
+    std::vector<BrokerId> sources;
+    std::vector<std::vector<std::size_t>> groups;
+    for (std::size_t i = 0; i < pubs.size(); ++i) {
+      std::size_t g = 0;
+      while (g < sources.size() && sources[g] != pubs[i].first) ++g;
+      if (g == sources.size()) {
+        sources.push_back(pubs[i].first);
+        groups.emplace_back();
+      }
+      groups[g].push_back(i);
+    }
+    std::vector<Broker::PublicationRoute> routes(pubs.size());
+    std::vector<Publication> batch;
+    for (std::size_t g = 0; g < sources.size(); ++g) {
+      batch.clear();
+      for (const std::size_t i : groups[g]) batch.push_back(pubs[i].second);
+      ensure_pipeline().run(*brokers_.at(sources[g]), batch,
+                            Origin{true, kInvalidBroker}, pipeline_routes_);
+      for (std::size_t k = 0; k < groups[g].size(); ++k) {
+        routes[groups[g][k]] = std::move(pipeline_routes_[k]);
       }
     }
+    for (std::size_t i = 0; i < pubs.size(); ++i) {
+      apply_source_route(pubs[i].first, pubs[i].second, routes[i],
+                         &delivered[i]);
+    }
+    run_cascade();
+  } else {
+    std::vector<sim::EventQueue::Handler> injections;
+    injections.reserve(pubs.size());
+    for (std::size_t i = 0; i < pubs.size(); ++i) {
+      const std::uint64_t token = ++publication_token_;
+      auto* sink = &delivered[i];
+      injections.push_back([this, source = pubs[i].first,
+                            pub = pubs[i].second, token, sink]() {
+        deliver_publication(source, pub, Origin{true, kInvalidBroker}, token,
+                            sink);
+      });
+    }
+    queue_.schedule_batch_in(0, std::move(injections));
+    queue_.run_step();
+    run_cascade();
+  }
+
+  for (std::size_t i = 0; i < pubs.size(); ++i) {
+    account_delivery(pubs[i].first, pubs[i].second, delivered[i]);
   }
   return delivered;
 }
@@ -683,7 +780,14 @@ std::vector<std::uint8_t> BrokerNetwork::snapshot_all() const {
 void BrokerNetwork::restore_all(std::span<const std::uint8_t> bytes) {
   wire::ByteReader in(bytes);
   wire::read_frame_header(in, wire::kNetworkSnapshotMagic, "network");
+  // Pipeline knobs are runtime-only execution policy, not serialized state:
+  // the restored network keeps this incarnation's settings (and its decisions
+  // are identical either way).
+  const bool pipelined = config_.pipelined_publish;
+  const PublishPipelineOptions pipeline_options = config_.pipeline;
   config_ = wire::read_network_config(in);
+  config_.pipelined_publish = pipelined;
+  config_.pipeline = pipeline_options;
 
   // Wipe this incarnation. Pending events (TTL timers of the old state)
   // die with the old queue; metrics restart at zero.

@@ -20,6 +20,7 @@
 
 #include "routing/broker.hpp"
 #include "routing/membership.hpp"
+#include "routing/publish_pipeline.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/metrics.hpp"
 
@@ -33,6 +34,15 @@ struct NetworkConfig {
   /// (exec::ShardedStore). Purely a throughput knob: delivery decisions
   /// are identical for every value (see docs/ARCHITECTURE.md).
   std::size_t match_shards = 1;
+  /// Routes batch publishes through the staged PublishPipeline (every
+  /// broker keeps origin-partitioned publish lanes — one extra copy of
+  /// its routed set). Purely a throughput knob like match_shards:
+  /// delivered sets and message traffic are identical either way.
+  /// Runtime-only: not serialized by snapshot_all and preserved across
+  /// restore_all, mirroring how index runtime knobs are handled.
+  bool pipelined_publish = false;
+  /// Stage sizing for the pipeline (workers/queue depth/batch size).
+  PublishPipelineOptions pipeline;
 };
 
 class BrokerNetwork {
@@ -208,6 +218,16 @@ class BrokerNetwork {
   std::vector<std::vector<core::SubscriptionId>> publish_batch(
       BrokerId broker, const std::vector<core::Publication>& pubs);
 
+  /// Multi-source batch: each (broker, publication) pair is injected at
+  /// the same simulated instant, in pair order, and the combined cascade
+  /// runs once. Delivered sets are identical to calling publish() per
+  /// pair in order (publication handling never mutates routing state).
+  /// With config.pipelined_publish the source-hop matching of each
+  /// source's publications runs through the staged PublishPipeline; the
+  /// ChurnDriver's pipelined mode feeds consecutive publish ops here.
+  std::vector<std::vector<core::SubscriptionId>> publish_batch(
+      std::span<const std::pair<BrokerId, core::Publication>> pubs);
+
   [[nodiscard]] std::size_t broker_count() const noexcept { return brokers_.size(); }
   /// Live client subscriptions network-wide (TTL-expired ones excluded).
   [[nodiscard]] std::size_t local_subscription_count() const noexcept {
@@ -284,6 +304,11 @@ class BrokerNetwork {
   /// handler runs, so one network-wide scratch keeps every broker hop
   /// allocation-free once warm.
   Broker::PublishScratch publish_scratch_;
+  /// Shared staged pipeline (config_.pipelined_publish): one pipeline —
+  /// and one set of stage workers — serves every broker, retargeted per
+  /// batch. Built lazily on the first pipelined publish_batch.
+  std::unique_ptr<PublishPipeline> pipeline_;
+  std::vector<Broker::PublicationRoute> pipeline_routes_;
 
   void deliver_subscription(BrokerId at, core::Subscription sub, Origin origin,
                             std::optional<sim::SimTime> expiry = std::nullopt);
@@ -307,8 +332,22 @@ class BrokerNetwork {
 
   /// Constructs broker `id` with the same derived seed original
   /// construction would have used (shared by add_broker, crash wipes, and
-  /// restore_all).
+  /// restore_all). Pipelined networks get their publish lanes here, so
+  /// crash wipes and restores keep the lane mirror in lockstep.
   [[nodiscard]] std::unique_ptr<Broker> make_broker(BrokerId id) const;
+
+  PublishPipeline& ensure_pipeline();
+  /// Source-hop effects of one precomputed route, in sequential-injection
+  /// shape: assign the next token, mark it seen at the source, sink the
+  /// local matches, and schedule one hop per destination.
+  void apply_source_route(BrokerId source, const core::Publication& pub,
+                          const Broker::PublicationRoute& route,
+                          std::vector<core::SubscriptionId>* sink);
+  /// Post-cascade accounting shared by the publish entry points: sorts and
+  /// dedups `ids` in place and tallies delivered/lost against the
+  /// component-aware expected set.
+  void account_delivery(BrokerId source, const core::Publication& pub,
+                        std::vector<core::SubscriptionId>& ids);
 
   /// Builds link_state_ from the current topology on first membership use;
   /// throws std::logic_error if the live topology is cyclic.

@@ -131,6 +131,7 @@ ChurnReport ChurnDriver::run(BrokerNetwork& net, const ChurnTrace& trace,
   ChurnReport report;
   FlatOracle oracle;
   std::vector<core::SubscriptionId> oracle_delivered;  // reused per publish
+  std::vector<std::pair<BrokerId, core::Publication>> publish_pairs;
 
   // Membership setup: the network must start on the trace's universe (the
   // same live forest the generator planned against), its standby bridges
@@ -236,6 +237,46 @@ ChurnReport ChurnDriver::run(BrokerNetwork& net, const ChurnTrace& trace,
       } else {
         break;
       }
+    }
+
+    // Pipelined mode: a run of consecutive publish ops inside the current
+    // epoch becomes one multi-source publish_batch. Per-op bookkeeping and
+    // the differential check are unchanged; only the clock settles once, at
+    // the batch's last instant, for both replicas.
+    if (options.pipelined_publish && !failure.enabled &&
+        op.kind == ChurnOpKind::kPublish) {
+      std::size_t end = op_index;
+      while (end < trace.ops.size() &&
+             trace.ops[end].kind == ChurnOpKind::kPublish &&
+             trace.ops[end].time <= epoch_end) {
+        ++end;
+      }
+      const std::size_t count = end - op_index;
+      publish_pairs.clear();
+      for (std::size_t k = op_index; k < end; ++k) {
+        publish_pairs.emplace_back(trace.ops[k].broker, trace.ops[k].pub);
+      }
+      const double batch_time = trace.ops[end - 1].time;
+      net.advance_time(batch_time);
+      if (options.differential) oracle.advance_time(batch_time);
+      epoch.ops += count;
+      report.ops += count;
+      epoch.publishes += count;
+      report.publishes += count;
+      const auto delivered_sets = net.publish_batch(
+          std::span<const std::pair<BrokerId, core::Publication>>(
+              publish_pairs));
+      if (options.differential) {
+        for (std::size_t k = 0; k < count; ++k) {
+          oracle.publish(trace.ops[op_index + k].broker,
+                         trace.ops[op_index + k].pub, oracle_delivered);
+          if (delivered_sets[k] != oracle_delivered) {
+            ++epoch.mismatched_publishes;
+          }
+        }
+      }
+      op_index = end - 1;  // the for-increment steps past the batch
+      continue;
     }
 
     // Crash point: wipe the live network, restore the newest snapshot,

@@ -137,6 +137,15 @@ class ChurnDriver {
     /// Replay the trace against a FlatOracle in lockstep and count
     /// publications whose delivered set diverges from the network's.
     bool differential = false;
+    /// Coalesce runs of consecutive publish ops into one multi-source
+    /// BrokerNetwork::publish_batch call — the staged-pipeline entry point
+    /// when the network is configured with NetworkConfig::pipelined_publish.
+    /// Both replicas settle at the batch's last op time before the batch
+    /// fires (so TTL expiries stay in lockstep), and the differential check
+    /// still runs op for op against the oracle. Batches never span an epoch
+    /// boundary. Ignored when failure injection is enabled: the WAL replay
+    /// discipline is per-op.
+    bool pipelined_publish = false;
     FailureInjection failure;
   };
 

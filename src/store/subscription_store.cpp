@@ -326,6 +326,12 @@ void SubscriptionStore::match_active(const Publication& pub,
   // and bit-identical between the index and flat implementations (the
   // equivalence property tests rely on this).
   const auto start = static_cast<std::ptrdiff_t>(out.size());
+  match_active_unsorted(pub, out);
+  std::sort(out.begin() + start, out.end());
+}
+
+void SubscriptionStore::match_active_unsorted(
+    const Publication& pub, std::vector<SubscriptionId>& out) const {
   if (index_enabled() &&
       pub.attribute_count() == interval_index_->attribute_count()) {
     interval_index_->stab(pub.values(), out);
@@ -341,7 +347,6 @@ void SubscriptionStore::match_active(const Publication& pub,
       if (pub.matches(sub)) out.push_back(sub.id());
     }
   }
-  std::sort(out.begin() + start, out.end());
 }
 
 std::vector<SubscriptionId> SubscriptionStore::match_active(

@@ -164,6 +164,14 @@ class SubscriptionStore {
   void match_active(const core::Publication& pub,
                     std::vector<core::SubscriptionId>& out) const;
 
+  /// Raw form for callers that order downstream (the staged publish
+  /// pipeline radix-sorts the union of several stores' matches once):
+  /// appends the same id SET as match_active but in an UNSPECIFIED order
+  /// (index emission order, or flat slot order). Same arity and
+  /// concurrency contract as match().
+  void match_active_unsorted(const core::Publication& pub,
+                             std::vector<core::SubscriptionId>& out) const;
+
   [[nodiscard]] std::size_t active_count() const noexcept { return active_.size(); }
   [[nodiscard]] std::size_t covered_count() const noexcept { return covered_.size(); }
   [[nodiscard]] std::size_t total_count() const noexcept {

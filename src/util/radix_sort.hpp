@@ -1,0 +1,65 @@
+// Byte-wise LSD radix sort for subscription-id buffers.
+//
+// The publish hot path sorts ~10k matched ids per publication; a
+// comparison sort there is the single biggest line item (measured ~40% of
+// the whole publish in bench/perf_gate's broker fixture). Ids are dense
+// small integers, so an LSD counting sort over only the bytes that are
+// actually populated beats std::sort by roughly an order of magnitude at
+// those sizes while producing the exact same ascending order.
+//
+// Deterministic: output depends only on the multiset of keys. The caller
+// provides the ping-pong scratch buffer so steady-state sorting allocates
+// nothing once warm.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace psc::util {
+
+/// Sorts `keys` ascending in place, using `scratch` as the ping-pong
+/// buffer (resized as needed; contents clobbered). Small buffers fall
+/// back to std::sort — below ~64 elements the counting passes cost more
+/// than they save.
+inline void radix_sort_u64(std::vector<std::uint64_t>& keys,
+                           std::vector<std::uint64_t>& scratch) {
+  const std::size_t n = keys.size();
+  if (n < 64) {
+    std::sort(keys.begin(), keys.end());
+    return;
+  }
+  std::uint64_t max_key = 0;
+  for (const std::uint64_t key : keys) max_key = std::max(max_key, key);
+
+  scratch.resize(n);
+  std::uint64_t* src = keys.data();
+  std::uint64_t* dst = scratch.data();
+  std::size_t counts[256];
+  for (std::uint32_t shift = 0; shift < 64; shift += 8) {
+    if ((max_key >> shift) == 0) break;  // higher bytes are all zero
+    std::fill(std::begin(counts), std::end(counts), std::size_t{0});
+    for (std::size_t i = 0; i < n; ++i) {
+      ++counts[(src[i] >> shift) & 0xff];
+    }
+    if (counts[(src[0] >> shift) & 0xff] == n) {
+      continue;  // every key shares this byte: the pass is a no-op
+    }
+    std::size_t offset = 0;
+    for (std::size_t bucket = 0; bucket < 256; ++bucket) {
+      const std::size_t count = counts[bucket];
+      counts[bucket] = offset;
+      offset += count;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[counts[(src[i] >> shift) & 0xff]++] = src[i];
+    }
+    std::swap(src, dst);
+  }
+  if (src != keys.data()) {
+    std::copy(src, src + n, keys.data());
+  }
+}
+
+}  // namespace psc::util

@@ -37,7 +37,14 @@ class RunningStats {
 /// (the bench harnesses collect at most a few thousand samples per cell).
 class SampleSet {
  public:
-  void add(double x) { samples_.push_back(x); }
+  void add(double x) {
+    samples_.push_back(x);
+    // A percentile query sorts the sample buffer in place; a later add
+    // breaks that order, so the next query must re-sort. Without this
+    // reset an add-after-percentile sequence reads percentiles of a
+    // partially sorted vector (regression: tests/util_test.cpp).
+    sorted_ = false;
+  }
   void reserve(std::size_t n) { samples_.reserve(n); }
 
   [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }

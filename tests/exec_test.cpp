@@ -5,6 +5,8 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "exec/sharded_store.hpp"
@@ -73,6 +75,104 @@ TEST(ThreadPool, FirstExceptionPropagatesAfterBarrier) {
 TEST(ThreadPool, ZeroTasksIsNoop) {
   ThreadPool pool(2);
   pool.parallel_for(0, [](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPool, WorkerThrownExceptionReachesTheCallerAndPoolSurvives) {
+  // The header's contract, exercised with the throw guaranteed to come
+  // from a WORKER thread (not the caller's lane): the barrier completes,
+  // the caller sees the worker's exception, and the pool keeps serving.
+  ThreadPool pool(2);
+  const auto caller = std::this_thread::get_id();
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<bool> worker_entered{false};
+    try {
+      pool.parallel_for(64, [&](std::size_t) {
+        if (std::this_thread::get_id() == caller) {
+          // Hold the caller's lane until a worker joins: on a one-core
+          // host the caller would otherwise drain every index itself and
+          // the worker path would go untested.
+          while (!worker_entered.load()) std::this_thread::yield();
+        } else {
+          worker_entered.store(true);
+          throw std::runtime_error("worker boom");
+        }
+      });
+      FAIL() << "worker exception must rethrow on the caller, round " << round;
+    } catch (const std::runtime_error& error) {
+      EXPECT_STREQ(error.what(), "worker boom");
+    }
+    // The pool must be clean for the next batch.
+    std::atomic<int> count{0};
+    pool.parallel_for(8, [&](std::size_t) { count.fetch_add(1); });
+    ASSERT_EQ(count.load(), 8) << round;
+  }
+}
+
+TEST(ThreadPool, ThrowRunsNoIndexTwiceAndSkipsOnlyUnstartedOnes) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> ran(256);
+  EXPECT_THROW(pool.parallel_for(256,
+                                 [&](std::size_t i) {
+                                   ran[i].fetch_add(1);
+                                   if (i == 10) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  int total = 0;
+  for (const auto& hit : ran) {
+    EXPECT_LE(hit.load(), 1);  // exactly-once even on the abort path
+    total += hit.load();
+  }
+  EXPECT_GE(ran[10].load(), 1);  // the throwing index did run
+  EXPECT_LE(total, 256);
+}
+
+TEST(ThreadPool, EveryInvocationThrowingYieldsExactlyOneException) {
+  ThreadPool pool(2);
+  std::atomic<int> attempts{0};
+  try {
+    pool.parallel_for(128, [&](std::size_t i) {
+      attempts.fetch_add(1);
+      throw std::runtime_error("boom " + std::to_string(i));
+    });
+    FAIL() << "must rethrow";
+  } catch (const std::runtime_error&) {
+    // One winner; the abort flag suppresses the rest after the first.
+  }
+  EXPECT_GE(attempts.load(), 1);
+  std::atomic<int> count{0};
+  pool.parallel_for(4, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 4);
+}
+
+TEST(ThreadPool, InlineExceptionStopsAtTheThrowingIndex) {
+  // The 0-worker pool — what hardware_concurrency() == 0 falls back to
+  // via default_worker_count() — propagates directly: indices after the
+  // throwing one must not run, and the pool stays usable.
+  ThreadPool pool(0);
+  std::vector<int> ran(8, 0);
+  EXPECT_THROW(pool.parallel_for(8,
+                                 [&](std::size_t i) {
+                                   ran[i] = 1;
+                                   if (i == 2) throw std::logic_error("inline");
+                                 }),
+               std::logic_error);
+  EXPECT_EQ(ran, (std::vector<int>{1, 1, 1, 0, 0, 0, 0, 0}));
+  int count = 0;
+  pool.parallel_for(3, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 3);
+}
+
+TEST(ThreadPool, NullPoolPropagatesExceptionsInline) {
+  std::vector<int> ran(4, 0);
+  EXPECT_THROW(ThreadPool::run(nullptr, 4,
+                               [&](std::size_t i) {
+                                 ran[i] = 1;
+                                 if (i == 1) throw std::runtime_error("null");
+                               }),
+               std::runtime_error);
+  EXPECT_EQ(ran, (std::vector<int>{1, 1, 0, 0}));
 }
 
 // ------------------------------------------------------------- sharding ---

@@ -221,6 +221,38 @@ TEST(SampleSet, EmptyPercentileThrows) {
   EXPECT_THROW((void)set.percentile(50), std::logic_error);
 }
 
+TEST(SampleSet, P99OfHundredSamplesInterpolatesNotCollapses) {
+  // The perf-gate contract: rank = pct/100 * (n-1). With 1..100 the p99
+  // rank is 98.01, between the 99th and 100th sorted samples — NOT the
+  // max, and never past the end.
+  SampleSet set;
+  for (int i = 1; i <= 100; ++i) set.add(i);
+  EXPECT_NEAR(set.percentile(99), 99.01, 1e-9);
+  EXPECT_NEAR(set.percentile(50), 50.5, 1e-9);
+}
+
+TEST(SampleSet, AddAfterPercentileQueryResorts) {
+  // Regression: percentile() sorts the buffer lazily; an add() afterwards
+  // must invalidate that order or later queries read a partially sorted
+  // vector. Insert descending so a missing re-sort is guaranteed visible.
+  SampleSet set;
+  for (int i = 100; i >= 2; --i) set.add(i);
+  EXPECT_NEAR(set.percentile(99), 99.02, 1e-9);  // sorts 2..100
+  set.add(1.0);  // would land after 100 in the stale sorted buffer
+  EXPECT_NEAR(set.percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(set.percentile(99), 99.01, 1e-9);
+  EXPECT_NEAR(set.median(), 50.5, 1e-9);
+}
+
+TEST(SampleSet, SingleSampleIsEveryPercentile) {
+  SampleSet set;
+  set.add(42.0);
+  EXPECT_EQ(set.percentile(0), 42.0);
+  EXPECT_EQ(set.percentile(50), 42.0);
+  EXPECT_EQ(set.percentile(99), 42.0);
+  EXPECT_EQ(set.percentile(100), 42.0);
+}
+
 TEST(Flags, ParsesAllForms) {
   // Note: a boolean switch immediately followed by a positional argument is
   // inherently ambiguous in the "--name value" form, so the switch goes last.
