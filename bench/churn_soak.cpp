@@ -4,9 +4,19 @@
 //
 //   ./churn_soak [--duration=60] [--seed=2006] [--policy=exact]
 //                [--sub-rate=2.0] [--pub-rate=5.0] [--ttl-fraction=0.5]
-//                [--shards=1] [--differential=true] [--json=PATH]
+//                [--shards=1] [--differential=true] [--pipelined=false]
+//                [--drop=0] [--dup=0] [--reorder=0] [--jitter=0]
+//                [--json=PATH]
 //                [--topology=NAME]   (substring filter, e.g. "grid")
 //                [--dump-dir=.] [--replay=FILE]
+//
+// Nonzero --drop/--dup/--reorder/--jitter run the soak over lossy wires
+// behind the reliable link protocol (routing/link_channel.hpp): the slot
+// is re-derived per topology from the protocol's worst-case hop delay so
+// retransmit chains quiesce between ops, and the differential gate then
+// additionally demands the wire was actually hostile. bench/lossy_soak is
+// the dedicated fault matrix; these flags exist so the plain churn soak
+// can be spot-checked under loss without switching harnesses.
 //
 // Every run replays the same seeded trace per topology, so two runs with
 // equal flags produce identical counters; wall-clock timing is the only
@@ -57,6 +67,10 @@ void write_json(const std::string& path, const workload::ChurnConfig& config,
   json.member("attribute_count", std::uint64_t{config.attribute_count});
   json.member("hotspot_count", std::uint64_t{config.hotspot_count});
   json.member("zipf_skew", config.zipf_skew);
+  json.member("drop", config.faults.link.drop_probability);
+  json.member("dup", config.faults.link.dup_probability);
+  json.member("reorder", config.faults.link.reorder_probability);
+  json.member("jitter", config.faults.link.delay_jitter);
   json.end_object();
   json.begin_array("topologies");
   for (const SoakResult& result : results) {
@@ -72,6 +86,12 @@ void write_json(const std::string& path, const workload::ChurnConfig& config,
     json.member("messages", report.totals.total_messages());
     json.member("suppressed", report.totals.subscriptions_suppressed);
     json.member("peak_routing_entries", std::uint64_t{report.peak_routing_entries});
+    json.member("publish_coalescing", report.publish_coalescing);
+    json.member("frames_dropped", report.totals.frames_dropped);
+    json.member("retransmits", report.totals.retransmits);
+    json.member("dups_suppressed", report.totals.dups_suppressed);
+    json.member("link_escalations",
+                std::uint64_t{report.membership.link_escalations});
     json.member("elapsed_seconds", result.elapsed_seconds);
     json.begin_array("epochs");
     for (const sim::ChurnEpoch& epoch : report.epochs) {
@@ -112,6 +132,12 @@ int main(int argc, char** argv) {
   config.subscription_rate = flags.get_double("sub-rate", 2.0);
   config.publication_rate = flags.get_double("pub-rate", 5.0);
   config.ttl_fraction = flags.get_double("ttl-fraction", 0.5);
+  config.faults.link.drop_probability = flags.get_double("drop", 0.0);
+  config.faults.link.dup_probability = flags.get_double("dup", 0.0);
+  config.faults.link.reorder_probability = flags.get_double("reorder", 0.0);
+  config.faults.link.delay_jitter = flags.get_double("jitter", 0.0);
+  const bool lossy = config.faults.any();
+  const bool pipelined = flags.get_bool("pipelined", false);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 2006));
   const auto policy =
       store::parse_coverage_policy(flags.get_string("policy", "exact"));
@@ -144,18 +170,47 @@ int main(int argc, char** argv) {
     routing::NetworkConfig net_config;
     net_config.store.policy = policy;
     net_config.match_shards = shards;
+    net_config.pipelined_publish = pipelined;
     config.link_latency = net_config.link_latency;
+
+    workload::ChurnConfig topo_config = config;
+    if (lossy) {
+      routing::LinkConfig link;
+      link.enabled = true;
+      link.faults = config.faults.link;
+      net_config.link = link;
+      net_config.seed = seed;
+      // The slot must outlast a worst-case retransmit chain across the
+      // overlay diameter, or cascades bleed into the next op's settle
+      // point and the trace validator rejects the schedule.
+      topo_config.faults.cascade_hop_bound =
+          link.worst_hop_delay(net_config.link_latency);
+      topo_config.slot = 2.2 * static_cast<double>(topology.brokers + 1) *
+                         topo_config.faults.cascade_hop_bound;
+      topo_config.epoch_length = topo_config.slot * 50;
+      if (topo_config.slot > topo_config.duration) {
+        std::cerr << "FAIL: --duration=" << topo_config.duration
+                  << " is shorter than the lossy settle slot ("
+                  << topo_config.slot << "s) that " << topology.name
+                  << " needs for a worst-case retransmit cascade; rerun "
+                     "with --duration >= "
+                  << topo_config.slot << "\n";
+        return 1;
+      }
+    }
 
     SoakResult result;
     result.topology = topology;
     result.trace =
         replay_path.empty()
-            ? workload::generate_churn_trace(config, topology.brokers, seed)
+            ? workload::generate_churn_trace(topo_config, topology.brokers,
+                                             seed)
             : bench::read_trace_file(replay_path);
     auto net = topology.build(net_config);
     const util::Timer timer;
     sim::ChurnDriver::Options driver_options;
     driver_options.differential = differential;
+    driver_options.pipelined_publish = pipelined;
     result.report = sim::ChurnDriver::run(net, result.trace, driver_options);
     result.elapsed_seconds = timer.elapsed_seconds();
 
@@ -208,7 +263,16 @@ int main(int argc, char** argv) {
                 << " --topology=" << result.topology.name
                 << " --seed=" << seed
                 << " --policy=" << store::to_string(policy)
-                << " --shards=" << shards << "\n";
+                << " --shards=" << shards;
+      if (lossy) {
+        // Fault rates ride the trace, but the wire config (and its seed)
+        // rides the command line — repeat it for a faithful replay.
+        std::cerr << " --drop=" << config.faults.link.drop_probability
+                  << " --dup=" << config.faults.link.dup_probability
+                  << " --reorder=" << config.faults.link.reorder_probability
+                  << " --jitter=" << config.faults.link.delay_jitter;
+      }
+      std::cerr << "\n";
     }
     if (mismatches > 0 || lost > 0) {
       std::cerr << "\nFAIL: " << mismatches << " mismatched publishes, "

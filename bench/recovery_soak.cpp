@@ -12,7 +12,14 @@
 //   ./recovery_soak [--duration=60] [--seed=2006] [--policy=exact]
 //                   [--snapshot-every=0]     (sim-seconds; 0 = epoch length)
 //                   [--kill-fraction=0.5]    (kill at fraction of duration)
+//                   [--drop=0] [--dup=0] [--reorder=0] [--jitter=0]
 //                   [--shards=1] [--json=PATH] [--topology=NAME]
+//
+// Nonzero fault flags run the crash/recovery discipline over lossy wires
+// behind the reliable link protocol; the slot is re-derived per topology
+// from the protocol's worst-case hop delay (see bench/churn_soak.cpp).
+// No burst windows are scripted here, so the retry cap is never exhausted
+// and recovery fidelity is tested orthogonally to link escalation.
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -52,6 +59,10 @@ void write_json(const std::string& path, const workload::ChurnConfig& config,
   json.member("publication_rate", config.publication_rate);
   json.member("snapshot_every", snapshot_every);
   json.member("kill_time", kill_time);
+  json.member("drop", config.faults.link.drop_probability);
+  json.member("dup", config.faults.link.dup_probability);
+  json.member("reorder", config.faults.link.reorder_probability);
+  json.member("jitter", config.faults.link.delay_jitter);
   json.end_object();
   json.begin_array("topologies");
   for (const RecoveryResult& result : results) {
@@ -75,6 +86,10 @@ void write_json(const std::string& path, const workload::ChurnConfig& config,
     json.member("replay_mismatches", report.recovery.replay_mismatches);
     json.member("recovery_sim_gap", report.recovery.recovery_sim_gap);
     json.end_object();
+    json.member("frames_dropped", report.totals.frames_dropped);
+    json.member("retransmits", report.totals.retransmits);
+    json.member("dups_suppressed", report.totals.dups_suppressed);
+    json.member("publish_coalescing", report.publish_coalescing);
     json.member("elapsed_seconds", result.elapsed_seconds);
     json.end_object();
   }
@@ -94,6 +109,11 @@ int main(int argc, char** argv) {
   config.subscription_rate = flags.get_double("sub-rate", 2.0);
   config.publication_rate = flags.get_double("pub-rate", 5.0);
   config.ttl_fraction = flags.get_double("ttl-fraction", 0.5);
+  config.faults.link.drop_probability = flags.get_double("drop", 0.0);
+  config.faults.link.dup_probability = flags.get_double("dup", 0.0);
+  config.faults.link.reorder_probability = flags.get_double("reorder", 0.0);
+  config.faults.link.delay_jitter = flags.get_double("jitter", 0.0);
+  const bool lossy = config.faults.any();
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 2006));
   const auto policy =
       store::parse_coverage_policy(flags.get_string("policy", "exact"));
@@ -126,10 +146,37 @@ int main(int argc, char** argv) {
     net_config.match_shards = shards;
     config.link_latency = net_config.link_latency;
 
+    workload::ChurnConfig topo_config = config;
+    if (lossy) {
+      routing::LinkConfig link;
+      link.enabled = true;
+      link.faults = config.faults.link;
+      net_config.link = link;
+      net_config.seed = seed;
+      // Same slot discipline as churn_soak: the slot must outlast a
+      // worst-case retransmit chain across the overlay diameter so every
+      // op (and the snapshot taken at each epoch close) observes a
+      // quiescent wire.
+      topo_config.faults.cascade_hop_bound =
+          link.worst_hop_delay(net_config.link_latency);
+      topo_config.slot = 2.2 * static_cast<double>(topology.brokers + 1) *
+                         topo_config.faults.cascade_hop_bound;
+      topo_config.epoch_length = topo_config.slot * 50;
+      if (topo_config.slot > topo_config.duration) {
+        std::cerr << "FAIL: --duration=" << topo_config.duration
+                  << " is shorter than the lossy settle slot ("
+                  << topo_config.slot << "s) that " << topology.name
+                  << " needs for a worst-case retransmit cascade; rerun "
+                     "with --duration >= "
+                  << topo_config.slot << "\n";
+        return 1;
+      }
+    }
+
     RecoveryResult result;
     result.topology = topology;
     const auto trace =
-        workload::generate_churn_trace(config, topology.brokers, seed);
+        workload::generate_churn_trace(topo_config, topology.brokers, seed);
     auto net = topology.build(net_config);
     sim::ChurnDriver::Options options;
     options.differential = true;

@@ -54,6 +54,7 @@ them equal.
 import argparse
 import json
 import math
+import os
 import sys
 
 DEFAULT_SECTIONS = [
@@ -222,8 +223,31 @@ def main():
                              "(top-level sections block)")
     args = parser.parse_args()
 
-    baseline = load(args.baseline)
     current = load(args.current)
+    if not os.path.exists(args.baseline):
+        # First run on a fresh checkout (or a new machine): nothing to gate
+        # against yet. Still insist the current file is well-formed and its
+        # correctness gates hold — a broken harness must not bootstrap
+        # itself into a baseline — then succeed explicitly so CI treats
+        # the run as "recording", not "passing by accident".
+        failures = []
+        divergences = current.get("gates", {}).get("oracle_divergences")
+        if divergences is None:
+            failures.append("current: missing gates.oracle_divergences")
+        elif divergences != 0:
+            failures.append(f"current: {divergences} oracle divergences")
+        check_checksums(current, "current", failures)
+        if failures:
+            print("check_bench: FAIL (no baseline, current file unsound)")
+            for failure in failures:
+                print(f"  - {failure}")
+            sys.exit(1)
+        print(f"check_bench: no baseline at {args.baseline}; "
+              "recording only, nothing gated. Commit the current JSON as "
+              "the baseline to arm the gate.")
+        sys.exit(0)
+
+    baseline = load(args.baseline)
 
     failures = []
     for name, blob in (("baseline", baseline), ("current", current)):

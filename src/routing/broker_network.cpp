@@ -4,6 +4,7 @@
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "util/rng.hpp"
 #include "wire/codec.hpp"
@@ -31,6 +32,65 @@ PublishPipeline& BrokerNetwork::ensure_pipeline() {
     pipeline_ = std::make_unique<PublishPipeline>(config_.pipeline);
   }
   return *pipeline_;
+}
+
+LinkChannels& BrokerNetwork::ensure_channels() {
+  if (!channels_) {
+    channels_ = std::make_unique<LinkChannels>(
+        queue_, metrics_, config_.link, config_.link_latency, config_.seed,
+        [this](BrokerId from, BrokerId to, const wire::Announcement& msg) {
+          dispatch_frame(from, to, msg);
+        },
+        [this](BrokerId a, BrokerId b) {
+          pending_escalations_.emplace_back(a, b);
+        });
+  }
+  return *channels_;
+}
+
+void BrokerNetwork::dispatch_frame(BrokerId from, BrokerId to,
+                                   const wire::Announcement& msg) {
+  switch (msg.kind) {
+    case wire::Announcement::Kind::kSubscribe:
+      deliver_subscription(to, msg.sub, Origin{false, from}, msg.expiry);
+      break;
+    case wire::Announcement::Kind::kUnsubscribe:
+      deliver_unsubscription(to, msg.id, Origin{false, from});
+      break;
+    case wire::Announcement::Kind::kPublication: {
+      const auto sink = pub_sinks_.find(msg.token);
+      deliver_publication(to, msg.pub, Origin{false, from}, msg.token,
+                          sink == pub_sinks_.end() ? nullptr : sink->second);
+      break;
+    }
+    case wire::Announcement::Kind::kMembership:
+      break;  // membership ops are driver-issued, never link traffic
+  }
+}
+
+void BrokerNetwork::drain_escalations() {
+  if (draining_escalations_ || pending_escalations_.empty()) return;
+  draining_escalations_ = true;
+  // fail_link purges can themselves escalate more links (their cascades
+  // run over the same faulty wire), so loop until the queue drains.
+  while (!pending_escalations_.empty()) {
+    const auto [a, b] = pending_escalations_.front();
+    pending_escalations_.erase(pending_escalations_.begin());
+    ensure_membership();
+    if (!link_state_->has_link(a, b)) continue;  // already down or removed
+    escalated_links_.push_back(std::minmax(a, b));
+    fail_link(a, b);
+  }
+  draining_escalations_ = false;
+}
+
+std::vector<std::pair<BrokerId, BrokerId>> BrokerNetwork::take_escalated_links() {
+  return std::exchange(escalated_links_, {});
+}
+
+void BrokerNetwork::set_link_bursts(std::vector<LinkChannels::BurstWindow> bursts) {
+  if (!config_.link.enabled) return;
+  ensure_channels().set_bursts(std::move(bursts));
 }
 
 BrokerId BrokerNetwork::add_broker() {
@@ -256,6 +316,10 @@ std::size_t BrokerNetwork::ghost_route_count() const {
 }
 
 void BrokerNetwork::detach_and_purge(BrokerId at, BrokerId dead) {
+  // Kill the channel state with the link: in-flight frames on a detached
+  // link must never arrive, and a future heal restarts both streams at
+  // sequence zero. (Idempotent — both endpoints' detaches may call this.)
+  if (channels_) channels_->reset_link(at, dead);
   brokers_.at(at)->remove_neighbor(dead);
   // Every route learned over the dead link describes a subscription that
   // is no longer reachable through this endpoint: purge it with the normal
@@ -282,6 +346,15 @@ void BrokerNetwork::announce_over(BrokerId from, BrokerId to) {
     const std::optional<sim::SimTime> expiry = live->second.expiry;
     ++metrics_.subscription_messages;
     ++metrics_.reannounced_subscriptions;
+    if (config_.link.enabled) {
+      wire::Announcement msg;
+      msg.kind = wire::Announcement::Kind::kSubscribe;
+      msg.from = from;
+      msg.sub = std::move(sub);
+      msg.expiry = expiry;
+      ensure_channels().send(from, to, msg);
+      continue;
+    }
     queue_.schedule_in(config_.link_latency,
                        [this, to, from, sub = std::move(sub), expiry]() {
                          deliver_subscription(to, sub, Origin{false, from},
@@ -291,6 +364,9 @@ void BrokerNetwork::announce_over(BrokerId from, BrokerId to) {
 }
 
 void BrokerNetwork::attach_link(BrokerId a, BrokerId b) {
+  // Fresh link incarnation: both directed streams restart at sequence zero
+  // and anything in flight from a previous incarnation goes stale.
+  if (channels_) channels_->reset_link(a, b);
   brokers_.at(a)->add_neighbor(b);
   brokers_.at(b)->add_neighbor(a);
   announce_over(a, b);
@@ -305,6 +381,7 @@ BrokerId BrokerNetwork::add_peer(BrokerId attach_to) {
   const BrokerId id = add_broker();  // syncs link_state_'s broker count
   link_state_->add_link(attach_to, id);
   attach_link(attach_to, id);
+  drain_escalations();
   return id;
 }
 
@@ -331,6 +408,7 @@ void BrokerNetwork::remove_peer(BrokerId broker) {
   brokers_[broker] = make_broker(broker);
   // 4. Bring the repair links up with mutual re-announcement.
   for (const auto& [a, b] : repairs) attach_link(a, b);
+  drain_escalations();
 }
 
 void BrokerNetwork::fail_link(BrokerId a, BrokerId b) {
@@ -340,6 +418,7 @@ void BrokerNetwork::fail_link(BrokerId a, BrokerId b) {
   detach_and_purge(a, b);
   detach_and_purge(b, a);
   run_cascade();
+  drain_escalations();
 }
 
 void BrokerNetwork::heal_link(BrokerId a, BrokerId b) {
@@ -347,6 +426,7 @@ void BrokerNetwork::heal_link(BrokerId a, BrokerId b) {
   ++metrics_.membership_events;
   link_state_->heal_link(a, b);
   attach_link(a, b);
+  drain_escalations();
 }
 
 void BrokerNetwork::add_standby_link(BrokerId a, BrokerId b) {
@@ -367,6 +447,7 @@ void BrokerNetwork::crash_peer(BrokerId broker) {
     detach_and_purge(a == broker ? b : a, broker);
   }
   run_cascade();
+  drain_escalations();
 }
 
 BrokerNetwork::ReplaceOutcome BrokerNetwork::replace_peer(
@@ -431,6 +512,7 @@ BrokerNetwork::ReplaceOutcome BrokerNetwork::replace_peer(
 
   // Rejoin every partition the crash created that is still open.
   for (const auto& [a, b] : outcome.healed_links) attach_link(a, b);
+  drain_escalations();
   return outcome;
 }
 
@@ -454,9 +536,18 @@ void BrokerNetwork::deliver_subscription(BrokerId at, Subscription sub,
   }
   for (const BrokerId next : forward_to) {
     ++metrics_.subscription_messages;
-    queue_.schedule_in(config_.link_latency, [this, next, at, sub, expiry]() {
-      deliver_subscription(next, sub, Origin{false, at}, expiry);
-    });
+    if (config_.link.enabled) {
+      wire::Announcement msg;
+      msg.kind = wire::Announcement::Kind::kSubscribe;
+      msg.from = at;
+      msg.sub = sub;
+      msg.expiry = expiry;
+      ensure_channels().send(at, next, msg);
+    } else {
+      queue_.schedule_in(config_.link_latency, [this, next, at, sub, expiry]() {
+        deliver_subscription(next, sub, Origin{false, at}, expiry);
+      });
+    }
   }
 }
 
@@ -466,9 +557,17 @@ void BrokerNetwork::deliver_unsubscription(BrokerId at, SubscriptionId id,
       brokers_.at(at)->handle_unsubscription(id, origin);
   for (const BrokerId next : outcome.forward_to) {
     ++metrics_.unsubscription_messages;
-    queue_.schedule_in(config_.link_latency, [this, next, at, id]() {
-      deliver_unsubscription(next, id, Origin{false, at});
-    });
+    if (config_.link.enabled) {
+      wire::Announcement msg;
+      msg.kind = wire::Announcement::Kind::kUnsubscribe;
+      msg.from = at;
+      msg.id = id;
+      ensure_channels().send(at, next, msg);
+    } else {
+      queue_.schedule_in(config_.link_latency, [this, next, at, id]() {
+        deliver_unsubscription(next, id, Origin{false, at});
+      });
+    }
   }
   // Promoted subscriptions flow as fresh subscription messages: the
   // neighbour never saw them while they were covered. The receiving broker
@@ -490,6 +589,15 @@ void BrokerNetwork::schedule_reannounce(BrokerId at, BrokerId next,
   if (live == local_subs_.end()) return;
   const std::optional<sim::SimTime> expiry = live->second.expiry;
   ++metrics_.subscription_messages;
+  if (config_.link.enabled) {
+    wire::Announcement msg;
+    msg.kind = wire::Announcement::Kind::kSubscribe;
+    msg.from = at;
+    msg.sub = promoted;
+    msg.expiry = expiry;
+    ensure_channels().send(at, next, msg);
+    return;
+  }
   queue_.schedule_in(config_.link_latency, [this, next, at, promoted, expiry]() {
     deliver_subscription(next, promoted, Origin{false, at}, expiry);
   });
@@ -511,9 +619,20 @@ void BrokerNetwork::deliver_publication(BrokerId at, Publication pub,
   }
   for (const BrokerId next : route.destinations) {
     ++metrics_.publication_messages;
-    queue_.schedule_in(config_.link_latency, [this, next, at, pub, token, sink]() {
-      deliver_publication(next, pub, Origin{false, at}, token, sink);
-    });
+    if (config_.link.enabled) {
+      wire::Announcement msg;
+      msg.kind = wire::Announcement::Kind::kPublication;
+      msg.from = at;
+      msg.pub = pub;
+      msg.token = token;
+      ensure_channels().send(at, next, msg);
+    } else {
+      queue_.schedule_in(config_.link_latency,
+                         [this, next, at, pub, token, sink]() {
+                           deliver_publication(next, pub, Origin{false, at},
+                                               token, sink);
+                         });
+    }
   }
 }
 
@@ -528,6 +647,7 @@ void BrokerNetwork::subscribe(BrokerId broker, const Subscription& sub) {
   local_subs_.emplace(sub.id(), LocalSub{broker, sub, std::nullopt});
   deliver_subscription(broker, sub, Origin{true, kInvalidBroker});
   run_cascade();
+  drain_escalations();
 }
 
 void BrokerNetwork::subscribe_with_ttl(BrokerId broker, const Subscription& sub,
@@ -548,17 +668,33 @@ void BrokerNetwork::subscribe_with_ttl(BrokerId broker, const Subscription& sub,
   // The subscriber side forgets the subscription at expiry too.
   queue_.schedule_at(expiry, [this, id = sub.id()]() { local_subs_.erase(id); });
   run_cascade();
+  drain_escalations();
 }
 
 void BrokerNetwork::run_cascade() {
-  const sim::SimTime horizon =
-      queue_.now() +
-      static_cast<sim::SimTime>(brokers_.size() + 1) * config_.link_latency;
-  queue_.run_until(horizon);
+  if (!config_.link.enabled) {
+    const sim::SimTime horizon =
+        queue_.now() +
+        static_cast<sim::SimTime>(brokers_.size() + 1) * config_.link_latency;
+    queue_.run_until(horizon);
+    return;
+  }
+  // Lossy wire: a hop can stretch to a whole retransmit-backoff chain, so
+  // the quiescence horizon scales with worst_hop_delay. Drain by peeking
+  // rather than run_until so the clock stops at the LAST REAL event — a
+  // run_until here would fast-forward past mid-slot TTL expiry instants,
+  // breaking the workload time contract.
+  const sim::SimTime deadline =
+      queue_.now() + static_cast<sim::SimTime>(brokers_.size() + 1) *
+                         config_.link.worst_hop_delay(config_.link_latency);
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    queue_.run_step();
+  }
 }
 
 void BrokerNetwork::advance_time(sim::SimTime horizon) {
   queue_.run_until(horizon);
+  drain_escalations();
 }
 
 void BrokerNetwork::unsubscribe(BrokerId broker, SubscriptionId id) {
@@ -569,6 +705,7 @@ void BrokerNetwork::unsubscribe(BrokerId broker, SubscriptionId id) {
   local_subs_.erase(it);
   deliver_unsubscription(broker, id, Origin{true, kInvalidBroker});
   run_cascade();
+  drain_escalations();
 }
 
 void BrokerNetwork::account_delivery(BrokerId source, const Publication& pub,
@@ -616,9 +753,16 @@ std::vector<SubscriptionId> BrokerNetwork::publish(BrokerId broker,
                                                    const Publication& pub) {
   require_alive(broker, "publish");
   std::vector<SubscriptionId> delivered;
-  deliver_publication(broker, pub, Origin{true, kInvalidBroker}, ++publication_token_,
+  const std::uint64_t token = ++publication_token_;
+  if (config_.link.enabled) pub_sinks_.emplace(token, &delivered);
+  deliver_publication(broker, pub, Origin{true, kInvalidBroker}, token,
                       &delivered);
   run_cascade();
+  // Escalations fire BEFORE accounting: a link the protocol gave up on is
+  // already effectively down for this publication, so the expected set
+  // must be computed against the post-fail_link components.
+  drain_escalations();
+  if (config_.link.enabled) pub_sinks_.erase(token);
   account_delivery(broker, pub, delivered);
   return delivered;
 }
@@ -629,7 +773,7 @@ std::vector<std::vector<SubscriptionId>> BrokerNetwork::publish_batch(
   // sized up front, never resized below.
   require_alive(broker, "publish_batch");
   std::vector<std::vector<SubscriptionId>> delivered(pubs.size());
-  if (config_.pipelined_publish) {
+  if (config_.pipelined_publish && !config_.link.enabled) {
     // Staged path: precompute every source-hop route in one pipeline run
     // (matching never mutates routing state, so batching the matches ahead
     // of the hop effects is decision-neutral), then apply the effects in
@@ -648,6 +792,7 @@ std::vector<std::vector<SubscriptionId>> BrokerNetwork::publish_batch(
     for (std::size_t i = 0; i < pubs.size(); ++i) {
       const std::uint64_t token = ++publication_token_;
       auto* sink = &delivered[i];
+      if (config_.link.enabled) pub_sinks_.emplace(token, sink);
       injections.push_back([this, broker, pub = pubs[i], token, sink]() {
         deliver_publication(broker, pub, Origin{true, kInvalidBroker}, token,
                             sink);
@@ -657,6 +802,8 @@ std::vector<std::vector<SubscriptionId>> BrokerNetwork::publish_batch(
     queue_.run_step();  // fire the whole injection front at one instant
     run_cascade();
   }
+  drain_escalations();
+  if (config_.link.enabled) pub_sinks_.clear();
 
   for (std::size_t i = 0; i < pubs.size(); ++i) {
     account_delivery(broker, pubs[i], delivered[i]);
@@ -668,7 +815,7 @@ std::vector<std::vector<SubscriptionId>> BrokerNetwork::publish_batch(
     std::span<const std::pair<BrokerId, Publication>> pubs) {
   for (const auto& [source, pub] : pubs) require_alive(source, "publish_batch");
   std::vector<std::vector<SubscriptionId>> delivered(pubs.size());
-  if (config_.pipelined_publish) {
+  if (config_.pipelined_publish && !config_.link.enabled) {
     // Group pair indices per source broker (first-appearance order) so each
     // source needs one pipeline run, then apply the source-hop effects in
     // the original pair order — tokens and the event timeline come out
@@ -706,6 +853,7 @@ std::vector<std::vector<SubscriptionId>> BrokerNetwork::publish_batch(
     for (std::size_t i = 0; i < pubs.size(); ++i) {
       const std::uint64_t token = ++publication_token_;
       auto* sink = &delivered[i];
+      if (config_.link.enabled) pub_sinks_.emplace(token, sink);
       injections.push_back([this, source = pubs[i].first,
                             pub = pubs[i].second, token, sink]() {
         deliver_publication(source, pub, Origin{true, kInvalidBroker}, token,
@@ -716,6 +864,8 @@ std::vector<std::vector<SubscriptionId>> BrokerNetwork::publish_batch(
     queue_.run_step();
     run_cascade();
   }
+  drain_escalations();
+  if (config_.link.enabled) pub_sinks_.clear();
 
   for (std::size_t i = 0; i < pubs.size(); ++i) {
     account_delivery(pubs[i].first, pubs[i].second, delivered[i]);
@@ -798,6 +948,15 @@ void BrokerNetwork::restore_all(std::span<const std::uint8_t> bytes) {
   publication_token_ = 0;
   publish_scratch_ = Broker::PublishScratch{};
   link_state_.reset();
+  // Channel state is runtime-only (snapshots are taken at quiescence, when
+  // every stream is fully acked): discard and rebuild lazily, so both ends
+  // of every link restart at sequence zero together under the restored
+  // config. Fault-model streams restart too — delivery is fault-invariant,
+  // so replayed ops still produce the original delivered sets.
+  channels_.reset();
+  pending_escalations_.clear();
+  escalated_links_.clear();
+  pub_sinks_.clear();
 
   // Brokers are rebuilt through add_broker so per-broker seeds re-derive
   // from the serialized config exactly as original construction did.

@@ -19,10 +19,12 @@
 #include <vector>
 
 #include "routing/broker.hpp"
+#include "routing/link_channel.hpp"
 #include "routing/membership.hpp"
 #include "routing/publish_pipeline.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/metrics.hpp"
+#include "wire/codec.hpp"
 
 namespace psc::routing {
 
@@ -43,6 +45,10 @@ struct NetworkConfig {
   bool pipelined_publish = false;
   /// Stage sizing for the pipeline (workers/queue depth/batch size).
   PublishPipelineOptions pipeline;
+  /// Reliable-link protocol + fault injection (link.enabled routes every
+  /// hop through LinkChannels; disabled = the perfect zero-loss wire, with
+  /// the pre-existing direct-schedule hot path byte-for-byte intact).
+  LinkConfig link;
 };
 
 class BrokerNetwork {
@@ -228,6 +234,25 @@ class BrokerNetwork {
   std::vector<std::vector<core::SubscriptionId>> publish_batch(
       std::span<const std::pair<BrokerId, core::Publication>> pubs);
 
+  // --- unreliable links --------------------------------------------------
+
+  /// True when hops run through the reliable link protocol over a faulty
+  /// wire (NetworkConfig::link.enabled).
+  [[nodiscard]] bool lossy_links() const noexcept { return config_.link.enabled; }
+
+  /// Installs scripted burst-loss windows (absolute sim-time, both
+  /// directions of each listed link) into the fault models. Replaces any
+  /// prior schedule. No-op scheduling is fine on a perfect-wire network —
+  /// the windows only matter once link.enabled routes traffic through the
+  /// channels.
+  void set_link_bursts(std::vector<LinkChannels::BurstWindow> bursts);
+
+  /// Links the reliable protocol gave up on since the last call (retry cap
+  /// exhausted -> escalated into fail_link), as normalized (min, max)
+  /// pairs in escalation order. A differential driver mirrors these into
+  /// its oracle's fail_link before comparing delivered sets.
+  [[nodiscard]] std::vector<std::pair<BrokerId, BrokerId>> take_escalated_links();
+
   [[nodiscard]] std::size_t broker_count() const noexcept { return brokers_.size(); }
   /// Live client subscriptions network-wide (TTL-expired ones excluded).
   [[nodiscard]] std::size_t local_subscription_count() const noexcept {
@@ -310,6 +335,22 @@ class BrokerNetwork {
   std::unique_ptr<PublishPipeline> pipeline_;
   std::vector<Broker::PublicationRoute> pipeline_routes_;
 
+  /// Reliable link channels (config_.link.enabled), built lazily on first
+  /// send. Runtime-only: never serialized; restore_all discards and
+  /// rebuilds so both stream ends restart at sequence zero together.
+  std::unique_ptr<LinkChannels> channels_;
+  /// Links whose retry cap fired mid-cascade; drained into fail_link at
+  /// the next quiescent point (escalating inside the cascade would re-enter
+  /// broker state mid-flight).
+  std::vector<std::pair<BrokerId, BrokerId>> pending_escalations_;
+  /// Escalations already applied, awaiting take_escalated_links().
+  std::vector<std::pair<BrokerId, BrokerId>> escalated_links_;
+  bool draining_escalations_ = false;
+  /// Publication delivery sinks by token, for the channel dispatch path
+  /// (a wire frame cannot carry a pointer). Entries live for one publish
+  /// entry-point call; stale lookups resolve to a null sink.
+  std::unordered_map<std::uint64_t, std::vector<core::SubscriptionId>*> pub_sinks_;
+
   void deliver_subscription(BrokerId at, core::Subscription sub, Origin origin,
                             std::optional<sim::SimTime> expiry = std::nullopt);
 
@@ -348,6 +389,17 @@ class BrokerNetwork {
   /// component-aware expected set.
   void account_delivery(BrokerId source, const core::Publication& pub,
                         std::vector<core::SubscriptionId>& ids);
+
+  /// Builds the channel manager on first lossy send (callbacks close over
+  /// `this`, so construction is deferred past the moveable-config phase).
+  LinkChannels& ensure_channels();
+  /// Channel delivery callback: routes an arrived Announcement to the
+  /// matching deliver_* handler (the receiving half of each send site).
+  void dispatch_frame(BrokerId from, BrokerId to, const wire::Announcement& msg);
+  /// Applies pending retry-cap escalations as fail_link calls, looping
+  /// until none remain (a purge cascade can escalate further links).
+  /// Re-entrant calls (fail_link runs inside the drain) are no-ops.
+  void drain_escalations();
 
   /// Builds link_state_ from the current topology on first membership use;
   /// throws std::logic_error if the live topology is cyclic.

@@ -47,6 +47,20 @@ void snapshot_state(const BrokerNetwork& net, ChurnEpoch& epoch) {
   }
 }
 
+/// True when a planned kHealLink is feasible against the network's actual
+/// link state — the same predicate the workload generator applied to its
+/// own model when it emitted the op. Retry-cap escalations mutate reality
+/// behind the generator's back (most visibly through graceful-leave
+/// repair, which stars the leaver's LIVE neighbours — a set an escalation
+/// may have shrunk), so the model can plan heals of links reality never
+/// created or has already reconnected around. Both replicas see the same
+/// escalations, so skipping on reality's state keeps them in lockstep.
+bool link_healable(const BrokerNetwork& net, BrokerId a, BrokerId b) {
+  const auto& state = net.link_state();
+  return state.is_alive(a) && state.is_alive(b) &&
+         state.has_failed_link(a, b) && !state.same_component(a, b);
+}
+
 /// Applies one trace op to `net` alone — the WAL replay path after a
 /// restore (the oracle already consumed the op in its first life).
 /// Returns the delivered set for publishes (empty otherwise). Membership
@@ -58,6 +72,7 @@ std::vector<core::SubscriptionId> replay_op(BrokerNetwork& net,
                                             const ChurnOp& op,
                                             const ImageCache& images) {
   net.advance_time(op.time);
+  std::vector<core::SubscriptionId> delivered;
   switch (op.kind) {
     case ChurnOpKind::kSubscribe:
       net.subscribe(op.broker, op.sub);
@@ -69,7 +84,8 @@ std::vector<core::SubscriptionId> replay_op(BrokerNetwork& net,
       net.unsubscribe(op.broker, op.id);
       break;
     case ChurnOpKind::kPublish:
-      return net.publish(op.broker, op.pub);
+      delivered = net.publish(op.broker, op.pub);
+      break;
     case ChurnOpKind::kAdvance:
       break;
     case ChurnOpKind::kMembership:
@@ -89,15 +105,27 @@ std::vector<core::SubscriptionId> replay_op(BrokerNetwork& net,
           (void)net.replace_peer(op.broker, image_of(images, op.broker));
           break;
         case MembershipOpKind::kFailLink:
-          net.fail_link(op.broker, op.peer);
+          // Mirror the first life's skip: a retry-cap escalation may have
+          // failed this link already (bursts are absolute-time, so the
+          // escalation recurs on replay before this op does).
+          if (!net.membership_active() ||
+              net.link_state().has_link(op.broker, op.peer)) {
+            net.fail_link(op.broker, op.peer);
+          }
           break;
         case MembershipOpKind::kHealLink:
-          net.heal_link(op.broker, op.peer);
+          if (!net.membership_active() ||
+              link_healable(net, op.broker, op.peer)) {
+            net.heal_link(op.broker, op.peer);
+          }
           break;
       }
       break;
   }
-  return {};
+  // Escalations recurring during replay were already mirrored into the
+  // oracle in the op's first life; drop the duplicate records.
+  (void)net.take_escalated_links();
+  return delivered;
 }
 
 }  // namespace
@@ -161,6 +189,31 @@ ChurnReport ChurnDriver::run(BrokerNetwork& net, const ChurnTrace& trace,
   };
   if (trace.has_membership) refresh_images();
 
+  // Lossy-link setup: install the trace's scripted burst windows and
+  // record how publishes will actually be issued (satellite knob audit —
+  // a "pipelined" soak that quietly ran per-op must be visible).
+  report.publish_coalescing = !options.pipelined_publish ? "off"
+                              : failure.enabled ? "disabled-failure-injection"
+                              : net.lossy_links() ? "disabled-link-faults"
+                                                  : "pipelined";
+  if (net.lossy_links() && !trace.bursts.empty()) {
+    std::vector<routing::LinkChannels::BurstWindow> bursts;
+    bursts.reserve(trace.bursts.size());
+    for (const workload::LinkBurst& b : trace.bursts) {
+      bursts.push_back({b.a, b.b, b.start, b.end});
+    }
+    net.set_link_bursts(std::move(bursts));
+  }
+  // Retry-cap escalations surface as fail_link on the network side only;
+  // the oracle must see the same topology before the next delivered-set
+  // compare. Called after every net op (escalations drain at op exit).
+  const auto mirror_escalations = [&]() {
+    for (const auto& [a, b] : net.take_escalated_links()) {
+      if (options.differential) oracle.fail_link(a, b);
+      ++report.membership.link_escalations;
+    }
+  };
+
   const double epoch_length = trace.config.epoch_length;
   Metrics at_epoch_start;  // metrics totals when the current epoch began
   // Crash splice state: epoch/run deltas accumulated in incarnations that
@@ -174,6 +227,7 @@ ChurnReport ChurnDriver::run(BrokerNetwork& net, const ChurnTrace& trace,
   const auto close_epoch = [&]() {
     // Settle both replicas exactly at the boundary, then snapshot.
     net.advance_time(epoch_end);
+    mirror_escalations();
     if (options.differential) oracle.advance_time(epoch_end);
     epoch.end_time = epoch_end;
     const Metrics delta = epoch_accum + (net.metrics() - at_epoch_start);
@@ -209,6 +263,7 @@ ChurnReport ChurnDriver::run(BrokerNetwork& net, const ChurnTrace& trace,
 
   const auto take_snapshot = [&](double at) {
     net.advance_time(at);
+    mirror_escalations();
     if (options.differential) oracle.advance_time(at);
     snapshot_bytes = net.snapshot_all();
     snapshot_time = at;
@@ -243,7 +298,7 @@ ChurnReport ChurnDriver::run(BrokerNetwork& net, const ChurnTrace& trace,
     // epoch becomes one multi-source publish_batch. Per-op bookkeeping and
     // the differential check are unchanged; only the clock settles once, at
     // the batch's last instant, for both replicas.
-    if (options.pipelined_publish && !failure.enabled &&
+    if (options.pipelined_publish && !failure.enabled && !net.lossy_links() &&
         op.kind == ChurnOpKind::kPublish) {
       std::size_t end = op_index;
       while (end < trace.ops.size() &&
@@ -311,6 +366,7 @@ ChurnReport ChurnDriver::run(BrokerNetwork& net, const ChurnTrace& trace,
     }
 
     net.advance_time(op.time);
+    mirror_escalations();  // TTL-expiry cascades can exhaust the retry cap
     if (options.differential) oracle.advance_time(op.time);
     ++epoch.ops;
     ++report.ops;
@@ -334,6 +390,10 @@ ChurnReport ChurnDriver::run(BrokerNetwork& net, const ChurnTrace& trace,
         ++epoch.publishes;
         ++report.publishes;
         const auto delivered = net.publish(op.broker, op.pub);
+        // Escalations fire inside net.publish before its own delivery
+        // accounting; the oracle needs the same fail_links applied before
+        // its delivered set is computed.
+        mirror_escalations();
         if (options.differential) {
           oracle.publish(op.broker, op.pub, oracle_delivered);
           if (delivered != oracle_delivered) ++epoch.mismatched_publishes;
@@ -378,11 +438,27 @@ ChurnReport ChurnDriver::run(BrokerNetwork& net, const ChurnTrace& trace,
             break;
           }
           case MembershipOpKind::kFailLink:
+            // A retry-cap escalation may have failed this link before the
+            // trace's planned failure arrives; skip it on both replicas
+            // (they already agree the link is down).
+            if (net.membership_active() &&
+                !net.link_state().has_link(op.broker, op.peer)) {
+              ++report.membership.skipped_link_failures;
+              break;
+            }
             net.fail_link(op.broker, op.peer);
             if (options.differential) oracle.fail_link(op.broker, op.peer);
             ++report.membership.link_failures;
             break;
           case MembershipOpKind::kHealLink:
+            // Escalations diverge reality from the generator's model; a
+            // planned heal may no longer be feasible. Skip it on both
+            // replicas — they share reality's link state.
+            if (net.membership_active() &&
+                !link_healable(net, op.broker, op.peer)) {
+              ++report.membership.skipped_link_heals;
+              break;
+            }
             net.heal_link(op.broker, op.peer);
             if (options.differential) oracle.heal_link(op.broker, op.peer);
             ++report.membership.link_heals;
@@ -392,6 +468,7 @@ ChurnReport ChurnDriver::run(BrokerNetwork& net, const ChurnTrace& trace,
         break;
       }
     }
+    mirror_escalations();  // any op's cascade can exhaust the retry cap
   }
   // Close the trailing (possibly partial) epoch at its natural boundary.
   close_epoch();

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "routing/broker_network.hpp"
@@ -88,6 +89,22 @@ struct MembershipStats {
   std::size_t replace_gap_subs = 0;         ///< registry-diff replays
   std::size_t ghost_routes = 0;             ///< peak audit count (gate: 0)
   std::size_t final_alive_brokers = 0;
+  /// Links the reliable protocol escalated into fail_link (retry cap
+  /// exhausted mid-cascade); mirrored into the oracle before the next
+  /// differential compare. Zero on perfect wires and for fault schedules
+  /// whose bursts stay shorter than the retransmit chain.
+  std::size_t link_escalations = 0;
+  /// Planned kFailLink trace ops skipped because an escalation had already
+  /// failed the link (skipped symmetrically on both replicas).
+  std::size_t skipped_link_failures = 0;
+  /// Planned kHealLink ops skipped because the link is not healable in the
+  /// replayed reality. Escalations make reality's topology diverge from
+  /// the generator's model — most visibly through graceful-leave repair,
+  /// which stars the leaver's LIVE neighbours, a set an escalation may
+  /// have shrunk — so a planned heal can target a link reality never
+  /// created, already healed differently, or whose endpoints reality
+  /// already reconnected. Skipped symmetrically on both replicas.
+  std::size_t skipped_link_heals = 0;
 };
 
 /// Whole-run result: the epoch series plus totals.
@@ -101,6 +118,14 @@ struct ChurnReport {
   std::size_t final_live_subscriptions = 0;
   RecoveryStats recovery;
   MembershipStats membership;
+  /// How publish ops were actually issued: "pipelined" (coalesced batches
+  /// through the staged pipeline), "off" (per-op, pipelining not
+  /// requested), or the reason a requested pipeline was silently refused —
+  /// "disabled-failure-injection" (WAL replay is per-op) or
+  /// "disabled-link-faults" (per-link frame sequencing makes a coalesced
+  /// batch's per-op oracle compare unsound). Soak JSON prints this so a
+  /// "pipelined" soak that quietly ran per-op is visible.
+  std::string publish_coalescing = "off";
 };
 
 class ChurnDriver {
@@ -143,8 +168,11 @@ class ChurnDriver {
     /// Both replicas settle at the batch's last op time before the batch
     /// fires (so TTL expiries stay in lockstep), and the differential check
     /// still runs op for op against the oracle. Batches never span an epoch
-    /// boundary. Ignored when failure injection is enabled: the WAL replay
-    /// discipline is per-op.
+    /// boundary. Ignored when failure injection is enabled (the WAL replay
+    /// discipline is per-op) and when the network runs lossy links (frames
+    /// of a coalesced batch share per-link sequence numbers, so a retry-cap
+    /// escalation mid-batch would shift which ops the oracle mirrors it
+    /// for); ChurnReport::publish_coalescing records what actually ran.
     bool pipelined_publish = false;
     FailureInjection failure;
   };

@@ -59,6 +59,14 @@ class EventQueue {
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
   [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
 
+  /// Timestamp of the earliest pending event, or now() when the queue is
+  /// empty. Lets a caller drain up to a deadline without fast-forwarding
+  /// the clock past the last real event (run_until always sets now to its
+  /// horizon; the lossy-link cascade loop needs the gentler form).
+  [[nodiscard]] SimTime next_time() const noexcept {
+    return heap_.empty() ? now_ : heap_.top().time;
+  }
+
  private:
   struct Event {
     SimTime time;

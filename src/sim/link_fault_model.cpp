@@ -1,0 +1,62 @@
+#include "sim/link_fault_model.hpp"
+
+namespace psc::sim {
+
+namespace {
+
+std::uint64_t link_stream_seed(std::uint64_t seed, std::uint32_t from,
+                               std::uint32_t to) {
+  // Directed-pair mix: (from, to) and (to, from) land on distinct streams,
+  // and every pair is decorrelated from the network seed via splitmix64.
+  std::uint64_t state = seed ^ (0x9e3779b97f4a7c15ULL *
+                                ((static_cast<std::uint64_t>(from) << 32) |
+                                 (static_cast<std::uint64_t>(to) + 1)));
+  return util::splitmix64(state);
+}
+
+}  // namespace
+
+LinkFaultModel::LinkFaultModel(const LinkFaultConfig& config,
+                               std::uint64_t seed, std::uint32_t from,
+                               std::uint32_t to)
+    : config_(config), rng_(link_stream_seed(seed, from, to)) {}
+
+bool LinkFaultModel::in_burst(SimTime now) const noexcept {
+  for (const BurstWindow& burst : bursts_) {
+    if (now >= burst.start && now < burst.end) return true;
+  }
+  return false;
+}
+
+LinkFaultModel::Outcome LinkFaultModel::next(SimTime now, SimTime latency) {
+  Outcome outcome;
+  // Draw order is fixed (drop, dup, reorder, jitter) and every draw happens
+  // on every attempt, burst or not — the stream position depends only on
+  // the attempt count, never on the verdicts, so adding a burst window to a
+  // run does not shift any later probabilistic draw.
+  const bool drop = rng_.bernoulli(config_.drop_probability);
+  const bool dup = rng_.bernoulli(config_.dup_probability);
+  const bool reorder = rng_.bernoulli(config_.reorder_probability);
+  const double jitter_draw = rng_.next_double();
+  const double dup_jitter_draw = rng_.next_double();
+
+  if (drop || in_burst(now)) {
+    outcome.dropped = true;
+    return outcome;
+  }
+  outcome.extra_delay = latency * config_.delay_jitter * jitter_draw;
+  if (reorder) {
+    // Push the frame at least one full latency behind its successors: a
+    // frame sent next overtakes this one, which the receiver's reorder
+    // buffer must heal. Bounded by worst_extra_delay's two latencies.
+    outcome.extra_delay += latency * (1.0 + dup_jitter_draw);
+  }
+  if (dup) {
+    outcome.duplicated = true;
+    outcome.dup_extra_delay =
+        latency * (config_.delay_jitter * dup_jitter_draw);
+  }
+  return outcome;
+}
+
+}  // namespace psc::sim

@@ -1,0 +1,91 @@
+// LinkFaultModel — deterministic, seeded fault injection for one DIRECTED
+// link of the broker overlay.
+//
+// The model answers one question per transmission attempt: what happens to
+// this frame on the wire? It can be dropped (loss probability, or a
+// scripted burst-loss window), duplicated (a second copy arrives later),
+// delayed (uniform jitter on top of the base latency), or pushed behind
+// its successors (a reorder draw adds more than one full latency of extra
+// delay, so a later frame overtakes it and the receiver's reorder window
+// has to heal the inversion). Every draw comes from a per-directed-link
+// xoshiro substream derived from (seed, from, to), so two runs with the
+// same seed see byte-identical fault schedules regardless of what any
+// other link does — the property the differential soaks rely on.
+//
+// Scripted bursts are absolute sim-time windows during which EVERY
+// transmission attempt on the link is lost (100% loss). They model the
+// workload trace's fault-schedule records: a burst longer than the full
+// retransmit-backoff chain forces a retry-cap escalation determinist-
+// ically, which is how the soaks exercise the fail_link degradation path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace psc::sim {
+
+/// Probabilistic fault rates of one link direction (scripted bursts ride
+/// separately, as absolute time windows). All-zero = perfect wire.
+struct LinkFaultConfig {
+  double drop_probability = 0.0;     ///< iid loss per transmission attempt
+  double dup_probability = 0.0;      ///< iid duplication per attempt
+  double reorder_probability = 0.0;  ///< iid "push behind successors" draw
+  double delay_jitter = 0.0;         ///< extra delay, uniform [0, jitter] x latency
+
+  [[nodiscard]] bool any() const noexcept {
+    return drop_probability > 0 || dup_probability > 0 ||
+           reorder_probability > 0 || delay_jitter > 0;
+  }
+};
+
+/// One scripted 100%-loss window on a directed link.
+struct BurstWindow {
+  SimTime start = 0.0;
+  SimTime end = 0.0;  ///< exclusive; frames sent in [start, end) are lost
+};
+
+class LinkFaultModel {
+ public:
+  /// Derives the per-directed-link substream from the network seed and the
+  /// (from, to) endpoints; two directions of one link draw independently.
+  LinkFaultModel(const LinkFaultConfig& config, std::uint64_t seed,
+                 std::uint32_t from, std::uint32_t to);
+
+  /// The wire's verdict for one transmission attempt at sim-time `now`.
+  /// `extra_delay` / `dup_extra_delay` are additive on top of the base
+  /// link latency; both are bounded by worst_extra_delay(latency).
+  struct Outcome {
+    bool dropped = false;
+    bool duplicated = false;       ///< never set when dropped
+    SimTime extra_delay = 0.0;
+    SimTime dup_extra_delay = 0.0; ///< delay of the duplicate copy
+  };
+  [[nodiscard]] Outcome next(SimTime now, SimTime latency);
+
+  /// True while `now` falls inside a scripted burst window.
+  [[nodiscard]] bool in_burst(SimTime now) const noexcept;
+
+  void set_bursts(std::vector<BurstWindow> bursts) {
+    bursts_ = std::move(bursts);
+  }
+
+  /// Upper bound of any extra delay next() can hand out: jitter plus the
+  /// reorder push (at most two extra latencies). The cascade-quiescence
+  /// horizon is derived from this.
+  [[nodiscard]] static SimTime worst_extra_delay(
+      const LinkFaultConfig& config, SimTime latency) noexcept {
+    const SimTime jitter = latency * config.delay_jitter;
+    const SimTime reorder = config.reorder_probability > 0 ? 2 * latency : 0.0;
+    return jitter + reorder;
+  }
+
+ private:
+  LinkFaultConfig config_;
+  util::Rng rng_;
+  std::vector<BurstWindow> bursts_;
+};
+
+}  // namespace psc::sim

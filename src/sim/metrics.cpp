@@ -20,6 +20,14 @@ Metrics operator+(const Metrics& a, const Metrics& b) noexcept {
   sum.subscriptions_suppressed += b.subscriptions_suppressed;
   sum.membership_events += b.membership_events;
   sum.reannounced_subscriptions += b.reannounced_subscriptions;
+  sum.frames_dropped += b.frames_dropped;
+  sum.frames_duplicated += b.frames_duplicated;
+  sum.retransmits += b.retransmits;
+  sum.dups_suppressed += b.dups_suppressed;
+  sum.reorders_healed += b.reorders_healed;
+  sum.acks_sent += b.acks_sent;
+  sum.backpressure_stalls += b.backpressure_stalls;
+  sum.link_escalations += b.link_escalations;
   return sum;
 }
 
@@ -34,6 +42,14 @@ Metrics operator-(const Metrics& a, const Metrics& b) noexcept {
   diff.subscriptions_suppressed -= b.subscriptions_suppressed;
   diff.membership_events -= b.membership_events;
   diff.reannounced_subscriptions -= b.reannounced_subscriptions;
+  diff.frames_dropped -= b.frames_dropped;
+  diff.frames_duplicated -= b.frames_duplicated;
+  diff.retransmits -= b.retransmits;
+  diff.dups_suppressed -= b.dups_suppressed;
+  diff.reorders_healed -= b.reorders_healed;
+  diff.acks_sent -= b.acks_sent;
+  diff.backpressure_stalls -= b.backpressure_stalls;
+  diff.link_escalations -= b.link_escalations;
   return diff;
 }
 
@@ -46,7 +62,15 @@ std::ostream& operator<<(std::ostream& out, const Metrics& m) {
              << " duplicated=" << m.notifications_duplicated
              << " suppressed=" << m.subscriptions_suppressed
              << " membership=" << m.membership_events
-             << " reannounced=" << m.reannounced_subscriptions;
+             << " reannounced=" << m.reannounced_subscriptions
+             << " frames_dropped=" << m.frames_dropped
+             << " frames_duplicated=" << m.frames_duplicated
+             << " retransmits=" << m.retransmits
+             << " dups_suppressed=" << m.dups_suppressed
+             << " reorders_healed=" << m.reorders_healed
+             << " acks_sent=" << m.acks_sent
+             << " backpressure_stalls=" << m.backpressure_stalls
+             << " link_escalations=" << m.link_escalations;
 }
 
 }  // namespace psc::sim

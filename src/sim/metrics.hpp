@@ -18,6 +18,18 @@ struct Metrics {
   std::uint64_t membership_events = 0;       ///< join/leave/crash/fail/heal
   std::uint64_t reannounced_subscriptions = 0;///< re-floods on link attach
 
+  // --- link-channel counters (all zero on perfect links) ----------------
+  std::uint64_t frames_dropped = 0;     ///< transmissions lost on the wire
+  std::uint64_t frames_duplicated = 0;  ///< extra copies injected by faults
+  std::uint64_t retransmits = 0;        ///< sender RTO-driven resends
+  std::uint64_t dups_suppressed = 0;    ///< receiver-side duplicate discards
+  std::uint64_t reorders_healed = 0;    ///< frames released from the reorder
+                                        ///< buffer once the gap was filled
+  std::uint64_t acks_sent = 0;          ///< pure (non-piggybacked) ack frames
+  std::uint64_t backpressure_stalls = 0;///< sends parked in the backlog while
+                                        ///< the unacked window was full
+  std::uint64_t link_escalations = 0;   ///< retry-cap -> fail_link escalations
+
   void reset() noexcept { *this = Metrics{}; }
 
   [[nodiscard]] std::uint64_t total_messages() const noexcept {

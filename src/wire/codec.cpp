@@ -133,6 +133,41 @@ Announcement read_announcement(ByteReader& in) {
   return msg;
 }
 
+// --- reliable-link frames (codec v3) -----------------------------------
+
+void write_link_frame(ByteWriter& out, const LinkFrame& frame) {
+  out.u8(static_cast<std::uint8_t>(frame.kind));
+  out.varint(frame.ack);
+  if (frame.kind == LinkFrame::Kind::kData) {
+    out.varint(frame.seq);
+    out.bytes(frame.payload);
+  }
+}
+
+LinkFrame read_link_frame(ByteReader& in) {
+  LinkFrame frame;
+  const std::uint8_t kind = in.u8();
+  if (kind < 1 || kind > 2) {
+    throw DecodeError("wire: unknown link frame kind " + std::to_string(kind));
+  }
+  frame.kind = static_cast<LinkFrame::Kind>(kind);
+  frame.ack = in.varint();
+  if (frame.kind == LinkFrame::Kind::kData) {
+    frame.seq = in.varint();
+    const auto view = in.bytes();
+    frame.payload.assign(view.begin(), view.end());
+    // Validate the embedded announcement eagerly: a data frame whose
+    // payload does not decode is corrupt as a whole — the receiver must
+    // not ack (and thereby consume) a frame it cannot interpret.
+    ByteReader payload(frame.payload);
+    (void)read_announcement(payload);
+    if (!payload.at_end()) {
+      throw DecodeError("wire: trailing bytes after link frame payload");
+    }
+  }
+  return frame;
+}
+
 // --- churn-trace records ----------------------------------------------
 
 void write_churn_op(ByteWriter& out, const ChurnOp& op) {
@@ -300,6 +335,68 @@ routing::MembershipUniverse read_universe(ByteReader& in) {
 
 }  // namespace
 
+namespace {
+
+// v3 fault-schedule block: the probabilistic fault rates the trace was
+// generated for, the fault-aware cascade hop bound its slot validation
+// used, and the scripted burst-loss windows (absolute sim-time, per
+// undirected link). Absent from v2 traces; readers default it to zero.
+void write_fault_block(ByteWriter& out, const ChurnTrace& trace) {
+  out.f64(trace.config.faults.link.drop_probability);
+  out.f64(trace.config.faults.link.dup_probability);
+  out.f64(trace.config.faults.link.reorder_probability);
+  out.f64(trace.config.faults.link.delay_jitter);
+  out.f64(trace.config.faults.burst_length);
+  out.varint(trace.config.faults.burst_count);
+  out.f64(trace.config.faults.cascade_hop_bound);
+  out.varint(trace.bursts.size());
+  for (const workload::LinkBurst& burst : trace.bursts) {
+    out.f64(burst.start);
+    out.f64(burst.end);
+    out.varint(burst.a);
+    out.varint(burst.b);
+  }
+}
+
+void read_fault_block(ByteReader& in, ChurnTrace& trace) {
+  auto& faults = trace.config.faults;
+  const auto rate = [&in](const char* what) {
+    const double value = in.f64();
+    if (std::isnan(value) || value < 0 || value > 1) {
+      throw DecodeError(std::string("wire: bad fault rate ") + what);
+    }
+    return value;
+  };
+  faults.link.drop_probability = rate("drop");
+  faults.link.dup_probability = rate("dup");
+  faults.link.reorder_probability = rate("reorder");
+  faults.link.delay_jitter = in.f64();
+  faults.burst_length = in.f64();
+  faults.burst_count = static_cast<std::size_t>(in.varint());
+  faults.cascade_hop_bound = in.f64();
+  if (std::isnan(faults.link.delay_jitter) || faults.link.delay_jitter < 0 ||
+      std::isnan(faults.burst_length) || faults.burst_length < 0 ||
+      std::isnan(faults.cascade_hop_bound) || faults.cascade_hop_bound < 0) {
+    throw DecodeError("wire: bad fault-schedule field");
+  }
+  const std::size_t burst_count = in.count(18);  // 2x f64 + 2 varints floor
+  trace.bursts.reserve(burst_count);
+  for (std::size_t i = 0; i < burst_count; ++i) {
+    workload::LinkBurst burst;
+    burst.start = in.f64();
+    burst.end = in.f64();
+    if (std::isnan(burst.start) || std::isnan(burst.end) ||
+        burst.end < burst.start) {
+      throw DecodeError("wire: inverted burst window");
+    }
+    burst.a = static_cast<routing::BrokerId>(in.varint());
+    burst.b = static_cast<routing::BrokerId>(in.varint());
+    trace.bursts.push_back(burst);
+  }
+}
+
+}  // namespace
+
 void write_churn_trace(ByteWriter& out, const ChurnTrace& trace) {
   out.u32(kTraceMagic);
   out.u32(kCodecVersion);
@@ -311,6 +408,7 @@ void write_churn_trace(ByteWriter& out, const ChurnTrace& trace) {
   out.varint(trace.membership_count);
   out.u8(trace.has_membership ? 1 : 0);
   if (trace.has_membership) write_universe(out, trace.universe);
+  write_fault_block(out, trace);
   out.varint(trace.ops.size());
   for (const ChurnOp& op : trace.ops) write_churn_op(out, op);
 }
@@ -320,7 +418,7 @@ ChurnTrace read_churn_trace(ByteReader& in) {
     throw DecodeError("wire: not a churn trace (bad magic)");
   }
   const std::uint32_t version = in.u32();
-  if (version != kCodecVersion) {
+  if (version < kMinTraceVersion || version > kCodecVersion) {
     throw DecodeError("wire: unsupported trace version " +
                       std::to_string(version));
   }
@@ -335,6 +433,7 @@ ChurnTrace read_churn_trace(ByteReader& in) {
   if (has_membership > 1) throw DecodeError("wire: bad membership flag");
   trace.has_membership = has_membership != 0;
   if (trace.has_membership) trace.universe = read_universe(in);
+  if (version >= 3) read_fault_block(in, trace);  // v2: perfect links
   const std::size_t op_count = in.count(10);  // kind + time + broker floor
   trace.ops.reserve(op_count);
   for (std::size_t i = 0; i < op_count; ++i) {

@@ -22,6 +22,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "core/publication.hpp"
 #include "core/subscription.hpp"
@@ -32,8 +33,14 @@ namespace psc::wire {
 
 /// Format version of the headerless element codecs in this file. Bumped on
 /// any layout change; embedded by the stream-level headers (trace,
-/// snapshot) so readers can reject encodings they do not speak.
-inline constexpr std::uint32_t kCodecVersion = 2;
+/// snapshot) so readers can reject encodings they do not speak. v3 adds
+/// the reliable-link frame header (LinkFrame) and the fault-schedule block
+/// of churn traces; v2 traces still decode (read_churn_trace accepts both
+/// and defaults the new fields).
+inline constexpr std::uint32_t kCodecVersion = 3;
+
+/// Oldest trace version read_churn_trace still decodes.
+inline constexpr std::uint32_t kMinTraceVersion = 2;
 
 /// Magic prefix of a serialized churn trace ("PSCT" little-endian).
 inline constexpr std::uint32_t kTraceMagic = 0x54435350U;
@@ -96,6 +103,39 @@ struct Announcement {
 
 void write_announcement(ByteWriter& out, const Announcement& msg);
 [[nodiscard]] Announcement read_announcement(ByteReader& in);
+
+// --- reliable-link frames (codec v3) -----------------------------------
+
+/// The per-hop transport frame of the reliable link protocol
+/// (routing/link_channel.hpp): a data frame carries one encoded
+/// Announcement plus its per-directed-link sequence number; every frame —
+/// data or pure ack — piggybacks the cumulative ack of the REVERSE
+/// direction's stream (all sequence numbers below `ack` have been
+/// received in order). Pure ack frames carry no payload and no meaningful
+/// sequence number; they exist so a one-way traffic pattern still
+/// acknowledges promptly.
+struct LinkFrame {
+  enum class Kind : std::uint8_t {
+    kData = 1,  ///< seq + payload significant
+    kAck = 2,   ///< ack-only; seq must be 0, payload empty
+  };
+
+  Kind kind = Kind::kData;
+  std::uint64_t seq = 0;   ///< per-directed-link, monotone from 0
+  std::uint64_t ack = 0;   ///< cumulative ack for the reverse stream
+  std::vector<std::uint8_t> payload;  ///< encoded Announcement (kData)
+
+  friend bool operator==(const LinkFrame& a, const LinkFrame& b) {
+    return a.kind == b.kind && a.seq == b.seq && a.ack == b.ack &&
+           a.payload == b.payload;
+  }
+};
+
+void write_link_frame(ByteWriter& out, const LinkFrame& frame);
+/// Validates framing AND the embedded payload: a kData payload must decode
+/// as a complete Announcement with no trailing bytes. Corruption anywhere
+/// throws DecodeError, never UB.
+[[nodiscard]] LinkFrame read_link_frame(ByteReader& in);
 
 // --- churn-trace records ----------------------------------------------
 

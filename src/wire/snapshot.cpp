@@ -167,6 +167,18 @@ void write_network_config(ByteWriter& out, const NetworkConfig& config) {
   out.f64(config.link_latency);
   out.u64(config.seed);
   out.varint(config.match_shards);
+  // v3: reliable-link protocol + fault rates (LinkConfig).
+  out.u8(config.link.enabled ? 1 : 0);
+  out.f64(config.link.rto);
+  out.f64(config.link.backoff);
+  out.f64(config.link.rto_max);
+  out.varint(config.link.max_retries);
+  out.varint(config.link.window);
+  out.f64(config.link.ack_delay);
+  out.f64(config.link.faults.drop_probability);
+  out.f64(config.link.faults.dup_probability);
+  out.f64(config.link.faults.reorder_probability);
+  out.f64(config.link.faults.delay_jitter);
 }
 
 NetworkConfig read_network_config(ByteReader& in) {
@@ -202,6 +214,35 @@ NetworkConfig read_network_config(ByteReader& in) {
   }
   config.seed = in.u64();
   config.match_shards = static_cast<std::size_t>(in.varint());
+  config.link.enabled = flag("link_enabled");
+  const auto nonneg = [&in](const char* what) {
+    const double value = in.f64();
+    if (std::isnan(value) || value < 0) {
+      throw DecodeError(std::string("wire: bad link knob ") + what);
+    }
+    return value;
+  };
+  const auto rate = [&in](const char* what) {
+    const double value = in.f64();
+    if (std::isnan(value) || value < 0 || value > 1) {
+      throw DecodeError(std::string("wire: bad fault rate ") + what);
+    }
+    return value;
+  };
+  config.link.rto = nonneg("rto");
+  config.link.backoff = nonneg("backoff");
+  if (config.link.backoff < 1.0) {
+    throw DecodeError("wire: link backoff below 1");
+  }
+  config.link.rto_max = nonneg("rto_max");
+  config.link.max_retries = static_cast<std::size_t>(in.varint());
+  config.link.window = static_cast<std::size_t>(in.varint());
+  if (config.link.window == 0) throw DecodeError("wire: zero link window");
+  config.link.ack_delay = nonneg("ack_delay");
+  config.link.faults.drop_probability = rate("drop");
+  config.link.faults.dup_probability = rate("dup");
+  config.link.faults.reorder_probability = rate("reorder");
+  config.link.faults.delay_jitter = nonneg("delay_jitter");
   return config;
 }
 

@@ -67,6 +67,25 @@ void validate(const ChurnConfig& c, std::size_t broker_count,
       c.width_fraction_hi > 1.0) {
     fail("width fractions need 0 < lo <= hi <= 1");
   }
+  const auto& f = c.faults;
+  if (f.link.drop_probability < 0 || f.link.drop_probability > 1 ||
+      f.link.dup_probability < 0 || f.link.dup_probability > 1 ||
+      f.link.reorder_probability < 0 || f.link.reorder_probability > 1) {
+    fail("fault rates must be in [0, 1]");
+  }
+  if (f.link.delay_jitter < 0) fail("delay_jitter must be >= 0");
+  if (f.cascade_hop_bound < 0) fail("cascade_hop_bound must be >= 0");
+  if (f.any()) {
+    // The caller must size the per-hop bound from the reliable protocol it
+    // will replay against (routing::LinkConfig::worst_hop_delay); the raw
+    // latency would let retransmit chains spill past mid-slot expiries.
+    if (!(f.cascade_hop_bound >= c.link_latency)) {
+      fail("faults require cascade_hop_bound >= link_latency");
+    }
+  }
+  if (f.burst_count > 0 && !(f.burst_length > 0)) {
+    fail("bursts require burst_length > 0");
+  }
   if (!(c.slot > 0) || !(c.duration >= c.slot)) fail("need 0 < slot <= duration");
   if (!(c.link_latency > 0)) fail("link_latency must be > 0");
   if (!(c.epoch_length > 0)) fail("epoch_length must be > 0");
@@ -79,10 +98,12 @@ void validate(const ChurnConfig& c, std::size_t broker_count,
   // The differential time contract: expiries sit half a slot past a
   // boundary, which must clear the worst-case cascade window. Under
   // membership churn the overlay can GROW, so the bound uses the join cap
-  // rather than the initial broker count.
-  if (c.slot / 2 <=
-      static_cast<double>(cascade_broker_bound + 1) * c.link_latency) {
-    fail("slot too small: slot/2 must exceed (brokers + 1) * link_latency");
+  // rather than the initial broker count. With link faults the per-hop
+  // time is the protocol's worst retransmit chain, not the raw latency.
+  const double hop_bound =
+      c.faults.any() ? c.faults.cascade_hop_bound : c.link_latency;
+  if (c.slot / 2 <= static_cast<double>(cascade_broker_bound + 1) * hop_bound) {
+    fail("slot too small: slot/2 must exceed (brokers + 1) * hop bound");
   }
 }
 
@@ -138,6 +159,44 @@ ChurnTrace generate_impl(const ChurnConfig& config, std::size_t broker_count,
   }
 
   util::Rng rng(seed);
+
+  // Scripted burst-loss windows: drawn first, so a burst-free config's op
+  // stream is untouched and a bursted one is deterministic per (config,
+  // seed). Each window starts ON a slot boundary — ops issued inside it
+  // send their first frames straight into 100% loss — and covers
+  // burst_length seconds on a uniformly drawn universe link (both
+  // directions). A window longer than the retransmit chain plus a slot
+  // guarantees any frame sent in its first slot exhausts the retry cap.
+  if (config.faults.burst_count > 0) {
+    if (universe == nullptr || trace.universe.links.empty()) {
+      throw std::invalid_argument(
+          "generate_churn_trace: burst windows require a universe with links");
+    }
+    const auto total_slots =
+        static_cast<std::uint64_t>(config.duration / config.slot);
+    const auto burst_slots = static_cast<std::uint64_t>(std::ceil(
+                                 config.faults.burst_length / config.slot)) +
+                             1;
+    const std::uint64_t range =
+        total_slots > burst_slots + 1 ? total_slots - burst_slots : 1;
+    for (std::size_t i = 0; i < config.faults.burst_count; ++i) {
+      const auto& link = trace.universe.links[rng.next_below(
+          trace.universe.links.size())];
+      LinkBurst burst;
+      burst.start = static_cast<double>(1 + rng.next_below(range)) * config.slot;
+      burst.end = burst.start + config.faults.burst_length;
+      burst.a = link.first;
+      burst.b = link.second;
+      trace.bursts.push_back(burst);
+    }
+    std::sort(trace.bursts.begin(), trace.bursts.end(),
+              [](const LinkBurst& a, const LinkBurst& b) {
+                if (a.start != b.start) return a.start < b.start;
+                if (a.a != b.a) return a.a < b.a;
+                return a.b < b.b;
+              });
+  }
+
   const double domain_width = config.domain_hi - config.domain_lo;
   const util::ZipfSampler hotspot_rank(config.hotspot_count, config.zipf_skew);
   const util::NormalSampler jitter(0.0,

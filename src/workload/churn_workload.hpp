@@ -28,6 +28,7 @@
 #include "routing/broker.hpp"
 #include "routing/membership.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/link_fault_model.hpp"
 
 namespace psc::workload {
 
@@ -103,11 +104,44 @@ struct ChurnConfig {
   };
   MembershipConfig membership;
 
+  // --- link faults (all-zero = perfect wire) --------------------------
+  // Probabilistic drop/dup/reorder/jitter rates applied to every directed
+  // link, plus scripted burst-loss windows the generator lays into the
+  // trace (LinkBurst records). Traces with faults are meant to replay
+  // against a network with NetworkConfig::link.enabled — the reliable
+  // link protocol makes delivery fault-invariant, which is exactly what
+  // the differential gates check. cascade_hop_bound is the worst-case
+  // per-hop delivery/escalation time of that protocol
+  // (routing::LinkConfig::worst_hop_delay); the slot validation uses it
+  // instead of the raw latency so retransmit chains still quiesce inside
+  // half a slot.
+  struct FaultConfig {
+    sim::LinkFaultConfig link;       ///< iid rates, every direction
+    std::size_t burst_count = 0;     ///< scripted full-loss windows to emit
+    double burst_length = 0.0;       ///< seconds per window
+    double cascade_hop_bound = 0.0;  ///< worst per-hop time; 0 = link_latency
+    [[nodiscard]] bool any() const noexcept {
+      return link.any() || burst_count > 0;
+    }
+  };
+  FaultConfig faults;
+
   // --- time discipline ------------------------------------------------
   double duration = 60.0;      ///< simulated seconds of churn
   double slot = 0.1;           ///< op-time quantum; one op per slot
   double link_latency = 0.001; ///< must match NetworkConfig::link_latency
   double epoch_length = 5.0;   ///< driver snapshot period (slot multiple)
+};
+
+/// One scripted burst-loss window: both directions of the undirected link
+/// (a, b) lose every transmission attempt during [start, end). A window
+/// longer than the retransmit-backoff chain forces a deterministic
+/// retry-cap escalation into fail_link.
+struct LinkBurst {
+  sim::SimTime start = 0.0;
+  sim::SimTime end = 0.0;
+  routing::BrokerId a = 0;
+  routing::BrokerId b = 0;
 };
 
 /// A generated trace: time-ordered ops plus the config that shaped it.
@@ -123,6 +157,9 @@ struct ChurnTrace {
   std::size_t membership_count = 0;
   bool has_membership = false;
   routing::MembershipUniverse universe;
+  /// Scripted burst-loss windows (config.faults.burst_count of them),
+  /// time-ordered; empty for perfect-link traces.
+  std::vector<LinkBurst> bursts;
 };
 
 /// Generates a deterministic trace for an overlay of `broker_count`

@@ -54,6 +54,31 @@ TEST(EventQueue, ScheduleInPastClampsToNow) {
   EXPECT_DOUBLE_EQ(fired_at, 5.0);
 }
 
+TEST(EventQueue, NegativeDelayClampsToNow) {
+  EventQueue queue;
+  queue.schedule_at(2.0, [] {});
+  queue.run();
+  ASSERT_DOUBLE_EQ(queue.now(), 2.0);
+  double fired_at = -1;
+  queue.schedule_in(-5.0, [&] { fired_at = queue.now(); });
+  queue.run();
+  EXPECT_DOUBLE_EQ(fired_at, 2.0);  // clamped, not scheduled in the past
+  EXPECT_DOUBLE_EQ(queue.now(), 2.0);
+}
+
+TEST(EventQueue, NextTimeReportsEarliestPendingWithoutAdvancing) {
+  EventQueue queue;
+  EXPECT_DOUBLE_EQ(queue.next_time(), 0.0);  // empty: next_time == now
+  queue.schedule_at(3.0, [] {});
+  queue.schedule_at(1.5, [] {});
+  EXPECT_DOUBLE_EQ(queue.next_time(), 1.5);
+  EXPECT_DOUBLE_EQ(queue.now(), 0.0);  // peeking does not advance the clock
+  queue.run_step();
+  EXPECT_DOUBLE_EQ(queue.next_time(), 3.0);
+  queue.run();
+  EXPECT_DOUBLE_EQ(queue.next_time(), queue.now());
+}
+
 TEST(EventQueue, RunUntilStopsAtHorizon) {
   EventQueue queue;
   int fired = 0;

@@ -178,6 +178,34 @@ TEST(Codec, AnnouncementRoundTrip) {
   }
 }
 
+TEST(Codec, LinkFrameRoundTrip) {
+  util::Rng rng(29);
+  for (int i = 0; i < 100; ++i) {
+    LinkFrame frame;
+    if (rng.bernoulli(0.3)) {
+      frame.kind = LinkFrame::Kind::kAck;
+      frame.ack = rng() % 100000;
+    } else {
+      frame.kind = LinkFrame::Kind::kData;
+      frame.seq = rng() % 100000;
+      frame.ack = rng() % 100000;
+      Announcement msg;
+      msg.kind = Announcement::Kind::kUnsubscribe;
+      msg.from = static_cast<std::uint32_t>(rng() % 64);
+      msg.id = 1 + rng() % 1000;
+      ByteWriter payload;
+      write_announcement(payload, msg);
+      frame.payload = payload.buffer();
+    }
+    ByteWriter out;
+    write_link_frame(out, frame);
+    ByteReader in(out.buffer());
+    const LinkFrame back = read_link_frame(in);
+    EXPECT_TRUE(frame == back) << "iteration " << i;
+    EXPECT_TRUE(in.at_end());
+  }
+}
+
 TEST(Codec, ChurnTraceRoundTrip) {
   workload::ChurnConfig config;
   config.duration = 20.0;
@@ -278,6 +306,104 @@ TEST(Codec, MembershipChurnTraceRoundTrip) {
   }
 }
 
+TEST(Codec, FaultScheduleBlockRoundTrips) {
+  workload::ChurnConfig config;
+  config.duration = 12.0;
+  config.membership.partition_rate = 0.5;
+  config.faults.link.drop_probability = 0.2;
+  config.faults.link.dup_probability = 0.1;
+  config.faults.link.reorder_probability = 0.05;
+  config.faults.link.delay_jitter = 0.5;
+  config.faults.burst_count = 3;
+  config.faults.burst_length = 0.4;
+  config.faults.cascade_hop_bound = 0.02;
+  config.slot = 2.0;
+  config.epoch_length = 4.0;
+
+  routing::MembershipUniverse universe;
+  universe.brokers = 8;
+  for (BrokerId b = 1; b < 8; ++b) universe.links.emplace_back(b - 1, b);
+
+  const auto trace = workload::generate_churn_trace(config, universe, 55);
+  ASSERT_EQ(trace.bursts.size(), 3u);
+
+  ByteWriter out;
+  write_churn_trace(out, trace);
+  ByteReader in(out.buffer());
+  const auto back = read_churn_trace(in);
+  EXPECT_TRUE(in.at_end());
+  EXPECT_EQ(back.config.faults.link.drop_probability,
+            trace.config.faults.link.drop_probability);
+  EXPECT_EQ(back.config.faults.link.dup_probability,
+            trace.config.faults.link.dup_probability);
+  EXPECT_EQ(back.config.faults.link.reorder_probability,
+            trace.config.faults.link.reorder_probability);
+  EXPECT_EQ(back.config.faults.link.delay_jitter,
+            trace.config.faults.link.delay_jitter);
+  EXPECT_EQ(back.config.faults.burst_count, trace.config.faults.burst_count);
+  EXPECT_EQ(back.config.faults.burst_length, trace.config.faults.burst_length);
+  EXPECT_EQ(back.config.faults.cascade_hop_bound,
+            trace.config.faults.cascade_hop_bound);
+  ASSERT_EQ(back.bursts.size(), trace.bursts.size());
+  for (std::size_t i = 0; i < trace.bursts.size(); ++i) {
+    EXPECT_EQ(back.bursts[i].start, trace.bursts[i].start);
+    EXPECT_EQ(back.bursts[i].end, trace.bursts[i].end);
+    EXPECT_EQ(back.bursts[i].a, trace.bursts[i].a);
+    EXPECT_EQ(back.bursts[i].b, trace.bursts[i].b);
+  }
+}
+
+TEST(Codec, V2TraceStillDecodes) {
+  // A v2 stream is a v3 stream minus the fault-schedule block (and with
+  // version 2 in the header). Synthesize one from a fault-free v3 encoding
+  // by splicing the block out: for zero fault rates and no bursts it is a
+  // fixed 50 bytes (6 f64 + two zero varints) sitting immediately before
+  // the op records, whose size we can measure independently.
+  workload::ChurnConfig config;
+  config.duration = 10.0;
+  const auto trace = workload::generate_churn_trace(config, 6, 321);
+  ASSERT_TRUE(trace.bursts.empty());
+
+  ByteWriter full;
+  write_churn_trace(full, trace);
+
+  ByteWriter tail;  // opcount + ops, re-encoded via the public op codec
+  tail.varint(trace.ops.size());
+  for (const auto& op : trace.ops) write_churn_op(tail, op);
+  ASSERT_GT(full.buffer().size(), tail.buffer().size() + 50);
+
+  std::vector<std::uint8_t> v2 = full.buffer();
+  const std::size_t block_at = v2.size() - tail.buffer().size() - 50;
+  v2.erase(v2.begin() + static_cast<std::ptrdiff_t>(block_at),
+           v2.begin() + static_cast<std::ptrdiff_t>(block_at + 50));
+  v2[4] = 2;  // version u32 little-endian, after the 4-byte magic
+  v2[5] = v2[6] = v2[7] = 0;
+
+  ByteReader in(v2);
+  const auto back = read_churn_trace(in);
+  EXPECT_TRUE(in.at_end());
+  EXPECT_EQ(back.broker_count, trace.broker_count);
+  EXPECT_EQ(back.seed, trace.seed);
+  ASSERT_EQ(back.ops.size(), trace.ops.size());
+  // v2 carries no fault schedule: readers must default to perfect links.
+  EXPECT_FALSE(back.config.faults.any());
+  EXPECT_TRUE(back.bursts.empty());
+  for (std::size_t i = 0; i < trace.ops.size(); ++i) {
+    EXPECT_EQ(back.ops[i].kind, trace.ops[i].kind);
+    EXPECT_EQ(back.ops[i].time, trace.ops[i].time);
+  }
+
+  // Versions outside [kMinTraceVersion, kCodecVersion] are rejected.
+  std::vector<std::uint8_t> v1 = v2;
+  v1[4] = 1;
+  ByteReader v1_in(v1);
+  EXPECT_THROW((void)read_churn_trace(v1_in), DecodeError);
+  std::vector<std::uint8_t> v9 = full.buffer();
+  v9[4] = 9;
+  ByteReader v9_in(v9);
+  EXPECT_THROW((void)read_churn_trace(v9_in), DecodeError);
+}
+
 // --- corruption robustness ---------------------------------------------
 //
 // Decoding a damaged buffer must either throw DecodeError or produce a
@@ -332,6 +458,41 @@ TEST(Codec, TruncationAndCorruptionAreRejectedWithoutUB) {
   write_announcement(mout, member);
   expect_graceful_rejection(mout.buffer(),
                             [](ByteReader& in) { return read_announcement(in); });
+}
+
+TEST(Codec, LinkFrameRejectsCorruptionWithoutUB) {
+  Announcement msg;
+  msg.kind = Announcement::Kind::kPublication;
+  util::Rng rng(41);
+  msg.pub = random_publication(rng);
+  msg.token = 99;
+  ByteWriter payload;
+  write_announcement(payload, msg);
+  LinkFrame frame;
+  frame.kind = LinkFrame::Kind::kData;
+  frame.seq = 7;
+  frame.ack = 3;
+  frame.payload = payload.buffer();
+  ByteWriter out;
+  write_link_frame(out, frame);
+  expect_graceful_rejection(out.buffer(),
+                            [](ByteReader& in) { return read_link_frame(in); });
+  // A data frame whose payload is a VALID announcement followed by trailing
+  // garbage must be rejected: the frame owns its payload end to end.
+  LinkFrame padded = frame;
+  padded.payload.push_back(0x00);
+  ByteWriter bad;
+  write_link_frame(bad, padded);
+  ByteReader in(bad.buffer());
+  EXPECT_THROW((void)read_link_frame(in), DecodeError);
+  // An ack frame carrying a nonzero seq or a payload is malformed.
+  LinkFrame ack;
+  ack.kind = LinkFrame::Kind::kAck;
+  ack.ack = 5;
+  ByteWriter good_ack;
+  write_link_frame(good_ack, ack);
+  ByteReader ack_in(good_ack.buffer());
+  EXPECT_EQ(read_link_frame(ack_in).ack, 5u);
 }
 
 TEST(Codec, CorruptedMembershipTraceIsRejectedWithoutUB) {
