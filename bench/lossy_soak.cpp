@@ -203,10 +203,13 @@ int main(int argc, char** argv) {
   link.window = static_cast<std::size_t>(flags.get_int("window", 128));
   link.faults = config.faults.link;
 
-  routing::NetworkConfig net_config;
-  net_config.store.policy = policy;
-  net_config.link_latency = config.link_latency;
-  net_config.link = link;
+  store::StoreConfig store_config;
+  store_config.policy = policy;
+  routing::NetworkConfig net_config = routing::NetworkConfig::Builder()
+                                          .store(store_config)
+                                          .link_latency(config.link_latency)
+                                          .link(link)
+                                          .build();
 
   util::print_banner(std::cout, "lossy_soak",
                      "drop/dup/reorder/burst wire faults, oracle-gated");

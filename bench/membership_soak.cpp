@@ -165,9 +165,12 @@ int main(int argc, char** argv) {
   config.membership.crash_rate = flags.get_double("crash-rate", 0.15);
   config.membership.partition_rate = flags.get_double("partition-rate", 0.3);
 
-  routing::NetworkConfig net_config;
-  net_config.store.policy = policy;
-  net_config.link_latency = config.link_latency;
+  store::StoreConfig store_config;
+  store_config.policy = policy;
+  routing::NetworkConfig net_config = routing::NetworkConfig::Builder()
+                                          .store(store_config)
+                                          .link_latency(config.link_latency)
+                                          .build();
 
   util::print_banner(std::cout, "membership_soak",
                      "broker churn + partition repair, oracle-gated");

@@ -476,9 +476,10 @@ int main(int argc, char** argv) {
     churn_config.subscription_rate = 3.0;
     churn_config.publication_rate = 5.0;
     for (routing::Topology& topology : routing::standard_topologies(seed)) {
-      routing::NetworkConfig net_config;
-      net_config.pipelined_publish = true;
-      net_config.pipeline = pipeline_options;
+      const routing::NetworkConfig net_config =
+          routing::NetworkConfig::Builder()
+              .pipelined(true, pipeline_options)
+              .build();
       churn_config.link_latency = net_config.link_latency;
       const auto trace =
           workload::generate_churn_trace(churn_config, topology.brokers, seed);

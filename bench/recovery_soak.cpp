@@ -141,9 +141,12 @@ int main(int argc, char** argv) {
         topology.name.find(topology_filter) == std::string::npos) {
       continue;
     }
-    routing::NetworkConfig net_config;
-    net_config.store.policy = policy;
-    net_config.match_shards = shards;
+    store::StoreConfig store_config;
+    store_config.policy = policy;
+    routing::NetworkConfig net_config = routing::NetworkConfig::Builder()
+                                            .store(store_config)
+                                            .match_shards(shards)
+                                            .build();
     config.link_latency = net_config.link_latency;
 
     workload::ChurnConfig topo_config = config;

@@ -1,0 +1,85 @@
+#include "net/cluster_driver.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "routing/flat_oracle.hpp"
+
+namespace psc::net {
+
+ReplayReport replay_trace_vs_oracle(Cluster& cluster,
+                                    const workload::ChurnTrace& trace,
+                                    const ReplayOptions& options) {
+  routing::FlatOracle oracle;
+  const bool kill_planned =
+      options.kill_at_op != static_cast<std::size_t>(-1) &&
+      options.victim != routing::kInvalidBroker;
+  if (kill_planned) {
+    // Reachability filtering needs the overlay shape; without a kill the
+    // oracle stays flat (one component, everyone alive — identical sets).
+    oracle.enable_membership(cluster.universe());
+  }
+
+  ReplayReport report;
+  // Home broker of every live subscription, to skip ops stranded by the
+  // kill on both sides symmetrically.
+  std::unordered_map<core::SubscriptionId, routing::BrokerId> homes;
+  std::vector<core::SubscriptionId> expected;
+
+  for (std::size_t index = 0; index < trace.ops.size(); ++index) {
+    if (kill_planned && !report.killed && index == options.kill_at_op) {
+      cluster.kill_broker(options.victim);
+      oracle.crash_peer(options.victim);
+      report.killed = true;
+    }
+    const workload::ChurnOp& op = trace.ops[index];
+    ++report.ops;
+    switch (op.kind) {
+      case workload::ChurnOpKind::kAdvance:
+        break;  // wall clock is not sim time; TCP traces are TTL-free
+      case workload::ChurnOpKind::kSubscribe: {
+        if (!cluster.is_alive(op.broker)) {
+          ++report.skipped;
+          break;
+        }
+        cluster.subscribe(op.broker, op.sub);
+        oracle.subscribe(op.broker, op.sub);
+        homes.emplace(op.sub.id(), op.broker);
+        ++report.subscribes;
+        break;
+      }
+      case workload::ChurnOpKind::kUnsubscribe: {
+        const auto home = homes.find(op.id);
+        if (home == homes.end() || !cluster.is_alive(home->second)) {
+          ++report.skipped;
+          break;
+        }
+        cluster.unsubscribe(home->second, op.id);
+        oracle.unsubscribe(home->second, op.id);
+        homes.erase(home);
+        ++report.unsubscribes;
+        break;
+      }
+      case workload::ChurnOpKind::kPublish: {
+        if (!cluster.is_alive(op.broker)) {
+          ++report.skipped;
+          break;
+        }
+        const std::vector<core::SubscriptionId> got =
+            cluster.publish(op.broker, op.pub);
+        oracle.publish(op.broker, op.pub, expected);
+        if (got != expected) ++report.divergences;
+        ++report.publishes;
+        break;
+      }
+      default:
+        throw std::invalid_argument(
+            "net::replay_trace_vs_oracle: trace contains TTL or membership "
+            "ops — generate it with ttl_fraction = 0 and membership off");
+    }
+  }
+  return report;
+}
+
+}  // namespace psc::net

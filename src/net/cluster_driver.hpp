@@ -1,0 +1,55 @@
+// Differential trace replay for the TCP cluster: the same churn-trace op
+// stream the sim's ChurnDriver replays, run against a live multi-process
+// Cluster and an in-process FlatOracle side by side, comparing every
+// publish's delivered set for byte-identity.
+//
+// The acceptance gate deliberately asks only for ORACLE equality, not
+// sim-decision parity: both the sim network and the TCP cluster are gated
+// against the same flat ground truth (under the exact coverage policy zero
+// divergence is required of both), so the two transports are transitively
+// equal where it matters — delivered sets — while the TCP side is free to
+// interleave frame arrivals however the kernel schedules them. Each op is
+// a quiescence barrier (the cascade-termination kOpResult), which is what
+// makes per-op comparison sound.
+//
+// Trace scope: subscribe / unsubscribe / publish ops only — generate the
+// trace with TTLs off (ttl_fraction = 0) and membership/fault rates zero.
+// kAdvance ops are ignored (wall clock is not sim time); any TTL or
+// membership op in the trace throws. The kill leg is driver-initiated
+// instead: at `kill_at_op` the victim is SIGKILLed between ops and the
+// oracle mirrors it as crash_peer, after which ops homed at (or targeting
+// subscriptions homed at) the dead broker are skipped on both sides.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "net/cluster.hpp"
+#include "workload/churn_workload.hpp"
+
+namespace psc::net {
+
+struct ReplayOptions {
+  /// Op index (into trace.ops) before which the victim broker is killed;
+  /// SIZE_MAX = no kill.
+  std::size_t kill_at_op = static_cast<std::size_t>(-1);
+  routing::BrokerId victim = routing::kInvalidBroker;
+};
+
+struct ReplayReport {
+  std::size_t ops = 0;           ///< trace ops consumed (incl. skipped)
+  std::size_t subscribes = 0;
+  std::size_t unsubscribes = 0;
+  std::size_t publishes = 0;
+  std::size_t skipped = 0;       ///< ops dropped because their broker died
+  std::size_t divergences = 0;   ///< publishes whose sets differed
+  bool killed = false;
+};
+
+/// Replays `trace` through `cluster` (already start()ed) and the oracle.
+/// Throws std::invalid_argument on out-of-scope ops (TTL, membership).
+[[nodiscard]] ReplayReport replay_trace_vs_oracle(Cluster& cluster,
+                                                  const workload::ChurnTrace& trace,
+                                                  const ReplayOptions& options = {});
+
+}  // namespace psc::net

@@ -1,0 +1,203 @@
+#include "net/message.hpp"
+
+#include <utility>
+
+#include "net/frame.hpp"
+
+namespace psc::net {
+
+namespace {
+
+ClientOpKind read_client_op_kind(wire::ByteReader& in) {
+  const std::uint64_t tag = in.varint();
+  switch (tag) {
+    case 1: return ClientOpKind::kSubscribe;
+    case 2: return ClientOpKind::kUnsubscribe;
+    case 3: return ClientOpKind::kPublish;
+    case 4: return ClientOpKind::kShutdown;
+    default: throw wire::DecodeError("net: unknown ClientOpKind tag");
+  }
+}
+
+EventKind read_event_kind(wire::ByteReader& in) {
+  const std::uint64_t tag = in.varint();
+  switch (tag) {
+    case 1: return EventKind::kReady;
+    case 2: return EventKind::kPeerDown;
+    default: throw wire::DecodeError("net: unknown EventKind tag");
+  }
+}
+
+void write_ids(wire::ByteWriter& out,
+               const std::vector<core::SubscriptionId>& ids) {
+  out.varint(ids.size());
+  for (const core::SubscriptionId id : ids) out.varint(id);
+}
+
+std::vector<core::SubscriptionId> read_ids(wire::ByteReader& in) {
+  const std::uint64_t count = in.varint();
+  if (count > in.remaining()) {
+    // Every id costs at least one byte; a count the buffer cannot hold is
+    // corruption, rejected before any allocation.
+    throw wire::DecodeError("net: id count exceeds buffer");
+  }
+  std::vector<core::SubscriptionId> ids;
+  ids.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) ids.push_back(in.varint());
+  return ids;
+}
+
+}  // namespace
+
+NetMessage make_hello(std::uint32_t sender) {
+  NetMessage msg;
+  msg.kind = NetMessage::Kind::kHello;
+  msg.version = wire::kCodecVersion;
+  msg.sender = sender;
+  return msg;
+}
+
+NetMessage make_data(std::uint64_t nonce, wire::LinkFrame frame) {
+  NetMessage msg;
+  msg.kind = NetMessage::Kind::kData;
+  msg.nonce = nonce;
+  msg.frame = std::move(frame);
+  return msg;
+}
+
+NetMessage make_done(std::uint64_t nonce,
+                     std::vector<core::SubscriptionId> ids) {
+  NetMessage msg;
+  msg.kind = NetMessage::Kind::kDone;
+  msg.nonce = nonce;
+  msg.ids = std::move(ids);
+  return msg;
+}
+
+NetMessage make_event(EventKind event, std::uint32_t a, std::uint32_t b) {
+  NetMessage msg;
+  msg.kind = NetMessage::Kind::kEvent;
+  msg.event = event;
+  msg.a = a;
+  msg.b = b;
+  return msg;
+}
+
+void write_net_message(wire::ByteWriter& out, const NetMessage& msg) {
+  out.u8(static_cast<std::uint8_t>(msg.kind));
+  switch (msg.kind) {
+    case NetMessage::Kind::kHello:
+      out.u32(msg.version);
+      out.u32(msg.sender);
+      break;
+    case NetMessage::Kind::kData:
+      out.u64(msg.nonce);
+      wire::write_link_frame(out, msg.frame);
+      break;
+    case NetMessage::Kind::kDone:
+      out.u64(msg.nonce);
+      write_ids(out, msg.ids);
+      break;
+    case NetMessage::Kind::kClientOp:
+      out.u64(msg.op_id);
+      out.varint(static_cast<std::uint64_t>(msg.op));
+      switch (msg.op) {
+        case ClientOpKind::kSubscribe:
+          wire::write_subscription(out, msg.sub);
+          break;
+        case ClientOpKind::kUnsubscribe:
+          out.varint(msg.id);
+          break;
+        case ClientOpKind::kPublish:
+          wire::write_publication(out, msg.pub);
+          out.u64(msg.token);
+          break;
+        case ClientOpKind::kShutdown:
+          break;
+      }
+      break;
+    case NetMessage::Kind::kOpResult:
+      out.u64(msg.op_id);
+      write_ids(out, msg.ids);
+      break;
+    case NetMessage::Kind::kEvent:
+      out.varint(static_cast<std::uint64_t>(msg.event));
+      out.u32(msg.a);
+      out.u32(msg.b);
+      break;
+  }
+}
+
+NetMessage read_net_message(wire::ByteReader& in) {
+  NetMessage msg;
+  const std::uint8_t kind = in.u8();
+  switch (kind) {
+    case static_cast<std::uint8_t>(NetMessage::Kind::kHello):
+      msg.kind = NetMessage::Kind::kHello;
+      msg.version = in.u32();
+      msg.sender = in.u32();
+      break;
+    case static_cast<std::uint8_t>(NetMessage::Kind::kData):
+      msg.kind = NetMessage::Kind::kData;
+      msg.nonce = in.u64();
+      msg.frame = wire::read_link_frame(in);
+      break;
+    case static_cast<std::uint8_t>(NetMessage::Kind::kDone):
+      msg.kind = NetMessage::Kind::kDone;
+      msg.nonce = in.u64();
+      msg.ids = read_ids(in);
+      break;
+    case static_cast<std::uint8_t>(NetMessage::Kind::kClientOp):
+      msg.kind = NetMessage::Kind::kClientOp;
+      msg.op_id = in.u64();
+      msg.op = read_client_op_kind(in);
+      switch (msg.op) {
+        case ClientOpKind::kSubscribe:
+          msg.sub = wire::read_subscription(in);
+          break;
+        case ClientOpKind::kUnsubscribe:
+          msg.id = in.varint();
+          break;
+        case ClientOpKind::kPublish:
+          msg.pub = wire::read_publication(in);
+          msg.token = in.u64();
+          break;
+        case ClientOpKind::kShutdown:
+          break;
+      }
+      break;
+    case static_cast<std::uint8_t>(NetMessage::Kind::kOpResult):
+      msg.kind = NetMessage::Kind::kOpResult;
+      msg.op_id = in.u64();
+      msg.ids = read_ids(in);
+      break;
+    case static_cast<std::uint8_t>(NetMessage::Kind::kEvent):
+      msg.kind = NetMessage::Kind::kEvent;
+      msg.event = read_event_kind(in);
+      msg.a = in.u32();
+      msg.b = in.u32();
+      break;
+    default:
+      throw wire::DecodeError("net: unknown NetMessage kind");
+  }
+  return msg;
+}
+
+std::vector<std::uint8_t> encode_frame(const NetMessage& msg) {
+  wire::ByteWriter payload;
+  write_net_message(payload, msg);
+  std::vector<std::uint8_t> framed;
+  append_frame(framed, payload.buffer());
+  return framed;
+}
+
+NetMessage decode_frame(std::span<const std::uint8_t> payload) {
+  wire::ByteReader in(payload);
+  NetMessage msg = read_net_message(in);
+  if (!in.at_end()) {
+    throw wire::DecodeError("net: trailing bytes after NetMessage");
+  }
+  return msg;
+}
+
+}  // namespace psc::net

@@ -1,0 +1,100 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace psc::net {
+
+namespace {
+
+[[noreturn]] void fail(const char* what) {
+  throw std::runtime_error(std::string("net: ") + what + ": " +
+                           std::strerror(errno));
+}
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+}  // namespace
+
+void Fd::reset() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::pair<Fd, std::uint16_t> listen_loopback() {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) fail("socket");
+  const int one = 1;
+  (void)::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = loopback_addr(0);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    fail("bind 127.0.0.1:0");
+  }
+  if (::listen(fd.get(), SOMAXCONN) != 0) fail("listen");
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    fail("getsockname");
+  }
+  return {std::move(fd), ntohs(bound.sin_port)};
+}
+
+Fd connect_loopback(std::uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) fail("socket");
+  sockaddr_in addr = loopback_addr(port);
+  // The listener's backlog exists from before any broker was forked (the
+  // supervisor binds first), so a plain blocking connect cannot race a
+  // slow accept loop; retry only around signal interruption.
+  while (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)) != 0) {
+    if (errno == EINTR) continue;
+    fail("connect 127.0.0.1");
+  }
+  set_nodelay(fd.get());
+  return fd;
+}
+
+Fd accept_connection(int listen_fd) {
+  while (true) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      set_nodelay(fd);
+      return Fd(fd);
+    }
+    if (errno == EINTR) continue;
+    return Fd();  // EAGAIN etc.: epoll will report readiness again
+  }
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    fail("fcntl O_NONBLOCK");
+  }
+}
+
+void set_nodelay(int fd) noexcept {
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace psc::net

@@ -1,0 +1,61 @@
+// Thin POSIX socket layer for the TCP transport: an owning fd wrapper plus
+// the handful of loopback helpers the cluster needs. Everything here is
+// loopback-only by design — the supervisor binds 127.0.0.1:0 listeners
+// (kernel-assigned ports, no conflicts across parallel test runs) and
+// passes them to forked broker processes by fd inheritance, so no port is
+// ever advertised before its accept queue exists.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+namespace psc::net {
+
+/// Owning file descriptor: closes on destruction, moves transfer
+/// ownership, copying is disabled. -1 means empty.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) noexcept : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(Fd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  /// Releases ownership without closing (fd-inheritance handoff).
+  [[nodiscard]] int release() noexcept { return std::exchange(fd_, -1); }
+  void reset() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on 127.0.0.1 with a kernel-assigned port.
+/// Returns (listening fd, port). Throws std::runtime_error on failure.
+[[nodiscard]] std::pair<Fd, std::uint16_t> listen_loopback();
+
+/// Blocking connect to 127.0.0.1:`port`. Throws std::runtime_error.
+[[nodiscard]] Fd connect_loopback(std::uint16_t port);
+
+/// Blocking accept (the transport accepts only when epoll reported the
+/// listener readable). Returns an empty Fd on transient failure.
+[[nodiscard]] Fd accept_connection(int listen_fd);
+
+/// Switches `fd` to O_NONBLOCK. Throws std::runtime_error.
+void set_nonblocking(int fd);
+
+/// Disables Nagle (every frame is a protocol step; latency matters more
+/// than segment count on loopback). Best-effort: ignores failure.
+void set_nodelay(int fd) noexcept;
+
+}  // namespace psc::net

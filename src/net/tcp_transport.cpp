@@ -1,0 +1,475 @@
+#include "net/tcp_transport.hpp"
+
+#include <sys/epoll.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cassert>
+#include <cerrno>
+#include <stdexcept>
+#include <utility>
+
+namespace psc::net {
+
+namespace {
+
+double monotonic_seconds() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+}  // namespace
+
+TcpTransport::TcpTransport(TcpTransportConfig config)
+    : config_(std::move(config)), epoch_(monotonic_seconds()) {
+  epoll_ = Fd(::epoll_create1(0));
+  if (!epoll_.valid()) {
+    throw std::runtime_error("net: epoll_create1 failed");
+  }
+  if (config_.listen_fd >= 0) {
+    set_nonblocking(config_.listen_fd);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = config_.listen_fd;
+    if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, config_.listen_fd, &ev) != 0) {
+      throw std::runtime_error("net: epoll_ctl add listener failed");
+    }
+  }
+}
+
+TcpTransport::~TcpTransport() = default;
+
+void TcpTransport::set_frame_handler(FrameHandler handler) {
+  handler_ = std::move(handler);
+}
+
+void TcpTransport::set_client_handler(ClientHandler handler) {
+  client_handler_ = std::move(handler);
+}
+
+void TcpTransport::set_peer_death_handler(PeerDeathHandler handler) {
+  peer_death_handler_ = std::move(handler);
+}
+
+void TcpTransport::set_ready_handler(std::function<void()> handler) {
+  ready_handler_ = std::move(handler);
+}
+
+sim::SimTime TcpTransport::now() const {
+  return monotonic_seconds() - epoch_;
+}
+
+TcpTransport::TimerId TcpTransport::schedule_timer_at(sim::SimTime at,
+                                                      std::function<void()> fn) {
+  const TimerId id = next_timer_id_++;
+  timers_.emplace(id, PendingTimer{at, std::move(fn)});
+  return id;
+}
+
+void TcpTransport::cancel_timer(TimerId id) { timers_.erase(id); }
+
+TcpTransport::Connection& TcpTransport::register_connection(
+    Fd fd, routing::BrokerId peer, bool dialed_out) {
+  const int raw = fd.get();
+  set_nonblocking(raw);
+  auto conn = std::make_unique<Connection>();
+  conn->fd = std::move(fd);
+  conn->peer = peer;
+  Connection& ref = *conn;
+  connections_.emplace(raw, std::move(conn));
+  if (dialed_out && peer != routing::kInvalidBroker) peer_fds_[peer] = raw;
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = raw;
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, raw, &ev) != 0) {
+    throw std::runtime_error("net: epoll_ctl add connection failed");
+  }
+  // Both sides open with their hello, unconditionally: the handshake needs
+  // no round trips, just one versioned announcement each way.
+  queue_message(ref, make_hello(config_.self));
+  return ref;
+}
+
+void TcpTransport::connect_peers() {
+  for (const routing::BrokerId peer : config_.neighbors) {
+    if (peer >= config_.self) continue;  // lower id listens, higher id dials
+    Fd fd = connect_loopback(config_.ports.at(peer));
+    (void)register_connection(std::move(fd), peer, /*dialed_out=*/true);
+  }
+  check_ready();
+}
+
+void TcpTransport::check_ready() {
+  if (ready_fired_ || !client_seen_) return;
+  for (const routing::BrokerId peer : config_.neighbors) {
+    const auto it = peer_fds_.find(peer);
+    if (it == peer_fds_.end()) return;
+    const auto conn = connections_.find(it->second);
+    if (conn == connections_.end() || !conn->second->hello_received) return;
+  }
+  ready_fired_ = true;
+  if (ready_handler_) ready_handler_();
+}
+
+void TcpTransport::queue_message(Connection& conn, const NetMessage& msg) {
+  if (conn.failed) return;
+  wire::ByteWriter payload;
+  write_net_message(payload, msg);
+  append_frame(conn.out, payload.buffer());
+  flush_out(conn);
+  update_write_interest(conn);
+}
+
+void TcpTransport::flush_out(Connection& conn) {
+  while (conn.out_off < conn.out.size()) {
+    const ssize_t n = ::write(conn.fd.get(), conn.out.data() + conn.out_off,
+                              conn.out.size() - conn.out_off);
+    if (n > 0) {
+      conn.out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    // Hard write error (EPIPE after a peer kill, ECONNRESET): mark and let
+    // the event loop's sweep run the death path — never mid-send, where a
+    // cascade record may be half-updated.
+    conn.failed = true;
+    return;
+  }
+  if (conn.out_off == conn.out.size()) {
+    conn.out.clear();
+    conn.out_off = 0;
+  } else if (conn.out_off > kReadChunk) {
+    conn.out.erase(conn.out.begin(),
+                   conn.out.begin() + static_cast<std::ptrdiff_t>(conn.out_off));
+    conn.out_off = 0;
+  }
+}
+
+void TcpTransport::update_write_interest(Connection& conn) {
+  if (conn.failed) return;
+  const bool want = conn.out_off < conn.out.size();
+  if (want == conn.want_write) return;
+  conn.want_write = want;
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+  ev.data.fd = conn.fd.get();
+  (void)::epoll_ctl(epoll_.get(), EPOLL_CTL_MOD, conn.fd.get(), &ev);
+}
+
+void TcpTransport::handle_readable(int fd) {
+  const auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  Connection& conn = *it->second;
+  read_chunk_.resize(kReadChunk);
+  while (!conn.failed) {
+    const ssize_t n = ::read(fd, read_chunk_.data(), read_chunk_.size());
+    if (n > 0) {
+      conn.reader.feed(
+          std::span(read_chunk_.data(), static_cast<std::size_t>(n)));
+      while (conn.reader.next(frame_scratch_)) {
+        handle_message(conn, decode_frame(frame_scratch_));
+        if (conn.failed) return;
+      }
+      if (static_cast<std::size_t>(n) < read_chunk_.size()) return;
+      continue;
+    }
+    if (n == 0) {  // EOF: the peer process is gone
+      conn.failed = true;
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    conn.failed = true;
+    return;
+  }
+}
+
+void TcpTransport::handle_message(Connection& conn, const NetMessage& msg) {
+  if (!conn.hello_received) {
+    if (msg.kind != NetMessage::Kind::kHello) {
+      throw std::runtime_error("net: first message was not a hello");
+    }
+    if (!handshake_version_ok(msg.version)) {
+      throw std::runtime_error("net: peer announced unsupported codec version");
+    }
+    conn.hello_received = true;
+    if (msg.sender == kClientSender) {
+      conn.is_client = true;
+      client_fd_ = conn.fd.get();
+      client_seen_ = true;
+    } else {
+      if (conn.peer != routing::kInvalidBroker && conn.peer != msg.sender) {
+        throw std::runtime_error("net: hello sender does not match dialed peer");
+      }
+      conn.peer = msg.sender;
+      peer_fds_[conn.peer] = conn.fd.get();
+    }
+    check_ready();
+    return;
+  }
+  switch (msg.kind) {
+    case NetMessage::Kind::kData:
+      handle_data(conn, msg);
+      break;
+    case NetMessage::Kind::kDone:
+      handle_done(msg.nonce, msg.ids);
+      break;
+    case NetMessage::Kind::kClientOp:
+      if (!conn.is_client) {
+        throw std::runtime_error("net: client op on a peer connection");
+      }
+      if (client_handler_) client_handler_(msg);
+      break;
+    case NetMessage::Kind::kHello:
+      throw std::runtime_error("net: duplicate hello");
+    case NetMessage::Kind::kOpResult:
+    case NetMessage::Kind::kEvent:
+      // Broker-to-supervisor traffic only; a broker never receives these.
+      throw std::runtime_error("net: unexpected supervisor-bound message");
+  }
+}
+
+void TcpTransport::handle_data(Connection& conn, const NetMessage& msg) {
+  if (conn.is_client) {
+    throw std::runtime_error("net: data frame on the client connection");
+  }
+  if (msg.frame.kind != wire::LinkFrame::Kind::kData) {
+    throw std::runtime_error("net: non-data link frame in kData envelope");
+  }
+  // TCP delivers the byte stream in order, so the per-connection sequence
+  // number can only mismatch on a framing bug — fail fast.
+  if (msg.frame.seq != conn.recv_seq) {
+    throw std::runtime_error("net: link frame sequence gap");
+  }
+  ++conn.recv_seq;
+  wire::ByteReader payload(msg.frame.payload);
+  const wire::Announcement ann = wire::read_announcement(payload);
+  if (!payload.at_end()) {
+    throw wire::DecodeError("net: trailing bytes after announcement");
+  }
+
+  const std::uint64_t key = next_record_key_++;
+  auto record = std::make_unique<CascadeRecord>();
+  record->key = key;
+  record->nonce = msg.nonce;
+  record->reply_peer = conn.peer;
+  CascadeRecord& ref = *record;
+  records_.emplace(key, std::move(record));
+
+  assert(active_ == nullptr && "cascade records never nest");
+  active_ = &ref;
+  if (handler_) handler_(conn.peer, config_.self, ann);
+  active_ = nullptr;
+  ref.closed = true;
+  maybe_complete(ref);
+}
+
+void TcpTransport::handle_done(std::uint64_t child_nonce,
+                               std::span<const core::SubscriptionId> ids) {
+  const auto child = children_.find(child_nonce);
+  if (child == children_.end()) return;  // branch already resolved (peer died)
+  const std::uint64_t key = child->second.record_key;
+  children_.erase(child);
+  const auto rec = records_.find(key);
+  if (rec == records_.end()) return;
+  CascadeRecord& record = *rec->second;
+  record.ids.insert(record.ids.end(), ids.begin(), ids.end());
+  assert(record.pending > 0);
+  --record.pending;
+  maybe_complete(record);
+}
+
+void TcpTransport::maybe_complete(CascadeRecord& record) {
+  if (!record.closed || record.pending > 0) return;
+  if (record.reply_peer != routing::kInvalidBroker) {
+    const auto it = peer_fds_.find(record.reply_peer);
+    if (it != peer_fds_.end()) {
+      const auto conn = connections_.find(it->second);
+      if (conn != connections_.end()) {
+        queue_message(*conn->second, make_done(record.nonce,
+                                               std::move(record.ids)));
+      }
+    }
+  } else if (record.on_complete) {
+    // Root: hand the merged ids to the owner (OpResult / purge event).
+    CompleteFn on_complete = std::move(record.on_complete);
+    on_complete(std::move(record.ids));
+  }
+  records_.erase(record.key);
+}
+
+void TcpTransport::send_frame(routing::BrokerId from, routing::BrokerId to,
+                              const wire::Announcement& msg) {
+  assert(from == config_.self && "TcpTransport sends only from its own broker");
+  (void)from;
+  const auto it = peer_fds_.find(to);
+  if (it == peer_fds_.end()) return;  // peer is dead; the purge path owns it
+  const auto conn_it = connections_.find(it->second);
+  if (conn_it == connections_.end()) return;
+  Connection& conn = *conn_it->second;
+  if (conn.failed) return;
+
+  wire::ByteWriter encoded;
+  wire::write_announcement(encoded, msg);
+  wire::LinkFrame frame;
+  frame.kind = wire::LinkFrame::Kind::kData;
+  frame.seq = conn.send_seq++;
+  frame.ack = conn.recv_seq;
+  frame.payload = encoded.take();
+
+  const std::uint64_t nonce = next_nonce_++;
+  if (active_ != nullptr) {
+    children_.emplace(nonce, PendingChild{active_->key, to});
+    ++active_->pending;
+  }
+  queue_message(conn, make_data(nonce, std::move(frame)));
+}
+
+void TcpTransport::begin_root() {
+  assert(active_ == nullptr && "root records never nest");
+  const std::uint64_t key = next_record_key_++;
+  auto record = std::make_unique<CascadeRecord>();
+  record->key = key;
+  CascadeRecord& ref = *record;
+  records_.emplace(key, std::move(record));
+  active_ = &ref;
+}
+
+void TcpTransport::end_root(CompleteFn on_complete) {
+  assert(active_ != nullptr && active_->reply_peer == routing::kInvalidBroker);
+  CascadeRecord& record = *active_;
+  active_ = nullptr;
+  record.on_complete = std::move(on_complete);
+  record.closed = true;
+  maybe_complete(record);
+}
+
+void TcpTransport::add_delivered(std::span<const core::SubscriptionId> ids) {
+  if (active_ == nullptr) return;
+  active_->ids.insert(active_->ids.end(), ids.begin(), ids.end());
+}
+
+void TcpTransport::send_to_client(const NetMessage& msg) {
+  if (client_fd_ < 0) return;
+  const auto it = connections_.find(client_fd_);
+  if (it == connections_.end()) return;
+  queue_message(*it->second, msg);
+}
+
+void TcpTransport::connection_lost(int fd) {
+  const auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  std::unique_ptr<Connection> conn = std::move(it->second);
+  connections_.erase(it);
+  const routing::BrokerId peer = conn->peer;
+  if (conn->is_client || fd == client_fd_) {
+    // Supervisor gone: nothing left to serve. Exit the loop cleanly.
+    client_fd_ = -1;
+    stop();
+    return;
+  }
+  if (peer != routing::kInvalidBroker) {
+    const auto pit = peer_fds_.find(peer);
+    if (pit != peer_fds_.end() && pit->second == fd) peer_fds_.erase(pit);
+    // Cascade branches sent into the dead peer can never reply: resolve
+    // them as empty Dones so their roots still complete exactly.
+    std::vector<std::uint64_t> orphaned;
+    for (const auto& [nonce, child] : children_) {
+      if (child.target == peer) orphaned.push_back(nonce);
+    }
+    for (const std::uint64_t nonce : orphaned) handle_done(nonce, {});
+    if (peer_death_handler_) peer_death_handler_(peer);
+  }
+}
+
+void TcpTransport::fire_due_timers() {
+  while (!timers_.empty()) {
+    const double current = now();
+    TimerId due = kNoTimer;
+    double best = 0;
+    for (const auto& [id, timer] : timers_) {
+      if (timer.deadline <= current && (due == kNoTimer || timer.deadline < best)) {
+        due = id;
+        best = timer.deadline;
+      }
+    }
+    if (due == kNoTimer) return;
+    auto it = timers_.find(due);
+    std::function<void()> fn = std::move(it->second.fn);
+    timers_.erase(it);
+    if (fn) fn();
+  }
+}
+
+int TcpTransport::epoll_timeout_ms() const {
+  if (timers_.empty()) return -1;
+  double next = -1;
+  for (const auto& [id, timer] : timers_) {
+    (void)id;
+    if (next < 0 || timer.deadline < next) next = timer.deadline;
+  }
+  const double delta = (next - now()) * 1000.0;
+  if (delta <= 0) return 0;
+  return static_cast<int>(std::min(delta, 60000.0)) + 1;
+}
+
+void TcpTransport::run() {
+  running_ = true;
+  std::vector<epoll_event> events(64);
+  while (running_) {
+    fire_due_timers();
+    const int n = ::epoll_wait(epoll_.get(), events.data(),
+                               static_cast<int>(events.size()),
+                               epoll_timeout_ms());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("net: epoll_wait failed");
+    }
+    for (int i = 0; i < n && running_; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == config_.listen_fd) {
+        while (true) {
+          Fd accepted = accept_connection(config_.listen_fd);
+          if (!accepted.valid()) break;
+          (void)register_connection(std::move(accepted),
+                                    routing::kInvalidBroker,
+                                    /*dialed_out=*/false);
+        }
+        continue;
+      }
+      const auto it = connections_.find(fd);
+      if (it == connections_.end()) continue;  // closed by an earlier event
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        it->second->failed = true;
+      }
+      if ((events[i].events & EPOLLOUT) != 0 && !it->second->failed) {
+        flush_out(*it->second);
+        update_write_interest(*it->second);
+      }
+      if ((events[i].events & EPOLLIN) != 0 && !it->second->failed) {
+        handle_readable(fd);
+      }
+    }
+    // Death sweep: handle connections that failed during this batch. A
+    // purge triggered here can fail further connections (writes into other
+    // dead peers), so sweep until stable.
+    bool swept = true;
+    while (swept && running_) {
+      swept = false;
+      for (const auto& [fd, conn] : connections_) {
+        if (conn->failed) {
+          connection_lost(fd);
+          swept = true;
+          break;  // map mutated; restart scan
+        }
+      }
+    }
+  }
+}
+
+}  // namespace psc::net

@@ -34,18 +34,19 @@ PublishPipeline& BrokerNetwork::ensure_pipeline() {
   return *pipeline_;
 }
 
-LinkChannels& BrokerNetwork::ensure_channels() {
-  if (!channels_) {
-    channels_ = std::make_unique<LinkChannels>(
+SimTransport& BrokerNetwork::ensure_transport() {
+  if (!transport_) {
+    transport_ = std::make_unique<SimTransport>(
         queue_, metrics_, config_.link, config_.link_latency, config_.seed,
-        [this](BrokerId from, BrokerId to, const wire::Announcement& msg) {
-          dispatch_frame(from, to, msg);
-        },
         [this](BrokerId a, BrokerId b) {
           pending_escalations_.emplace_back(a, b);
         });
+    transport_->set_frame_handler(
+        [this](BrokerId from, BrokerId to, const wire::Announcement& msg) {
+          dispatch_frame(from, to, msg);
+        });
   }
-  return *channels_;
+  return *transport_;
 }
 
 void BrokerNetwork::dispatch_frame(BrokerId from, BrokerId to,
@@ -90,7 +91,7 @@ std::vector<std::pair<BrokerId, BrokerId>> BrokerNetwork::take_escalated_links()
 
 void BrokerNetwork::set_link_bursts(std::vector<LinkChannels::BurstWindow> bursts) {
   if (!config_.link.enabled) return;
-  ensure_channels().set_bursts(std::move(bursts));
+  ensure_transport().set_bursts(std::move(bursts));
 }
 
 BrokerId BrokerNetwork::add_broker() {
@@ -319,7 +320,7 @@ void BrokerNetwork::detach_and_purge(BrokerId at, BrokerId dead) {
   // Kill the channel state with the link: in-flight frames on a detached
   // link must never arrive, and a future heal restarts both streams at
   // sequence zero. (Idempotent — both endpoints' detaches may call this.)
-  if (channels_) channels_->reset_link(at, dead);
+  if (transport_) transport_->reset_link(at, dead);
   brokers_.at(at)->remove_neighbor(dead);
   // Every route learned over the dead link describes a subscription that
   // is no longer reachable through this endpoint: purge it with the normal
@@ -346,27 +347,19 @@ void BrokerNetwork::announce_over(BrokerId from, BrokerId to) {
     const std::optional<sim::SimTime> expiry = live->second.expiry;
     ++metrics_.subscription_messages;
     ++metrics_.reannounced_subscriptions;
-    if (config_.link.enabled) {
-      wire::Announcement msg;
-      msg.kind = wire::Announcement::Kind::kSubscribe;
-      msg.from = from;
-      msg.sub = std::move(sub);
-      msg.expiry = expiry;
-      ensure_channels().send(from, to, msg);
-      continue;
-    }
-    queue_.schedule_in(config_.link_latency,
-                       [this, to, from, sub = std::move(sub), expiry]() {
-                         deliver_subscription(to, sub, Origin{false, from},
-                                              expiry);
-                       });
+    wire::Announcement msg;
+    msg.kind = wire::Announcement::Kind::kSubscribe;
+    msg.from = from;
+    msg.sub = std::move(sub);
+    msg.expiry = expiry;
+    ensure_transport().send_frame(from, to, msg);
   }
 }
 
 void BrokerNetwork::attach_link(BrokerId a, BrokerId b) {
   // Fresh link incarnation: both directed streams restart at sequence zero
   // and anything in flight from a previous incarnation goes stale.
-  if (channels_) channels_->reset_link(a, b);
+  if (transport_) transport_->reset_link(a, b);
   brokers_.at(a)->add_neighbor(b);
   brokers_.at(b)->add_neighbor(a);
   announce_over(a, b);
@@ -527,7 +520,7 @@ void BrokerNetwork::deliver_subscription(BrokerId at, Subscription sub,
   // everywhere with zero unsubscription traffic (Section 5).
   if (expiry) {
     const auto id = sub.id();
-    queue_.schedule_at(*expiry, [this, at, id]() {
+    (void)ensure_transport().schedule_timer_at(*expiry, [this, at, id]() {
       const auto reannounce = brokers_.at(at)->handle_expiry(id);
       for (const auto& [next, promoted] : reannounce) {
         schedule_reannounce(at, next, promoted);
@@ -536,18 +529,12 @@ void BrokerNetwork::deliver_subscription(BrokerId at, Subscription sub,
   }
   for (const BrokerId next : forward_to) {
     ++metrics_.subscription_messages;
-    if (config_.link.enabled) {
-      wire::Announcement msg;
-      msg.kind = wire::Announcement::Kind::kSubscribe;
-      msg.from = at;
-      msg.sub = sub;
-      msg.expiry = expiry;
-      ensure_channels().send(at, next, msg);
-    } else {
-      queue_.schedule_in(config_.link_latency, [this, next, at, sub, expiry]() {
-        deliver_subscription(next, sub, Origin{false, at}, expiry);
-      });
-    }
+    wire::Announcement msg;
+    msg.kind = wire::Announcement::Kind::kSubscribe;
+    msg.from = at;
+    msg.sub = sub;
+    msg.expiry = expiry;
+    ensure_transport().send_frame(at, next, msg);
   }
 }
 
@@ -557,17 +544,11 @@ void BrokerNetwork::deliver_unsubscription(BrokerId at, SubscriptionId id,
       brokers_.at(at)->handle_unsubscription(id, origin);
   for (const BrokerId next : outcome.forward_to) {
     ++metrics_.unsubscription_messages;
-    if (config_.link.enabled) {
-      wire::Announcement msg;
-      msg.kind = wire::Announcement::Kind::kUnsubscribe;
-      msg.from = at;
-      msg.id = id;
-      ensure_channels().send(at, next, msg);
-    } else {
-      queue_.schedule_in(config_.link_latency, [this, next, at, id]() {
-        deliver_unsubscription(next, id, Origin{false, at});
-      });
-    }
+    wire::Announcement msg;
+    msg.kind = wire::Announcement::Kind::kUnsubscribe;
+    msg.from = at;
+    msg.id = id;
+    ensure_transport().send_frame(at, next, msg);
   }
   // Promoted subscriptions flow as fresh subscription messages: the
   // neighbour never saw them while they were covered. The receiving broker
@@ -589,18 +570,12 @@ void BrokerNetwork::schedule_reannounce(BrokerId at, BrokerId next,
   if (live == local_subs_.end()) return;
   const std::optional<sim::SimTime> expiry = live->second.expiry;
   ++metrics_.subscription_messages;
-  if (config_.link.enabled) {
-    wire::Announcement msg;
-    msg.kind = wire::Announcement::Kind::kSubscribe;
-    msg.from = at;
-    msg.sub = promoted;
-    msg.expiry = expiry;
-    ensure_channels().send(at, next, msg);
-    return;
-  }
-  queue_.schedule_in(config_.link_latency, [this, next, at, promoted, expiry]() {
-    deliver_subscription(next, promoted, Origin{false, at}, expiry);
-  });
+  wire::Announcement msg;
+  msg.kind = wire::Announcement::Kind::kSubscribe;
+  msg.from = at;
+  msg.sub = promoted;
+  msg.expiry = expiry;
+  ensure_transport().send_frame(at, next, msg);
 }
 
 void BrokerNetwork::deliver_publication(BrokerId at, Publication pub,
@@ -619,20 +594,12 @@ void BrokerNetwork::deliver_publication(BrokerId at, Publication pub,
   }
   for (const BrokerId next : route.destinations) {
     ++metrics_.publication_messages;
-    if (config_.link.enabled) {
-      wire::Announcement msg;
-      msg.kind = wire::Announcement::Kind::kPublication;
-      msg.from = at;
-      msg.pub = pub;
-      msg.token = token;
-      ensure_channels().send(at, next, msg);
-    } else {
-      queue_.schedule_in(config_.link_latency,
-                         [this, next, at, pub, token, sink]() {
-                           deliver_publication(next, pub, Origin{false, at},
-                                               token, sink);
-                         });
-    }
+    wire::Announcement msg;
+    msg.kind = wire::Announcement::Kind::kPublication;
+    msg.from = at;
+    msg.pub = pub;
+    msg.token = token;
+    ensure_transport().send_frame(at, next, msg);
   }
 }
 
@@ -666,7 +633,8 @@ void BrokerNetwork::subscribe_with_ttl(BrokerId broker, const Subscription& sub,
   local_subs_.emplace(sub.id(), LocalSub{broker, sub, expiry});
   deliver_subscription(broker, sub, Origin{true, kInvalidBroker}, expiry);
   // The subscriber side forgets the subscription at expiry too.
-  queue_.schedule_at(expiry, [this, id = sub.id()]() { local_subs_.erase(id); });
+  (void)ensure_transport().schedule_timer_at(
+      expiry, [this, id = sub.id()]() { local_subs_.erase(id); });
   run_cascade();
   drain_escalations();
 }
@@ -735,26 +703,28 @@ void BrokerNetwork::apply_source_route(BrokerId source, const Publication& pub,
   // The token is fresh, so marking it seen cannot fail.
   const std::uint64_t token = ++publication_token_;
   (void)brokers_.at(source)->mark_publication_seen(token);
+  pub_sinks_.emplace(token, sink);
   if (sink) {
     sink->insert(sink->end(), route.local_matches.begin(),
                  route.local_matches.end());
   }
   for (const BrokerId next : route.destinations) {
     ++metrics_.publication_messages;
-    queue_.schedule_in(config_.link_latency,
-                       [this, next, source, pub, token, sink]() {
-                         deliver_publication(next, pub, Origin{false, source},
-                                             token, sink);
-                       });
+    wire::Announcement msg;
+    msg.kind = wire::Announcement::Kind::kPublication;
+    msg.from = source;
+    msg.pub = pub;
+    msg.token = token;
+    ensure_transport().send_frame(source, next, msg);
   }
 }
 
-std::vector<SubscriptionId> BrokerNetwork::publish(BrokerId broker,
-                                                   const Publication& pub) {
+std::vector<SubscriptionId> BrokerNetwork::publish_one(BrokerId broker,
+                                                       const Publication& pub) {
   require_alive(broker, "publish");
   std::vector<SubscriptionId> delivered;
   const std::uint64_t token = ++publication_token_;
-  if (config_.link.enabled) pub_sinks_.emplace(token, &delivered);
+  pub_sinks_.emplace(token, &delivered);
   deliver_publication(broker, pub, Origin{true, kInvalidBroker}, token,
                       &delivered);
   run_cascade();
@@ -762,12 +732,12 @@ std::vector<SubscriptionId> BrokerNetwork::publish(BrokerId broker,
   // already effectively down for this publication, so the expected set
   // must be computed against the post-fail_link components.
   drain_escalations();
-  if (config_.link.enabled) pub_sinks_.erase(token);
+  pub_sinks_.erase(token);
   account_delivery(broker, pub, delivered);
   return delivered;
 }
 
-std::vector<std::vector<SubscriptionId>> BrokerNetwork::publish_batch(
+std::vector<std::vector<SubscriptionId>> BrokerNetwork::publish_same_source(
     BrokerId broker, const std::vector<Publication>& pubs) {
   // Sinks must not move while scheduled handlers hold pointers to them:
   // sized up front, never resized below.
@@ -792,7 +762,7 @@ std::vector<std::vector<SubscriptionId>> BrokerNetwork::publish_batch(
     for (std::size_t i = 0; i < pubs.size(); ++i) {
       const std::uint64_t token = ++publication_token_;
       auto* sink = &delivered[i];
-      if (config_.link.enabled) pub_sinks_.emplace(token, sink);
+      pub_sinks_.emplace(token, sink);
       injections.push_back([this, broker, pub = pubs[i], token, sink]() {
         deliver_publication(broker, pub, Origin{true, kInvalidBroker}, token,
                             sink);
@@ -803,7 +773,7 @@ std::vector<std::vector<SubscriptionId>> BrokerNetwork::publish_batch(
     run_cascade();
   }
   drain_escalations();
-  if (config_.link.enabled) pub_sinks_.clear();
+  pub_sinks_.clear();
 
   for (std::size_t i = 0; i < pubs.size(); ++i) {
     account_delivery(broker, pubs[i], delivered[i]);
@@ -811,7 +781,7 @@ std::vector<std::vector<SubscriptionId>> BrokerNetwork::publish_batch(
   return delivered;
 }
 
-std::vector<std::vector<SubscriptionId>> BrokerNetwork::publish_batch(
+std::vector<std::vector<SubscriptionId>> BrokerNetwork::publish_multi_source(
     std::span<const std::pair<BrokerId, Publication>> pubs) {
   for (const auto& [source, pub] : pubs) require_alive(source, "publish_batch");
   std::vector<std::vector<SubscriptionId>> delivered(pubs.size());
@@ -853,7 +823,7 @@ std::vector<std::vector<SubscriptionId>> BrokerNetwork::publish_batch(
     for (std::size_t i = 0; i < pubs.size(); ++i) {
       const std::uint64_t token = ++publication_token_;
       auto* sink = &delivered[i];
-      if (config_.link.enabled) pub_sinks_.emplace(token, sink);
+      pub_sinks_.emplace(token, sink);
       injections.push_back([this, source = pubs[i].first,
                             pub = pubs[i].second, token, sink]() {
         deliver_publication(source, pub, Origin{true, kInvalidBroker}, token,
@@ -865,12 +835,92 @@ std::vector<std::vector<SubscriptionId>> BrokerNetwork::publish_batch(
     run_cascade();
   }
   drain_escalations();
-  if (config_.link.enabled) pub_sinks_.clear();
+  pub_sinks_.clear();
 
   for (std::size_t i = 0; i < pubs.size(); ++i) {
     account_delivery(pubs[i].first, pubs[i].second, delivered[i]);
   }
   return delivered;
+}
+
+// --- consolidated publish surface ---------------------------------------
+
+PublishRequest PublishRequest::single(BrokerId broker, core::Publication pub) {
+  PublishRequest request;
+  request.shape_ = Shape::kSingle;
+  request.broker_ = broker;
+  request.pub_ = std::move(pub);
+  return request;
+}
+
+PublishRequest PublishRequest::batch(BrokerId broker,
+                                     std::vector<core::Publication> pubs) {
+  PublishRequest request;
+  request.shape_ = Shape::kSameSource;
+  request.broker_ = broker;
+  request.pubs_ = std::move(pubs);
+  return request;
+}
+
+PublishRequest PublishRequest::multi_source(
+    std::vector<SourcedPublication> pairs) {
+  PublishRequest request;
+  request.shape_ = Shape::kMultiSource;
+  request.owned_pairs_ = std::move(pairs);
+  return request;
+}
+
+PublishRequest PublishRequest::view(std::span<const SourcedPublication> pairs) {
+  PublishRequest request;
+  request.shape_ = Shape::kMultiSource;
+  request.view_ = pairs;
+  return request;
+}
+
+std::size_t PublishRequest::size() const noexcept {
+  switch (shape_) {
+    case Shape::kSingle:
+      return 1;
+    case Shape::kSameSource:
+      return pubs_.size();
+    case Shape::kMultiSource:
+      return pairs().size();
+  }
+  return 0;
+}
+
+std::vector<std::vector<SubscriptionId>> BrokerNetwork::publish(
+    const PublishRequest& request) {
+  // Each shape dispatches to the legacy entry point's body verbatim, so a
+  // request built from a legacy call is timeline-identical to it (same
+  // token order, same injection events, same tie-break sequence numbers).
+  switch (request.shape_) {
+    case PublishRequest::Shape::kSingle: {
+      std::vector<std::vector<SubscriptionId>> delivered(1);
+      delivered[0] = publish_one(request.broker_, request.pub_);
+      return delivered;
+    }
+    case PublishRequest::Shape::kSameSource:
+      return publish_same_source(request.broker_, request.pubs_);
+    case PublishRequest::Shape::kMultiSource:
+      return publish_multi_source(request.pairs());
+  }
+  return {};
+}
+
+std::vector<SubscriptionId> BrokerNetwork::publish(BrokerId broker,
+                                                   const Publication& pub) {
+  return publish_one(broker, pub);
+}
+
+std::vector<std::vector<SubscriptionId>> BrokerNetwork::publish_batch(
+    BrokerId broker, const std::vector<Publication>& pubs) {
+  return publish_same_source(broker, pubs);
+}
+
+std::vector<std::vector<SubscriptionId>> BrokerNetwork::publish_batch(
+    std::span<const std::pair<BrokerId, Publication>> pubs) {
+  return publish_multi_source(pubs);
 }
 
 std::vector<std::uint8_t> BrokerNetwork::snapshot_all() const {
@@ -948,12 +998,13 @@ void BrokerNetwork::restore_all(std::span<const std::uint8_t> bytes) {
   publication_token_ = 0;
   publish_scratch_ = Broker::PublishScratch{};
   link_state_.reset();
-  // Channel state is runtime-only (snapshots are taken at quiescence, when
-  // every stream is fully acked): discard and rebuild lazily, so both ends
-  // of every link restart at sequence zero together under the restored
-  // config. Fault-model streams restart too — delivery is fault-invariant,
-  // so replayed ops still produce the original delivered sets.
-  channels_.reset();
+  // Transport state is runtime-only (snapshots are taken at quiescence,
+  // when every stream is fully acked): discard and rebuild lazily, so both
+  // ends of every link restart at sequence zero together under the
+  // restored config. Fault-model streams restart too — delivery is
+  // fault-invariant, so replayed ops still produce the original delivered
+  // sets.
+  transport_.reset();
   pending_escalations_.clear();
   escalated_links_.clear();
   pub_sinks_.clear();
@@ -1074,7 +1125,7 @@ void BrokerNetwork::restore_all(std::span<const std::uint8_t> bytes) {
     if (!local.expiry) continue;
     const sim::SimTime expiry = *local.expiry;
     const auto arm = [this, expiry, sid](BrokerId at) {
-      queue_.schedule_at(expiry, [this, at, sid]() {
+      (void)ensure_transport().schedule_timer_at(expiry, [this, at, sid]() {
         const auto reannounce = brokers_.at(at)->handle_expiry(sid);
         for (const auto& [next, promoted] : reannounce) {
           schedule_reannounce(at, next, promoted);
@@ -1082,7 +1133,8 @@ void BrokerNetwork::restore_all(std::span<const std::uint8_t> bytes) {
       });
     };
     arm(local.home);
-    queue_.schedule_at(expiry, [this, sid]() { local_subs_.erase(sid); });
+    (void)ensure_transport().schedule_timer_at(
+        expiry, [this, sid]() { local_subs_.erase(sid); });
     for (std::size_t b = 0; b < broker_count; ++b) {
       const auto id = static_cast<BrokerId>(b);
       if (id == local.home) continue;

@@ -22,6 +22,7 @@
 #include "routing/link_channel.hpp"
 #include "routing/membership.hpp"
 #include "routing/publish_pipeline.hpp"
+#include "routing/sim_transport.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/metrics.hpp"
 #include "wire/codec.hpp"
@@ -49,6 +50,102 @@ struct NetworkConfig {
   /// hop through LinkChannels; disabled = the perfect zero-loss wire, with
   /// the pre-existing direct-schedule hot path byte-for-byte intact).
   LinkConfig link;
+
+  /// Fluent construction for the growing knob set — the preferred spelling
+  /// at call sites that set more than one field (benches, soaks, drivers):
+  ///
+  ///   auto config = NetworkConfig::Builder()
+  ///                     .seed(42)
+  ///                     .link_latency(0.002)
+  ///                     .pipelined(true, pipeline_options)
+  ///                     .link(link_config)
+  ///                     .build();
+  ///
+  /// Builder() starts from the defaulted NetworkConfig, so a builder that
+  /// sets nothing builds exactly `NetworkConfig{}`. Aggregate designated
+  /// initialization keeps working for terse literal configs.
+  class Builder;
+};
+
+class NetworkConfig::Builder {
+ public:
+  Builder& store(store::StoreConfig value) {
+    config_.store = value;
+    return *this;
+  }
+  Builder& link_latency(sim::SimTime value) {
+    config_.link_latency = value;
+    return *this;
+  }
+  Builder& seed(std::uint64_t value) {
+    config_.seed = value;
+    return *this;
+  }
+  Builder& match_shards(std::size_t value) {
+    config_.match_shards = value;
+    return *this;
+  }
+  /// Enables (or disables) the staged publish pipeline, routing its stage
+  /// sizing through in the same call so the two knobs cannot drift apart.
+  Builder& pipelined(bool on, PublishPipelineOptions options = {}) {
+    config_.pipelined_publish = on;
+    config_.pipeline = options;
+    return *this;
+  }
+  /// Installs the reliable-link protocol config wholesale (enabled flag,
+  /// timers, fault rates) — the one knob struct LinkChannels consumes.
+  Builder& link(const LinkConfig& value) {
+    config_.link = value;
+    return *this;
+  }
+  [[nodiscard]] NetworkConfig build() const { return config_; }
+
+ private:
+  NetworkConfig config_;
+};
+
+/// The consolidated publish surface: one request object covering the three
+/// legacy entry-point shapes (single publication, same-source batch,
+/// multi-source batch), so sim and TCP callers share one call. Each factory
+/// preserves the exact semantics — and the exact event timeline — of the
+/// legacy signature it wraps.
+class PublishRequest {
+ public:
+  using SourcedPublication = std::pair<BrokerId, core::Publication>;
+
+  /// One publication at `broker` (legacy publish(broker, pub)).
+  static PublishRequest single(BrokerId broker, core::Publication pub);
+
+  /// A batch injected at one simulated instant from one source (legacy
+  /// publish_batch(broker, pubs)).
+  static PublishRequest batch(BrokerId broker,
+                              std::vector<core::Publication> pubs);
+
+  /// A multi-source batch, one instant, pair order preserved (legacy
+  /// publish_batch(span)). Owns its pairs.
+  static PublishRequest multi_source(std::vector<SourcedPublication> pairs);
+
+  /// Non-owning multi-source view: zero-copy over caller-held pairs, which
+  /// must outlive the publish call.
+  static PublishRequest view(std::span<const SourcedPublication> pairs);
+
+  /// Publications in the request.
+  [[nodiscard]] std::size_t size() const noexcept;
+
+ private:
+  friend class BrokerNetwork;
+  enum class Shape { kSingle, kSameSource, kMultiSource };
+
+  [[nodiscard]] std::span<const SourcedPublication> pairs() const noexcept {
+    return owned_pairs_.empty() ? view_ : std::span(owned_pairs_);
+  }
+
+  Shape shape_ = Shape::kSingle;
+  BrokerId broker_ = 0;                  ///< kSingle / kSameSource
+  core::Publication pub_;                ///< kSingle
+  std::vector<core::Publication> pubs_;  ///< kSameSource
+  std::vector<SourcedPublication> owned_pairs_;       ///< kMultiSource owning
+  std::span<const SourcedPublication> view_;          ///< kMultiSource view
 };
 
 class BrokerNetwork {
@@ -210,27 +307,29 @@ class BrokerNetwork {
   /// Client unsubscribes (id must have been subscribed).
   void unsubscribe(BrokerId broker, core::SubscriptionId id);
 
-  /// Client publishes at `broker`; runs to quiescence. Returns ids of local
-  /// subscriptions that received a notification.
+  /// THE publish entry point: every request shape (single, same-source
+  /// batch, multi-source batch — see PublishRequest) runs to quiescence and
+  /// returns the delivered ids per publication, sorted/deduplicated, in
+  /// request order. Delivered sets are identical to calling the single
+  /// form once per publication (publication handling never mutates routing
+  /// state); batches are injected at one simulated instant so the combined
+  /// cascade runs once. With config.pipelined_publish the source-hop
+  /// matching of batch shapes runs through the staged PublishPipeline.
+  std::vector<std::vector<core::SubscriptionId>> publish(
+      const PublishRequest& request);
+
+  /// Deprecated shim for publish(PublishRequest::single(broker, pub)):
+  /// kept for existing call sites; prefer the request form.
   std::vector<core::SubscriptionId> publish(BrokerId broker,
                                             const core::Publication& pub);
 
-  /// Publishes a batch at `broker`: all publications are injected at the
-  /// same simulated instant (EventQueue batch dispatch) and the combined
-  /// cascade runs to quiescence once, instead of one cascade per call.
-  /// Returns the delivered ids per publication, each sorted/deduplicated —
-  /// identical to calling publish() once per publication (publication
-  /// handling never mutates routing state, so interleaving is invisible).
+  /// Deprecated shim for publish(PublishRequest::batch(...)); prefer the
+  /// request form.
   std::vector<std::vector<core::SubscriptionId>> publish_batch(
       BrokerId broker, const std::vector<core::Publication>& pubs);
 
-  /// Multi-source batch: each (broker, publication) pair is injected at
-  /// the same simulated instant, in pair order, and the combined cascade
-  /// runs once. Delivered sets are identical to calling publish() per
-  /// pair in order (publication handling never mutates routing state).
-  /// With config.pipelined_publish the source-hop matching of each
-  /// source's publications runs through the staged PublishPipeline; the
-  /// ChurnDriver's pipelined mode feeds consecutive publish ops here.
+  /// Deprecated shim for publish(PublishRequest::view(pubs)); prefer the
+  /// request form.
   std::vector<std::vector<core::SubscriptionId>> publish_batch(
       std::span<const std::pair<BrokerId, core::Publication>> pubs);
 
@@ -335,10 +434,14 @@ class BrokerNetwork {
   std::unique_ptr<PublishPipeline> pipeline_;
   std::vector<Broker::PublicationRoute> pipeline_routes_;
 
-  /// Reliable link channels (config_.link.enabled), built lazily on first
-  /// send. Runtime-only: never serialized; restore_all discards and
-  /// rebuilds so both stream ends restart at sequence zero together.
-  std::unique_ptr<LinkChannels> channels_;
+  /// The hop-delivery transport (the Transport seam): SimTransport over
+  /// the event queue — the perfect wire, or LinkChannels when
+  /// config_.link.enabled. Built lazily on first use (its callbacks close
+  /// over `this`, and topology factories return networks by value).
+  /// Runtime-only: never serialized; restore_all discards and rebuilds so
+  /// both ends of every link protocol stream restart at sequence zero
+  /// together.
+  std::unique_ptr<SimTransport> transport_;
   /// Links whose retry cap fired mid-cascade; drained into fail_link at
   /// the next quiescent point (escalating inside the cascade would re-enter
   /// broker state mid-flight).
@@ -346,7 +449,7 @@ class BrokerNetwork {
   /// Escalations already applied, awaiting take_escalated_links().
   std::vector<std::pair<BrokerId, BrokerId>> escalated_links_;
   bool draining_escalations_ = false;
-  /// Publication delivery sinks by token, for the channel dispatch path
+  /// Publication delivery sinks by token, for the transport dispatch path
   /// (a wire frame cannot carry a pointer). Entries live for one publish
   /// entry-point call; stale lookups resolve to a null sink.
   std::unordered_map<std::uint64_t, std::vector<core::SubscriptionId>*> pub_sinks_;
@@ -378,6 +481,15 @@ class BrokerNetwork {
   [[nodiscard]] std::unique_ptr<Broker> make_broker(BrokerId id) const;
 
   PublishPipeline& ensure_pipeline();
+  /// The three publish shapes behind publish(PublishRequest) — each is the
+  /// former public entry point's body verbatim, so the legacy shims and
+  /// the request form share one timeline-identical implementation.
+  std::vector<core::SubscriptionId> publish_one(BrokerId broker,
+                                                const core::Publication& pub);
+  std::vector<std::vector<core::SubscriptionId>> publish_same_source(
+      BrokerId broker, const std::vector<core::Publication>& pubs);
+  std::vector<std::vector<core::SubscriptionId>> publish_multi_source(
+      std::span<const std::pair<BrokerId, core::Publication>> pubs);
   /// Source-hop effects of one precomputed route, in sequential-injection
   /// shape: assign the next token, mark it seen at the source, sink the
   /// local matches, and schedule one hop per destination.
@@ -390,10 +502,10 @@ class BrokerNetwork {
   void account_delivery(BrokerId source, const core::Publication& pub,
                         std::vector<core::SubscriptionId>& ids);
 
-  /// Builds the channel manager on first lossy send (callbacks close over
-  /// `this`, so construction is deferred past the moveable-config phase).
-  LinkChannels& ensure_channels();
-  /// Channel delivery callback: routes an arrived Announcement to the
+  /// Builds the transport on first send (callbacks close over `this`, so
+  /// construction is deferred past the moveable-config phase).
+  SimTransport& ensure_transport();
+  /// Transport frame handler: routes an arrived Announcement to the
   /// matching deliver_* handler (the receiving half of each send site).
   void dispatch_frame(BrokerId from, BrokerId to, const wire::Announcement& msg);
   /// Applies pending retry-cap escalations as fail_link calls, looping

@@ -96,8 +96,7 @@ void LinkChannels::send(BrokerId from, BrokerId to,
   // (Backlogged frames above do NOT — they transmit later, so the pure-ack
   // timer must stay armed.)
   if (Channel* rev = find(make_key(to, from)); rev && rev->ack_pending) {
-    rev->ack_pending = false;
-    ++rev->ack_gen;
+    disarm_ack(*rev);
   }
   const bool was_idle = ch.unacked.empty();
   ch.unacked.push_back(std::move(pending));
@@ -225,9 +224,10 @@ void LinkChannels::request_ack(Channel& ch) {
   const std::uint64_t gen = ++ch.ack_gen;
   const Key key = make_key(ch.from, ch.to);
   const std::uint64_t epoch = ch.epoch;
-  queue_.schedule_in(ack_delay_, [this, key, epoch, gen]() {
-    on_ack_timer(key, epoch, gen);
-  });
+  ch.ack_timer =
+      queue_.schedule_cancelable_in(ack_delay_, [this, key, epoch, gen]() {
+        on_ack_timer(key, epoch, gen);
+      });
 }
 
 void LinkChannels::on_ack_timer(Key key, std::uint64_t epoch,
@@ -238,6 +238,7 @@ void LinkChannels::on_ack_timer(Key key, std::uint64_t epoch,
     return;  // stale, or a data frame already piggybacked the ack
   }
   ch->ack_pending = false;
+  ch->ack_timer = sim::EventQueue::kNoTimer;  // this firing consumed it
   // The pure ack travels the reverse direction (to -> from) and is itself
   // unreliable: a lost ack is healed by the sender's retransmit, whose
   // duplicate triggers a fresh re-ack here.
@@ -254,9 +255,13 @@ void LinkChannels::arm_rto(Channel& ch) {
   const std::uint64_t gen = ++ch.rto_gen;
   const Key key = make_key(ch.from, ch.to);
   const std::uint64_t epoch = ch.epoch;
-  queue_.schedule_in(ch.rto_cur, [this, key, epoch, gen]() {
-    on_rto(key, epoch, gen);
-  });
+  // Re-arming supersedes any armed timer: release its handler now rather
+  // than letting it ride to its (backoff-deep) deadline as a stale no-op.
+  queue_.cancel(ch.rto_timer);
+  ch.rto_timer =
+      queue_.schedule_cancelable_in(ch.rto_cur, [this, key, epoch, gen]() {
+        on_rto(key, epoch, gen);
+      });
 }
 
 void LinkChannels::on_rto(Key key, std::uint64_t epoch, std::uint64_t gen) {
@@ -264,6 +269,7 @@ void LinkChannels::on_rto(Key key, std::uint64_t epoch, std::uint64_t gen) {
   if (ch == nullptr || ch->epoch != epoch || ch->rto_gen != gen || ch->muted) {
     return;  // stale: acked, reset, or superseded by a later arm
   }
+  ch->rto_timer = sim::EventQueue::kNoTimer;  // this firing consumed it
   if (ch->unacked.empty()) return;
   ++ch->retries;
   if (ch->retries > config_.max_retries) {
@@ -301,7 +307,8 @@ void LinkChannels::escalate(Channel& ch) {
       dir->unacked.clear();
       dir->backlog.clear();
       dir->reorder.clear();
-      dir->ack_pending = false;
+      disarm_rto(*dir);
+      disarm_ack(*dir);
     }
   }
   escalate_(a, b);
@@ -315,11 +322,14 @@ void LinkChannels::reset_channel(Channel& ch) {
   ch.backlog.clear();
   ch.retries = 0;
   ch.rto_cur = rto_base_;
-  ++ch.rto_gen;
+  // disarm_* cancel the armed timers outright (not just gen-stale them):
+  // this is the reset_link ownership fix — a delayed-ack or retransmit
+  // handler from the dead incarnation is destroyed here, not parked in the
+  // queue until its (possibly far-future) deadline.
+  disarm_rto(ch);
   ch.next_expected = 0;
   ch.reorder.clear();
-  ch.ack_pending = false;
-  ++ch.ack_gen;
+  disarm_ack(ch);
   // The fault model is NOT reset: its stream position advances one draw per
   // transmission attempt for the life of the run, so adding or removing a
   // link incarnation never shifts another link's fault schedule.

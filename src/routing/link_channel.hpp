@@ -42,6 +42,7 @@
 #include <functional>
 #include <map>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "routing/broker.hpp"
@@ -158,12 +159,19 @@ class LinkChannels {
     std::size_t retries = 0;       ///< consecutive timeouts w/o ack progress
     double rto_cur = 0.0;
     std::uint64_t rto_gen = 0;     ///< arms/disarms the retransmit timer
+    /// Armed retransmit timer, cancelled on disarm/reset so the handler
+    /// (and what it captures) is released immediately instead of riding
+    /// the queue to a possibly rto_max-deep backoff deadline. The gen
+    /// guard above stays as defense in depth.
+    sim::EventQueue::TimerId rto_timer = sim::EventQueue::kNoTimer;
 
     // --- receiver state (frames arriving from -> to, kept at `to`) -----
     std::uint64_t next_expected = 0;  ///< == cumulative ack we owe
     std::map<std::uint64_t, std::vector<std::uint8_t>> reorder;
     bool ack_pending = false;
     std::uint64_t ack_gen = 0;     ///< arms/disarms the delayed-ack timer
+    /// Armed delayed-ack timer; same ownership contract as rto_timer.
+    sim::EventQueue::TimerId ack_timer = sim::EventQueue::kNoTimer;
 
     sim::LinkFaultModel faults;
 
@@ -190,7 +198,15 @@ class LinkChannels {
   void deliver_payload(Channel& ch, const std::vector<std::uint8_t>& payload);
 
   void arm_rto(Channel& ch);
-  void disarm_rto(Channel& ch) noexcept { ++ch.rto_gen; }
+  void disarm_rto(Channel& ch) noexcept {
+    ++ch.rto_gen;
+    queue_.cancel(std::exchange(ch.rto_timer, sim::EventQueue::kNoTimer));
+  }
+  void disarm_ack(Channel& ch) noexcept {
+    ch.ack_pending = false;
+    ++ch.ack_gen;
+    queue_.cancel(std::exchange(ch.ack_timer, sim::EventQueue::kNoTimer));
+  }
   void on_rto(Key key, std::uint64_t epoch, std::uint64_t gen);
   void escalate(Channel& ch);
 

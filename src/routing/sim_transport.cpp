@@ -1,0 +1,52 @@
+#include "routing/sim_transport.hpp"
+
+#include <utility>
+
+namespace psc::routing {
+
+SimTransport::SimTransport(sim::EventQueue& queue, sim::Metrics& metrics,
+                           const LinkConfig& link, sim::SimTime latency,
+                           std::uint64_t seed,
+                           LinkChannels::EscalateFn escalate)
+    : queue_(queue), latency_(latency), link_(link) {
+  if (link_.enabled) {
+    channels_ = std::make_unique<LinkChannels>(
+        queue, metrics, link_, latency_, seed,
+        [this](BrokerId from, BrokerId to, const wire::Announcement& msg) {
+          if (handler_) handler_(from, to, msg);
+        },
+        std::move(escalate));
+  }
+}
+
+void SimTransport::set_frame_handler(FrameHandler handler) {
+  handler_ = std::move(handler);
+}
+
+void SimTransport::send_frame(BrokerId from, BrokerId to,
+                              const wire::Announcement& msg) {
+  if (channels_) {
+    channels_->send(from, to, msg);
+    return;
+  }
+  // Perfect wire: one hop = one event at now + latency, delivered straight
+  // into the demux. The copy into the capture mirrors the pre-seam lambdas
+  // (which captured the message fields by value).
+  queue_.schedule_in(latency_, [this, from, to, msg]() {
+    if (handler_) handler_(from, to, msg);
+  });
+}
+
+void SimTransport::reset_link(BrokerId a, BrokerId b) {
+  if (channels_) channels_->reset_link(a, b);
+}
+
+void SimTransport::set_bursts(std::vector<LinkChannels::BurstWindow> bursts) {
+  if (channels_) channels_->set_bursts(std::move(bursts));
+}
+
+std::size_t SimTransport::in_flight() const noexcept {
+  return channels_ ? channels_->in_flight() : 0;
+}
+
+}  // namespace psc::routing

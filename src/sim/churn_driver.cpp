@@ -4,6 +4,7 @@
 #include <span>
 #include <stdexcept>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace psc::sim {
@@ -84,7 +85,9 @@ std::vector<core::SubscriptionId> replay_op(BrokerNetwork& net,
       net.unsubscribe(op.broker, op.id);
       break;
     case ChurnOpKind::kPublish:
-      delivered = net.publish(op.broker, op.pub);
+      delivered = std::move(
+          net.publish(routing::PublishRequest::single(op.broker, op.pub))
+              .front());
       break;
     case ChurnOpKind::kAdvance:
       break;
@@ -318,9 +321,8 @@ ChurnReport ChurnDriver::run(BrokerNetwork& net, const ChurnTrace& trace,
       report.ops += count;
       epoch.publishes += count;
       report.publishes += count;
-      const auto delivered_sets = net.publish_batch(
-          std::span<const std::pair<BrokerId, core::Publication>>(
-              publish_pairs));
+      const auto delivered_sets =
+          net.publish(routing::PublishRequest::view(publish_pairs));
       if (options.differential) {
         for (std::size_t k = 0; k < count; ++k) {
           oracle.publish(trace.ops[op_index + k].broker,
@@ -389,7 +391,9 @@ ChurnReport ChurnDriver::run(BrokerNetwork& net, const ChurnTrace& trace,
       case ChurnOpKind::kPublish: {
         ++epoch.publishes;
         ++report.publishes;
-        const auto delivered = net.publish(op.broker, op.pub);
+        const auto delivered = std::move(
+            net.publish(routing::PublishRequest::single(op.broker, op.pub))
+                .front());
         // Escalations fire inside net.publish before its own delivery
         // accounting; the oracle needs the same fail_links applied before
         // its delivered set is computed.

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_map>
 #include <vector>
 
 namespace psc::sim {
@@ -19,6 +20,9 @@ using SimTime = double;  ///< simulated seconds
 class EventQueue {
  public:
   using Handler = std::function<void()>;
+  /// Handle for a cancelable timer; 0 is never issued (invalid/none).
+  using TimerId = std::uint64_t;
+  static constexpr TimerId kNoTimer = 0;
 
   /// Schedules `handler` at absolute time `at` (>= now; earlier times are
   /// clamped to now, which keeps accidental negative latencies causal).
@@ -39,6 +43,35 @@ class EventQueue {
   /// Batch form of schedule_in (delay >= 0, clamped like schedule_at).
   void schedule_batch_in(SimTime delay, std::vector<Handler> handlers) {
     schedule_batch_at(now_ + (delay > 0 ? delay : 0), std::move(handlers));
+  }
+
+  /// Schedules a CANCELABLE timer at absolute time `at`. The handler is
+  /// owned by a side table, not the heap entry; cancel() destroys it
+  /// immediately (releasing everything it captured) while the heap entry
+  /// stays behind and fires as a no-op at its original instant. That keeps
+  /// the event timeline — clock advance, fired counts, tie-break sequence
+  /// numbers — bit-for-bit identical whether or not a timer was cancelled,
+  /// which is what lets LinkChannels disarm timers without perturbing the
+  /// deterministic replay contract.
+  TimerId schedule_cancelable_at(SimTime at, Handler handler);
+
+  /// Relative-delay form (delay >= 0, clamped like schedule_in).
+  TimerId schedule_cancelable_in(SimTime delay, Handler handler) {
+    return schedule_cancelable_at(now_ + (delay > 0 ? delay : 0),
+                                  std::move(handler));
+  }
+
+  /// Cancels a pending cancelable timer: the handler is destroyed NOW (not
+  /// at its deadline), so captured state is released promptly. Returns
+  /// false when the id is unknown — already fired, already cancelled, or
+  /// kNoTimer — which callers treat as an idempotent no-op.
+  bool cancel(TimerId id);
+
+  /// Cancelable timers whose handlers are still armed (scheduled and
+  /// neither fired nor cancelled). Test/diagnostic surface for the timer
+  /// ownership contract.
+  [[nodiscard]] std::size_t armed_timer_count() const noexcept {
+    return cancelable_.size();
   }
 
   /// Runs every event due at the earliest pending timestamp — one batch
@@ -71,7 +104,8 @@ class EventQueue {
   struct Event {
     SimTime time;
     std::uint64_t seq;
-    Handler handler;
+    Handler handler;           ///< empty for cancelable timers
+    TimerId timer_id = kNoTimer;  ///< nonzero: look the handler up on fire
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const noexcept {
@@ -80,9 +114,15 @@ class EventQueue {
     }
   };
 
+  /// Runs one popped event: plain events invoke their handler; cancelable
+  /// timers extract theirs from the side table (no-op when cancelled).
+  void fire(Event& event);
+
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
+  std::unordered_map<TimerId, Handler> cancelable_;
+  TimerId next_timer_id_ = 1;
 };
 
 }  // namespace psc::sim

@@ -241,6 +241,7 @@ void replay_trace(const workload::ChurnTrace& trace, IndexConfig amortized_cfg) 
         break;
       }
       case workload::ChurnOpKind::kAdvance:
+      case workload::ChurnOpKind::kMembership:  // membership rates are zero
         break;
     }
     ASSERT_EQ(amortized.size(), live.size());

@@ -1,0 +1,6 @@
+// psc_brokerd — one pub/sub broker as a standalone process (net/ layer).
+// Spawned by net::Cluster with an inherited listening socket; see
+// docs/ARCHITECTURE.md, "TCP transport" for the peering protocol.
+#include "net/broker_node.hpp"
+
+int main(int argc, char** argv) { return psc::net::run_brokerd(argc, argv); }
